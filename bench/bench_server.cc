@@ -1,0 +1,102 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// google-benchmark microbenchmarks of the hidden-database server substrate.
+// The evaluation's cost metric is queries, not seconds — but the substrate
+// must be fast enough that full-figure reproductions run in seconds, and
+// the indexed evaluator must beat the scan evaluator by a wide margin.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "gen/nsf_gen.h"
+#include "gen/yahoo_gen.h"
+#include "server/local_server.h"
+#include "util/random.h"
+
+namespace hdc {
+namespace {
+
+std::shared_ptr<const Dataset> YahooData() {
+  static auto data = std::make_shared<const Dataset>(GenerateYahoo());
+  return data;
+}
+
+std::shared_ptr<const Dataset> NsfData() {
+  static auto data = std::make_shared<const Dataset>(GenerateNsf());
+  return data;
+}
+
+/// Random mixed query against Yahoo (make pinned half the time, a price
+/// band most of the time).
+Query RandomYahooQuery(Rng* rng, const SchemaPtr& schema) {
+  Query q = Query::FullSpace(schema);
+  if (rng->Bernoulli(0.5)) {
+    q = q.WithCategoricalEquals(2, rng->UniformInt(1, 85));
+  }
+  if (rng->Bernoulli(0.7)) {
+    Value lo = rng->UniformInt(200, 150000);
+    q = q.WithNumericRange(5, lo, lo + 20000);
+  }
+  return q;
+}
+
+void BM_YahooIndexedQuery(benchmark::State& state) {
+  auto data = YahooData();
+  LocalServer server(data, 1000);
+  Rng rng(7);
+  Response response;
+  for (auto _ : state) {
+    Query q = RandomYahooQuery(&rng, data->schema());
+    benchmark::DoNotOptimize(server.Issue(q, &response));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_YahooIndexedQuery);
+
+void BM_YahooScanQuery(benchmark::State& state) {
+  auto data = YahooData();
+  LocalServerOptions options;
+  options.use_index = false;
+  LocalServer server(data, 1000, nullptr, options);
+  Rng rng(7);
+  Response response;
+  for (auto _ : state) {
+    Query q = RandomYahooQuery(&rng, data->schema());
+    benchmark::DoNotOptimize(server.Issue(q, &response));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_YahooScanQuery);
+
+void BM_NsfSliceQuery(benchmark::State& state) {
+  auto data = NsfData();
+  LocalServer server(data, 1000);
+  Rng rng(9);
+  Response response;
+  const size_t attr = static_cast<size_t>(state.range(0));
+  const Value domain =
+      static_cast<Value>(data->schema()->domain_size(attr));
+  for (auto _ : state) {
+    Query q = Query::FullSpace(data->schema())
+                  .WithCategoricalEquals(attr, rng.UniformInt(1, domain));
+    benchmark::DoNotOptimize(server.Issue(q, &response));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+// Attr 0 = Amnt (5 values, heavy slices), attr 8 = PI-name (29,042 values,
+// thin slices).
+BENCHMARK(BM_NsfSliceQuery)->Arg(0)->Arg(5)->Arg(8);
+
+void BM_ServerConstruction(benchmark::State& state) {
+  auto data = YahooData();
+  for (auto _ : state) {
+    LocalServer server(data, 1000);
+    benchmark::DoNotOptimize(&server);
+  }
+}
+BENCHMARK(BM_ServerConstruction);
+
+}  // namespace
+}  // namespace hdc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Theorem 1 summary table: for every (dataset, optimal algorithm) pair of
+// the evaluation, the measured query cost side by side with the proven
+// worst-case envelope and the trivial n/k floor. This is the "measured vs
+// theory" artifact referenced by EXPERIMENTS.md.
+//
+//   numeric      cost <= 20 * d * n/k                       (Lemma 2)
+//   categorical  cost <= Sigma U_i + (n/k) Sigma min{U_i, n/k}  (Lemma 4)
+//   mixed        sum of the two parts                       (Lemma 9)
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/crawlers.h"
+#include "gen/adult_gen.h"
+#include "gen/nsf_gen.h"
+#include "gen/yahoo_gen.h"
+#include "harness.h"
+
+namespace hdc {
+namespace bench {
+namespace {
+
+/// Theorem 1's bound for the optimal algorithm on this space (with the
+/// proof's alpha = 20 for numeric attributes).
+double Theorem1Bound(const Schema& schema, uint64_t n, uint64_t k) {
+  const double n_over_k =
+      std::ceil(static_cast<double>(n) / static_cast<double>(k));
+  const double num_numeric = static_cast<double>(schema.num_numeric());
+  double bound = 20.0 * num_numeric * n_over_k;
+
+  const size_t cat = schema.num_categorical();
+  if (cat == 1) {
+    bound += static_cast<double>(
+        schema.domain_size(schema.categorical_indices()[0]));
+  } else if (cat > 1) {
+    for (size_t attr : schema.categorical_indices()) {
+      const double u = static_cast<double>(schema.domain_size(attr));
+      bound += u + n_over_k * std::min(u, n_over_k);
+    }
+  }
+  return bound;
+}
+
+void Row(FigureTable* table, const std::string& name,
+         std::shared_ptr<const Dataset> data, uint64_t k) {
+  auto crawler = MakeOptimalCrawler(*data->schema());
+  RunStats stats = RunCrawl(crawler.get(), data, k);
+  HDC_CHECK(stats.ok);
+  const double bound = Theorem1Bound(*data->schema(), data->size(), k);
+  const uint64_t floor = data->size() / k;
+  table->AddRow(
+      {name, crawler->name(), std::to_string(k),
+       std::to_string(data->size()), std::to_string(floor),
+       std::to_string(stats.queries), TablePrinter::Cell(bound, 0),
+       TablePrinter::Cell(static_cast<double>(stats.queries) / bound, 3)});
+}
+
+void Run() {
+  Banner("Theorem 1 summary",
+         "Measured cost of the optimal algorithm vs the proven worst-case "
+         "envelope (numeric alpha = 20) and the trivial n/k floor. "
+         "Expected: measured << bound, measured/bound well under 1");
+  FigureTable table(
+      "Theorem 1: measured vs bound (k = 256)", "theorem1",
+      {"dataset", "algorithm", "k", "n", "n/k floor", "measured",
+       "Theorem 1 bound", "measured/bound"});
+
+  Row(&table, "Adult-numeric",
+      std::make_shared<const Dataset>(GenerateAdultNumeric()), 256);
+  Row(&table, "NSF", std::make_shared<const Dataset>(GenerateNsf()), 256);
+  Row(&table, "Yahoo", std::make_shared<const Dataset>(GenerateYahoo()),
+      256);
+  Row(&table, "Adult", std::make_shared<const Dataset>(GenerateAdult()),
+      256);
+  table.Emit();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hdc
+
+int main() {
+  hdc::bench::Run();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Scenario: the server picks which k tuples an overflowing query returns —
+// and the crawler has no say in it. Real sites rank by price, recency or
+// an opaque relevance score; the paper's guarantee (and this library's
+// property tests) is that extraction stays complete under *any* fixed
+// ranking.
+//
+// This example crawls the same dataset under five adversarially different
+// rankings and shows the extraction is exact every time, with only mild
+// cost variation — and that for the categorical algorithms the cost is
+// *identical*, because their decisions depend only on overflow bits, never
+// on which tuples came back.
+//
+//   $ ./adversarial_server
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/rank_shrink.h"
+#include "core/slice_cover.h"
+#include "gen/synthetic.h"
+#include "server/local_server.h"
+
+int main() {
+  using namespace hdc;
+
+  SyntheticNumericOptions num_gen;
+  num_gen.d = 3;
+  num_gen.n = 20000;
+  num_gen.value_range = 5000;
+  num_gen.seed = 17;
+  auto numeric_data =
+      std::make_shared<const Dataset>(GenerateSyntheticNumeric(num_gen));
+
+  SyntheticCategoricalOptions cat_gen;
+  cat_gen.domain_sizes = {8, 16, 32};
+  cat_gen.n = 20000;
+  // Mild skew: the most popular point must stay under k copies, or Problem
+  // 1 is unsolvable by definition (Section 1.1).
+  cat_gen.zipf_s = 0.4;
+  cat_gen.seed = 18;
+  auto categorical_data = std::make_shared<const Dataset>(
+      GenerateSyntheticCategorical(cat_gen));
+
+  struct PolicyCase {
+    const char* label;
+    std::function<std::unique_ptr<RankingPolicy>()> make;
+  };
+  const std::vector<PolicyCase> policies = {
+      {"random priorities ", [] { return MakeRandomPriorityPolicy(1); }},
+      {"oldest rows first ", [] { return MakeIdOrderPolicy(true); }},
+      {"newest rows first ", [] { return MakeIdOrderPolicy(false); }},
+      {"attr0 ascending   ", [] { return MakeByAttributePolicy(0, true); }},
+      {"attr0 descending  ", [] { return MakeByAttributePolicy(0, false); }},
+  };
+
+  const uint64_t k = 64;
+  std::printf("k = %llu; numeric n = %zu; categorical n = %zu\n\n",
+              static_cast<unsigned long long>(k), numeric_data->size(),
+              categorical_data->size());
+  std::printf("%-19s %18s %22s\n", "server ranking", "rank-shrink cost",
+              "lazy-slice-cover cost");
+
+  bool all_exact = true;
+  for (const PolicyCase& p : policies) {
+    LocalServer numeric_server(numeric_data, k, p.make());
+    RankShrink rank_shrink;
+    CrawlResult nr = rank_shrink.Crawl(&numeric_server);
+    all_exact &= nr.status.ok() &&
+                 Dataset::MultisetEquals(nr.extracted, *numeric_data);
+
+    LocalServer categorical_server(categorical_data, k, p.make());
+    SliceCoverCrawler lazy(/*lazy=*/true);
+    CrawlResult cr = lazy.Crawl(&categorical_server);
+    all_exact &= cr.status.ok() &&
+                 Dataset::MultisetEquals(cr.extracted, *categorical_data);
+
+    std::printf("%-19s %18llu %22llu\n", p.label,
+                static_cast<unsigned long long>(nr.queries_issued),
+                static_cast<unsigned long long>(cr.queries_issued));
+  }
+
+  std::printf("\nexact multiset under every ranking: %s\n",
+              all_exact ? "yes" : "NO");
+  std::printf("note the categorical costs are identical by design: "
+              "slice-cover branches on overflow signals only.\n");
+  return all_exact ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Scenario: archiving a government award-search portal (the paper's NSF
+// dataset) — an all-categorical interface with nine attributes whose
+// domains range from 5 to 29,042 values.
+//
+// Demonstrates: why naive strategies fail (the point-enumeration space has
+// ~10^19 cells), what the DFS baseline costs, how lazy-slice-cover's slice
+// table collapses the cost, and the Section 1.3 dependency heuristic
+// (skipping queries that cannot match any real award).
+//
+//   $ ./crawl_nsf_awards
+#include <cstdio>
+
+#include "core/dependency.h"
+#include "core/dfs_crawler.h"
+#include "core/slice_cover.h"
+#include "gen/nsf_gen.h"
+#include "server/local_server.h"
+
+int main() {
+  using namespace hdc;
+
+  auto awards = std::make_shared<const Dataset>(GenerateNsf());
+  const SchemaPtr& schema = awards->schema();
+
+  double cells = 1.0;
+  for (size_t a = 0; a < schema->num_attributes(); ++a) {
+    cells *= static_cast<double>(schema->domain_size(a));
+  }
+  std::printf("award portal: %zu awards, %zu categorical attributes\n",
+              awards->size(), schema->num_attributes());
+  std::printf("naive point enumeration would need ~%.2e queries\n\n", cells);
+
+  const uint64_t k = 256;
+
+  LocalServer dfs_server(awards, k);
+  DfsCrawler dfs;
+  CrawlResult dfs_result = dfs.Crawl(&dfs_server);
+  std::printf("DFS baseline        : %8llu queries (complete: %s)\n",
+              static_cast<unsigned long long>(dfs_result.queries_issued),
+              dfs_result.status.ok() ? "yes" : "no");
+
+  LocalServer lazy_server(awards, k);
+  SliceCoverCrawler lazy(/*lazy=*/true);
+  CrawlResult lazy_result = lazy.Crawl(&lazy_server);
+  std::printf("lazy-slice-cover    : %8llu queries (complete: %s)\n",
+              static_cast<unsigned long long>(lazy_result.queries_issued),
+              lazy_result.status.ok() ? "yes" : "no");
+  std::printf("speedup over DFS    : %8.1fx\n\n",
+              static_cast<double>(dfs_result.queries_issued) /
+                  static_cast<double>(lazy_result.queries_issued));
+
+  // Section 1.3's heuristic: knowledge of attribute dependencies lets the
+  // crawler skip queries that cannot match any award. Mine sound rules from
+  // the portal's domain knowledge — here, every (funding bucket, field) and
+  // (instrument, field) combination that never occurs.
+  std::vector<ForbiddenPairOracle::ForbiddenPair> rules;
+  for (const auto& [attr_a, attr_b] :
+       std::vector<std::pair<size_t, size_t>>{{0, 2}, {1, 2}}) {
+    const uint64_t ua = schema->domain_size(attr_a);
+    const uint64_t ub = schema->domain_size(attr_b);
+    std::vector<bool> present(ua * ub, false);
+    for (const Tuple& t : awards->tuples()) {
+      present[static_cast<size_t>(t[attr_a] - 1) * ub +
+              static_cast<size_t>(t[attr_b] - 1)] = true;
+    }
+    for (Value va = 1; va <= static_cast<Value>(ua); ++va) {
+      for (Value vb = 1; vb <= static_cast<Value>(ub); ++vb) {
+        if (!present[static_cast<size_t>(va - 1) * ub +
+                     static_cast<size_t>(vb - 1)]) {
+          rules.push_back({attr_a, va, attr_b, vb});
+        }
+      }
+    }
+  }
+  ForbiddenPairOracle oracle(std::move(rules));
+  std::printf("mined %zu sound dependency rules\n", oracle.num_pairs());
+
+  CrawlOptions options;
+  options.oracle = &oracle;
+  LocalServer oracle_server(awards, k);
+  SliceCoverCrawler lazy_with_oracle(/*lazy=*/true);
+  CrawlResult oracle_result = lazy_with_oracle.Crawl(&oracle_server, options);
+  std::printf(
+      "with dependency rules: %7llu queries (complete: %s, exact: %s)\n",
+      static_cast<unsigned long long>(oracle_result.queries_issued),
+      oracle_result.status.ok() ? "yes" : "no",
+      Dataset::MultisetEquals(oracle_result.extracted, *awards) ? "yes"
+                                                                : "NO");
+
+  // Archive the extraction.
+  const char* out_path = "nsf_awards_extracted.csv";
+  if (lazy_result.extracted.SaveCsv(out_path).ok()) {
+    std::printf("\nextraction archived to %s\n", out_path);
+  }
+  return 0;
+}

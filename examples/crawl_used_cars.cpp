@@ -1,0 +1,85 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Scenario: crawling a used-car marketplace (the paper's Yahoo! Autos
+// motivation, Figure 1) under real-world operating constraints:
+//   - the site caps every result page at k = 256 listings;
+//   - the crawler's IP is limited to 500 queries per "day";
+//   - the crawl must therefore checkpoint when the daily quota runs out
+//     and resume the next day, losing nothing.
+//
+// Demonstrates: the hybrid algorithm, BudgetServer, resume states, the
+// progressiveness of partial crawls (Figure 13's property: interrupt at
+// x% of queries, hold ~x% of the data) and the politeness model.
+//
+//   $ ./crawl_used_cars
+#include <cstdio>
+
+#include "core/hybrid.h"
+#include "gen/yahoo_gen.h"
+#include "server/decorators.h"
+#include "server/local_server.h"
+#include "server/politeness.h"
+
+int main() {
+  using namespace hdc;
+
+  auto inventory = std::make_shared<const Dataset>(GenerateYahoo());
+  std::printf("marketplace inventory: %zu listings over [%s]\n\n",
+              inventory->size(), inventory->schema()->ToString().c_str());
+
+  const uint64_t k = 256;
+  const uint64_t daily_quota = 500;
+  LocalServer site(inventory, k);
+  BudgetServer quota(&site, daily_quota);
+
+  HybridCrawler crawler;
+  int day = 1;
+  CrawlResult result = crawler.Crawl(&quota);
+  while (result.status.IsResourceExhausted()) {
+    std::printf(
+        "day %2d: quota of %llu queries spent; %llu listings retrieved so "
+        "far (%.1f%%) -- checkpointing until tomorrow\n",
+        day, static_cast<unsigned long long>(daily_quota),
+        static_cast<unsigned long long>(result.extracted.size()),
+        100.0 * static_cast<double>(result.extracted.size()) /
+            static_cast<double>(inventory->size()));
+    quota.Refill(daily_quota);
+    ++day;
+    result = crawler.Resume(&quota, result.resume_state);
+  }
+
+  if (!result.status.ok()) {
+    std::printf("crawl failed: %s\n", result.status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "\nday %2d: crawl complete. %llu queries total, %zu listings, exact "
+      "multiset: %s\n",
+      day, static_cast<unsigned long long>(result.queries_issued),
+      result.extracted.size(),
+      Dataset::MultisetEquals(result.extracted, *inventory) ? "yes" : "NO");
+
+  // What would this cost against the real site?
+  PolitenessModel model;
+  model.queries_per_day = daily_quota;
+  model.per_query_latency_ms = 2000;  // stay friendly: 1 query / 2s
+  auto estimate = model.EstimateDuration(result.queries_issued);
+  std::printf(
+      "at %llu queries/day and 2s/query, the real crawl would take %.1f "
+      "days (%.1f hours of request latency)\n",
+      static_cast<unsigned long long>(daily_quota), estimate.days_total,
+      estimate.hours_latency_bound);
+
+  // The paper's headline observation (Section 1.2): with k = 1000-ish
+  // limits, a few hundred queries suffice for ~70k tuples.
+  LocalServer generous(inventory, 1024);
+  HybridCrawler again;
+  CrawlResult big_k = again.Crawl(&generous);
+  std::printf(
+      "with the site's real page size k = 1024: only %llu queries for all "
+      "%zu listings\n",
+      static_cast<unsigned long long>(big_k.queries_issued),
+      big_k.extracted.size());
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Quickstart: crawl a hidden database in ~30 lines.
+//
+// A "hidden database" answers form queries with at most k tuples plus an
+// overflow signal. This example stands up an in-memory one over a small
+// mixed dataset (2 categorical + 1 numeric attribute), lets the library
+// pick the optimal algorithm for the space (Theorem 1's case analysis),
+// and extracts every tuple.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/crawlers.h"
+#include "gen/synthetic.h"
+#include "server/local_server.h"
+
+int main() {
+  using namespace hdc;
+
+  // 1. A hidden database: 5,000 tuples over (Category x Brand x Price).
+  SyntheticMixedOptions gen;
+  gen.domain_sizes = {6, 40};  // Category(6), Brand(40)
+  gen.num_numeric = 1;         // Price
+  gen.n = 5000;
+  gen.value_range = 10000;
+  gen.seed = 7;
+  auto dataset = std::make_shared<const Dataset>(GenerateSyntheticMixed(gen));
+
+  // 2. The server: returns at most k = 50 tuples per query.
+  LocalServer server(dataset, /*k=*/50);
+  std::printf("hidden database: n = %zu tuples over [%s]\n", dataset->size(),
+              dataset->schema()->ToString().c_str());
+
+  // 3. Crawl with the optimal algorithm for this space (here: hybrid).
+  auto crawler = MakeOptimalCrawler(*dataset->schema());
+  CrawlResult result = crawler->Crawl(&server);
+  if (!result.status.ok()) {
+    std::printf("crawl failed: %s\n", result.status.ToString().c_str());
+    return 1;
+  }
+
+  // 4. The entire bag has been extracted.
+  std::printf("algorithm        : %s\n", crawler->name().c_str());
+  std::printf("queries issued   : %llu (ideal floor n/k = %zu)\n",
+              static_cast<unsigned long long>(result.queries_issued),
+              dataset->size() / 50);
+  std::printf("tuples extracted : %zu (exact multiset: %s)\n",
+              result.extracted.size(),
+              Dataset::MultisetEquals(result.extracted, *dataset) ? "yes"
+                                                                  : "NO");
+  return 0;
+}

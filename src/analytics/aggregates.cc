@@ -1,0 +1,210 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "analytics/aggregates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/macros.h"
+
+namespace hdc {
+
+const char* AggregateOpName(AggregateOp op) {
+  switch (op) {
+    case AggregateOp::kCount:
+      return "count";
+    case AggregateOp::kSum:
+      return "sum";
+    case AggregateOp::kAvg:
+      return "avg";
+    case AggregateOp::kMin:
+      return "min";
+    case AggregateOp::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Streaming accumulator shared by Aggregate and GroupBy.
+struct Accumulator {
+  uint64_t rows = 0;
+  double sum = 0.0;
+  Value min_v = 0;
+  Value max_v = 0;
+
+  void Add(Value v) {
+    if (rows == 0) {
+      min_v = v;
+      max_v = v;
+    } else {
+      min_v = std::min(min_v, v);
+      max_v = std::max(max_v, v);
+    }
+    sum += static_cast<double>(v);
+    ++rows;
+  }
+
+  AggregateResult Finish(AggregateOp op) const {
+    AggregateResult out;
+    out.rows = rows;
+    if (rows == 0) return out;
+    switch (op) {
+      case AggregateOp::kCount:
+        out.value = static_cast<double>(rows);
+        break;
+      case AggregateOp::kSum:
+        out.value = sum;
+        break;
+      case AggregateOp::kAvg:
+        out.value = sum / static_cast<double>(rows);
+        break;
+      case AggregateOp::kMin:
+        out.value = static_cast<double>(min_v);
+        break;
+      case AggregateOp::kMax:
+        out.value = static_cast<double>(max_v);
+        break;
+    }
+    return out;
+  }
+};
+
+void CheckAttr(const Dataset& data, size_t attr) {
+  HDC_CHECK_MSG(attr < data.schema()->num_attributes(),
+                "attribute index out of range");
+}
+
+}  // namespace
+
+AggregateResult Aggregate(const Dataset& data, const Query& filter,
+                          const AggregateSpec& spec) {
+  if (spec.op != AggregateOp::kCount) CheckAttr(data, spec.attr);
+  Accumulator acc;
+  for (const Tuple& t : data.tuples()) {
+    if (!filter.Matches(t)) continue;
+    acc.Add(spec.op == AggregateOp::kCount ? 0 : t[spec.attr]);
+  }
+  return acc.Finish(spec.op);
+}
+
+std::vector<GroupedRow> GroupBy(const Dataset& data, const Query& filter,
+                                size_t group_attr,
+                                const AggregateSpec& spec) {
+  CheckAttr(data, group_attr);
+  if (spec.op != AggregateOp::kCount) CheckAttr(data, spec.attr);
+  std::map<Value, Accumulator> groups;
+  for (const Tuple& t : data.tuples()) {
+    if (!filter.Matches(t)) continue;
+    groups[t[group_attr]].Add(
+        spec.op == AggregateOp::kCount ? 0 : t[spec.attr]);
+  }
+  std::vector<GroupedRow> out;
+  out.reserve(groups.size());
+  for (const auto& [group, acc] : groups) {
+    out.push_back(GroupedRow{group, acc.Finish(spec.op)});
+  }
+  return out;
+}
+
+std::vector<HistogramBin> Histogram(const Dataset& data, const Query& filter,
+                                    size_t attr, size_t num_bins) {
+  CheckAttr(data, attr);
+  HDC_CHECK_MSG(num_bins >= 1, "need at least one bin");
+
+  std::vector<Value> values;
+  for (const Tuple& t : data.tuples()) {
+    if (filter.Matches(t)) values.push_back(t[attr]);
+  }
+  if (values.empty()) return {};
+
+  const auto [min_it, max_it] = std::minmax_element(values.begin(),
+                                                    values.end());
+  const Value lo = *min_it, hi = *max_it;
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  const uint64_t bins = std::min<uint64_t>(num_bins, span);
+  // Ceil division so bins cover the whole range.
+  const uint64_t width = (span + bins - 1) / bins;
+
+  std::vector<HistogramBin> out(bins);
+  for (uint64_t b = 0; b < bins; ++b) {
+    out[b].lo = lo + static_cast<Value>(b * width);
+    out[b].hi =
+        b + 1 == bins ? hi : lo + static_cast<Value>((b + 1) * width) - 1;
+  }
+  for (Value v : values) {
+    uint64_t b = static_cast<uint64_t>(v - lo) / width;
+    ++out[b].count;
+  }
+  return out;
+}
+
+std::optional<Value> Quantile(const Dataset& data, const Query& filter,
+                              size_t attr, double q) {
+  CheckAttr(data, attr);
+  HDC_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  std::vector<Value> values;
+  for (const Tuple& t : data.tuples()) {
+    if (filter.Matches(t)) values.push_back(t[attr]);
+  }
+  if (values.empty()) return std::nullopt;
+  // Nearest-rank: the ceil(q * n)-th smallest (1-based), q=0 -> smallest.
+  size_t rank = static_cast<size_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(values.size()))));
+  rank = std::min(rank, values.size());
+  std::nth_element(values.begin(), values.begin() + (rank - 1),
+                   values.end());
+  return values[rank - 1];
+}
+
+std::vector<Tuple> TopBy(const Dataset& data, const Query& filter,
+                         size_t attr, size_t limit, bool ascending) {
+  CheckAttr(data, attr);
+  std::vector<Tuple> matching;
+  for (const Tuple& t : data.tuples()) {
+    if (filter.Matches(t)) matching.push_back(t);
+  }
+  auto better = [&](const Tuple& a, const Tuple& b) {
+    if (a[attr] != b[attr]) {
+      return ascending ? a[attr] < b[attr] : a[attr] > b[attr];
+    }
+    return a < b;  // deterministic tie-break
+  };
+  const size_t take = std::min(limit, matching.size());
+  std::partial_sort(matching.begin(), matching.begin() + take,
+                    matching.end(), better);
+  matching.resize(take);
+  return matching;
+}
+
+std::vector<Value> DistinctValues(const Dataset& data, const Query& filter,
+                                  size_t attr) {
+  CheckAttr(data, attr);
+  std::vector<Value> values;
+  for (const Tuple& t : data.tuples()) {
+    if (filter.Matches(t)) values.push_back(t[attr]);
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+std::vector<CrossTabCell> CrossTab(const Dataset& data, const Query& filter,
+                                   size_t row_attr, size_t column_attr) {
+  CheckAttr(data, row_attr);
+  CheckAttr(data, column_attr);
+  std::map<std::pair<Value, Value>, uint64_t> cells;
+  for (const Tuple& t : data.tuples()) {
+    if (!filter.Matches(t)) continue;
+    ++cells[{t[row_attr], t[column_attr]}];
+  }
+  std::vector<CrossTabCell> out;
+  out.reserve(cells.size());
+  for (const auto& [key, count] : cells) {
+    out.push_back(CrossTabCell{key.first, key.second, count});
+  }
+  return out;
+}
+
+}  // namespace hdc

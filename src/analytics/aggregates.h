@@ -1,0 +1,95 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Local analytics over an extracted hidden database. The paper's opening
+// motivation (Section 1) is that crawling "comes with the appealing promise
+// of enabling virtually any form of processing on the database's content" —
+// processing the top-k interface itself can never answer. This module is
+// that payoff: exact aggregates, group-bys, histograms and quantiles over
+// the crawled bag, filtered by the same Query predicates used for crawling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "query/query.h"
+
+namespace hdc {
+
+enum class AggregateOp { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggregateOpName(AggregateOp op);
+
+/// One aggregate over one attribute (attr is ignored for kCount).
+struct AggregateSpec {
+  AggregateOp op = AggregateOp::kCount;
+  size_t attr = 0;
+
+  static AggregateSpec Count() { return {AggregateOp::kCount, 0}; }
+  static AggregateSpec Sum(size_t attr) { return {AggregateOp::kSum, attr}; }
+  static AggregateSpec Avg(size_t attr) { return {AggregateOp::kAvg, attr}; }
+  static AggregateSpec Min(size_t attr) { return {AggregateOp::kMin, attr}; }
+  static AggregateSpec Max(size_t attr) { return {AggregateOp::kMax, attr}; }
+};
+
+struct AggregateResult {
+  /// Aggregate value; 0 for an empty input (check `rows`).
+  double value = 0.0;
+  /// Number of tuples that satisfied the filter.
+  uint64_t rows = 0;
+};
+
+/// Evaluates `spec` over the tuples of `data` matching `filter`.
+/// Min/Max/Sum/Avg require a numeric-valued interpretation and are intended
+/// for numeric attributes (categorical codes are aggregated as integers if
+/// asked — occasionally useful, usually not what you want).
+AggregateResult Aggregate(const Dataset& data, const Query& filter,
+                          const AggregateSpec& spec);
+
+/// Group-by a (categorical or numeric) attribute: one row per distinct
+/// group value among the filtered tuples, sorted by group value.
+struct GroupedRow {
+  Value group = 0;
+  AggregateResult agg;
+};
+std::vector<GroupedRow> GroupBy(const Dataset& data, const Query& filter,
+                                size_t group_attr, const AggregateSpec& spec);
+
+/// Equal-width histogram of a numeric attribute over the filtered tuples.
+/// Returns `num_bins` bins spanning [min, max]; empty input yields no bins.
+struct HistogramBin {
+  Value lo = 0;
+  Value hi = 0;  // inclusive
+  uint64_t count = 0;
+};
+std::vector<HistogramBin> Histogram(const Dataset& data, const Query& filter,
+                                    size_t attr, size_t num_bins);
+
+/// The q-quantile (0 <= q <= 1, nearest-rank) of an attribute over the
+/// filtered tuples; nullopt on empty input.
+std::optional<Value> Quantile(const Dataset& data, const Query& filter,
+                              size_t attr, double q);
+
+/// The `limit` filtered tuples with the smallest (ascending=true) or
+/// largest values on `attr`; ties broken by full-tuple order for
+/// determinism.
+std::vector<Tuple> TopBy(const Dataset& data, const Query& filter,
+                         size_t attr, size_t limit, bool ascending);
+
+/// Distinct values of an attribute among the filtered tuples, sorted.
+std::vector<Value> DistinctValues(const Dataset& data, const Query& filter,
+                                  size_t attr);
+
+/// Two-attribute contingency table: one cell per observed (row value,
+/// column value) pair with its count, sorted by (row, column). Empty cells
+/// are omitted.
+struct CrossTabCell {
+  Value row = 0;
+  Value column = 0;
+  uint64_t count = 0;
+};
+std::vector<CrossTabCell> CrossTab(const Dataset& data, const Query& filter,
+                                   size_t row_attr, size_t column_attr);
+
+}  // namespace hdc

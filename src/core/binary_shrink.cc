@@ -1,0 +1,84 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/binary_shrink.h"
+
+#include <ostream>
+
+#include "core/checkpoint.h"
+#include "core/crawl_context.h"
+#include "util/macros.h"
+
+namespace hdc {
+
+Status BinaryShrink::ValidateSchema(const Schema& schema) const {
+  if (!schema.all_numeric()) {
+    return Status::InvalidArgument(
+        "binary-shrink handles all-numeric data spaces only");
+  }
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    const AttributeSpec& spec = schema.attribute(i);
+    if (spec.lo <= kNumericMin || spec.hi >= kNumericMax) {
+      return Status::InvalidArgument(
+          "binary-shrink needs bounded numeric domains (attribute " +
+          spec.name + " is unbounded); use rank-shrink instead");
+    }
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<CrawlState> BinaryShrink::MakeInitialState(
+    HiddenDbServer* server) const {
+  auto state = std::make_shared<BinaryShrinkState>(server->schema());
+  state->frontier.push_back(Query::FullSpace(server->schema()));
+  return state;
+}
+
+void BinaryShrink::Run(CrawlContext* ctx, CrawlState* state) const {
+  auto* st = static_cast<BinaryShrinkState*>(state);
+  while (!st->frontier.empty()) {
+    Query q = st->frontier.back();
+    st->frontier.pop_back();
+
+    Response response;
+    switch (ctx->Issue(q, &response)) {
+      case CrawlContext::Outcome::kStop:
+        st->frontier.push_back(std::move(q));
+        return;
+      case CrawlContext::Outcome::kPrunedEmpty:
+        continue;
+      case CrawlContext::Outcome::kResolved:
+        ctx->CollectResponse(response);
+        continue;
+      case CrawlContext::Outcome::kOverflow:
+        break;
+    }
+
+    auto attr = q.FirstNonPinnedAttribute();
+    if (!attr.has_value()) {
+      ctx->SetFatal(Status::Unsolvable("point " + q.ToString() +
+                                       " holds more than k tuples"));
+      return;
+    }
+    const AttrInterval& ext = q.extent(*attr);
+    // Midpoint split: x = ceil((lo + hi) / 2); lo < x <= hi always holds
+    // for a non-pinned extent, so both halves are non-empty.
+    const Value x = ext.lo + (ext.hi - ext.lo + 1) / 2;
+    TwoWaySplitResult halves = TwoWaySplit(q, *attr, x);
+    st->frontier.push_back(std::move(halves.right));
+    st->frontier.push_back(std::move(halves.left));
+  }
+}
+
+
+void BinaryShrinkState::EncodeFrontier(std::ostream* out) const {
+  for (const Query& q : frontier) {
+    *out << "q ";
+    EncodeQueryTokens(q, out);
+    *out << '\n';
+  }
+}
+
+Status BinaryShrinkState::DecodeFrontier(std::istream* in) {
+  return DecodeQueryStackFrontier(in, extracted.schema(), &frontier);
+}
+
+}  // namespace hdc

@@ -1,0 +1,43 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// binary-shrink (paper, Section 2.1): the baseline numeric crawler. Runs a
+// rectangle; if it overflows, 2-way splits it at the midpoint of the extent
+// of a non-exhausted attribute and recurses. Its cost depends on the domain
+// sizes of the attributes (unbounded in general), which is exactly the
+// weakness rank-shrink removes.
+#pragma once
+
+#include <vector>
+
+#include "core/crawler.h"
+#include "query/query.h"
+
+namespace hdc {
+
+class BinaryShrinkState : public CrawlState {
+ public:
+  using CrawlState::CrawlState;
+  bool Finished() const override { return frontier.empty(); }
+  std::string algorithm() const override { return "binary-shrink"; }
+  void EncodeFrontier(std::ostream* out) const override;
+  Status DecodeFrontier(std::istream* in) override;
+
+  /// LIFO stack of pending rectangles.
+  std::vector<Query> frontier;
+};
+
+class BinaryShrink : public Crawler {
+ public:
+  std::string name() const override { return "binary-shrink"; }
+
+  /// Requires an all-numeric schema with *bounded* attribute domains —
+  /// midpoint splitting cannot start from an infinite extent.
+  Status ValidateSchema(const Schema& schema) const override;
+
+ protected:
+  std::shared_ptr<CrawlState> MakeInitialState(
+      HiddenDbServer* server) const override;
+  void Run(CrawlContext* ctx, CrawlState* state) const override;
+};
+
+}  // namespace hdc

@@ -1,0 +1,265 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/checkpoint.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/binary_shrink.h"
+#include "core/dfs_crawler.h"
+#include "core/rank_shrink.h"
+#include "core/slice_engine.h"
+#include "data/csv_reader.h"
+#include "util/macros.h"
+
+namespace hdc {
+namespace {
+
+constexpr const char* kMagic = "hdc-checkpoint";
+constexpr int kVersion = 1;
+
+/// Reads the next line; errors out at EOF.
+Status NextLine(std::istream* in, std::string* line) {
+  if (!std::getline(*in, *line)) {
+    return Status::InvalidArgument("checkpoint truncated");
+  }
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  return Status::OK();
+}
+
+/// Returns the rest of `line` after a "tag " prefix, or an error.
+Status ExpectTagged(const std::string& line, const std::string& tag,
+                    std::string* rest) {
+  if (line.rfind(tag + " ", 0) != 0) {
+    return Status::InvalidArgument("expected '" + tag + " ...', got '" +
+                                   line + "'");
+  }
+  *rest = line.substr(tag.size() + 1);
+  return Status::OK();
+}
+
+std::shared_ptr<CrawlState> MakeEmptyState(const std::string& algorithm,
+                                           const SchemaPtr& schema) {
+  if (algorithm == "binary-shrink") {
+    return std::make_shared<BinaryShrinkState>(schema);
+  }
+  if (algorithm == "rank-shrink") {
+    return std::make_shared<RankShrinkState>(schema);
+  }
+  if (algorithm == "dfs") {
+    return std::make_shared<DfsState>(schema);
+  }
+  if (algorithm == "slice-cover" || algorithm == "lazy-slice-cover" ||
+      algorithm == "hybrid") {
+    // The eager flag is restored by DecodeFrontier.
+    return std::make_shared<SliceEngineState>(schema, algorithm,
+                                              /*eager=*/false);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void EncodeQueryTokens(const Query& q, std::ostream* out) {
+  for (size_t i = 0; i < q.num_attributes(); ++i) {
+    if (i > 0) *out << ' ';
+    *out << q.lo(i) << ' ' << q.hi(i);
+  }
+}
+
+Status DecodeQueryTokens(std::istream* in, const SchemaPtr& schema,
+                         Query* out) {
+  Query q = Query::FullSpace(schema);
+  for (size_t i = 0; i < schema->num_attributes(); ++i) {
+    Value lo, hi;
+    if (!(*in >> lo >> hi)) {
+      return Status::InvalidArgument("malformed query extents");
+    }
+    if (schema->IsCategorical(i)) {
+      const Value domain = static_cast<Value>(schema->domain_size(i));
+      if (lo == hi) {
+        if (lo < 1 || lo > domain) {
+          return Status::InvalidArgument("categorical value out of domain");
+        }
+        q = q.WithCategoricalEquals(i, lo);
+      } else if (lo != 1 || hi != domain) {
+        return Status::InvalidArgument(
+            "categorical extent must be pinned or the full domain");
+      }
+    } else {
+      if (lo > hi) return Status::InvalidArgument("extent out of order");
+      q = q.WithNumericRange(i, lo, hi);
+    }
+  }
+  *out = std::move(q);
+  return Status::OK();
+}
+
+void EncodeTupleTokens(const Tuple& t, std::ostream* out) {
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) *out << ' ';
+    *out << t[i];
+  }
+}
+
+Status DecodeTupleTokens(std::istream* in, size_t arity, Tuple* out) {
+  std::vector<Value> values(arity);
+  for (auto& v : values) {
+    if (!(*in >> v)) return Status::InvalidArgument("malformed tuple");
+  }
+  *out = Tuple(std::move(values));
+  return Status::OK();
+}
+
+Status DecodeQueryStackFrontier(std::istream* in, const SchemaPtr& schema,
+                                std::vector<Query>* frontier) {
+  frontier->clear();
+  std::string line;
+  while (true) {
+    HDC_RETURN_IF_ERROR(NextLine(in, &line));
+    if (line == "frontier-end") return Status::OK();
+    std::string rest;
+    HDC_RETURN_IF_ERROR(ExpectTagged(line, "q", &rest));
+    std::istringstream tokens(rest);
+    Query q = Query::FullSpace(schema);
+    HDC_RETURN_IF_ERROR(DecodeQueryTokens(&tokens, schema, &q));
+    frontier->push_back(std::move(q));
+  }
+}
+
+Status SaveCheckpoint(const CrawlState& state, const Schema& schema,
+                      std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output stream");
+  if (!state.fatal.ok()) {
+    return Status::FailedPrecondition(
+        "refusing to checkpoint a failed crawl: " + state.fatal.ToString());
+  }
+  if (!(*state.extracted.schema() == schema)) {
+    return Status::InvalidArgument("state does not belong to this schema");
+  }
+
+  *out << kMagic << ' ' << kVersion << '\n';
+  *out << "algorithm " << state.algorithm() << '\n';
+  *out << "schema " << FormatSchemaSpec(schema) << '\n';
+  *out << "queries " << state.queries_issued << '\n';
+
+  *out << "seen " << state.seen_rows.size();
+  for (uint64_t id : state.seen_rows) *out << ' ' << id;
+  *out << '\n';
+
+  *out << "extracted " << state.extracted.size() << '\n';
+  for (const Tuple& t : state.extracted.tuples()) {
+    EncodeTupleTokens(t, out);
+    *out << '\n';
+  }
+
+  *out << "frontier-begin\n";
+  state.EncodeFrontier(out);
+  *out << "frontier-end\n";
+  if (!*out) return Status::Internal("checkpoint write failed");
+  return Status::OK();
+}
+
+Status SaveCheckpointFile(const CrawlState& state, const Schema& schema,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  HDC_RETURN_IF_ERROR(SaveCheckpoint(state, schema, &out));
+  out.close();
+  if (!out) return Status::Internal("checkpoint close failed");
+  return Status::OK();
+}
+
+Status LoadCheckpoint(std::istream* in, SchemaPtr schema,
+                      std::shared_ptr<CrawlState>* out) {
+  if (in == nullptr || schema == nullptr || out == nullptr) {
+    return Status::InvalidArgument("null argument");
+  }
+  std::string line, rest;
+
+  HDC_RETURN_IF_ERROR(NextLine(in, &line));
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    if (magic != kMagic) {
+      return Status::InvalidArgument("not an hdc checkpoint");
+    }
+    if (version != kVersion) {
+      return Status::NotSupported("unsupported checkpoint version " +
+                                  std::to_string(version));
+    }
+  }
+
+  HDC_RETURN_IF_ERROR(NextLine(in, &line));
+  HDC_RETURN_IF_ERROR(ExpectTagged(line, "algorithm", &rest));
+  const std::string algorithm = rest;
+
+  HDC_RETURN_IF_ERROR(NextLine(in, &line));
+  HDC_RETURN_IF_ERROR(ExpectTagged(line, "schema", &rest));
+  if (rest != FormatSchemaSpec(*schema)) {
+    return Status::InvalidArgument(
+        "checkpoint was taken against a different schema: " + rest);
+  }
+
+  std::shared_ptr<CrawlState> state = MakeEmptyState(algorithm, schema);
+  if (state == nullptr) {
+    return Status::InvalidArgument("unknown algorithm '" + algorithm + "'");
+  }
+
+  HDC_RETURN_IF_ERROR(NextLine(in, &line));
+  HDC_RETURN_IF_ERROR(ExpectTagged(line, "queries", &rest));
+  state->queries_issued = std::stoull(rest);
+
+  HDC_RETURN_IF_ERROR(NextLine(in, &line));
+  HDC_RETURN_IF_ERROR(ExpectTagged(line, "seen", &rest));
+  {
+    std::istringstream tokens(rest);
+    uint64_t count = 0;
+    if (!(tokens >> count)) {
+      return Status::InvalidArgument("malformed seen line");
+    }
+    state->seen_rows.reserve(count * 2);
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t id;
+      if (!(tokens >> id)) {
+        return Status::InvalidArgument("malformed seen line");
+      }
+      state->seen_rows.insert(id);
+    }
+  }
+
+  HDC_RETURN_IF_ERROR(NextLine(in, &line));
+  HDC_RETURN_IF_ERROR(ExpectTagged(line, "extracted", &rest));
+  const uint64_t extracted_count = std::stoull(rest);
+  const size_t arity = schema->num_attributes();
+  for (uint64_t i = 0; i < extracted_count; ++i) {
+    HDC_RETURN_IF_ERROR(NextLine(in, &line));
+    std::istringstream tokens(line);
+    Tuple t;
+    HDC_RETURN_IF_ERROR(DecodeTupleTokens(&tokens, arity, &t));
+    state->extracted.AddUnchecked(std::move(t));
+  }
+  HDC_RETURN_IF_ERROR(state->extracted.Validate());
+
+  HDC_RETURN_IF_ERROR(NextLine(in, &line));
+  if (line != "frontier-begin") {
+    return Status::InvalidArgument("expected frontier-begin, got '" + line +
+                                   "'");
+  }
+  HDC_RETURN_IF_ERROR(state->DecodeFrontier(in));
+
+  *out = std::move(state);
+  return Status::OK();
+}
+
+Status LoadCheckpointFile(const std::string& path, SchemaPtr schema,
+                          std::shared_ptr<CrawlState>* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open " + path);
+  return LoadCheckpoint(&in, std::move(schema), out);
+}
+
+}  // namespace hdc

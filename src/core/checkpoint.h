@@ -1,0 +1,68 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Durable crawl checkpoints. A crawl interrupted by a query budget holds a
+// resumable CrawlState (core/crawler.h); this module persists that state to
+// a line-oriented text file so the crawl can continue *in a different
+// process* — e.g. a cron job spending one day's quota per run.
+//
+// Format (version 1):
+//   hdc-checkpoint 1
+//   algorithm <name>
+//   schema <spec>                  # data/csv_reader.h spec syntax
+//   queries <cumulative count>
+//   seen <count> <row id>...
+//   extracted <count>
+//   <v1> <v2> ... one line per extracted tuple
+//   frontier-begin
+//   ...algorithm-specific lines (CrawlState::EncodeFrontier)...
+//   frontier-end
+//
+// The per-query trace is not persisted (it is a measurement aid, not crawl
+// state); a resumed crawl's trace starts at the resumption point.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/crawler.h"
+#include "query/query.h"
+
+namespace hdc {
+
+/// Serializes `state` (validating it against `schema`).
+Status SaveCheckpoint(const CrawlState& state, const Schema& schema,
+                      std::ostream* out);
+Status SaveCheckpointFile(const CrawlState& state, const Schema& schema,
+                          const std::string& path);
+
+/// Restores a checkpoint produced by SaveCheckpoint. `schema` must match
+/// the recorded one exactly (the crawl is only meaningful against the same
+/// data space).
+Status LoadCheckpoint(std::istream* in, SchemaPtr schema,
+                      std::shared_ptr<CrawlState>* out);
+Status LoadCheckpointFile(const std::string& path, SchemaPtr schema,
+                          std::shared_ptr<CrawlState>* out);
+
+// --- helpers shared by the per-algorithm frontier codecs ---------------
+
+/// Writes the 2d extent values of `q` as space-separated tokens (no
+/// newline).
+void EncodeQueryTokens(const Query& q, std::ostream* out);
+
+/// Reads 2d extent values from `in` into a query over `schema`.
+Status DecodeQueryTokens(std::istream* in, const SchemaPtr& schema,
+                         Query* out);
+
+/// Writes one tuple's values as space-separated tokens (no newline).
+void EncodeTupleTokens(const Tuple& t, std::ostream* out);
+
+/// Reads `arity` values from `in`.
+Status DecodeTupleTokens(std::istream* in, size_t arity, Tuple* out);
+
+/// Decodes a frontier section consisting of "q <extents>" lines followed by
+/// "frontier-end" — the codec shared by binary-shrink and rank-shrink.
+Status DecodeQueryStackFrontier(std::istream* in, const SchemaPtr& schema,
+                                std::vector<Query>* frontier);
+
+}  // namespace hdc

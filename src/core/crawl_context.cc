@@ -1,0 +1,87 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/crawl_context.h"
+
+#include "util/macros.h"
+
+namespace hdc {
+
+CrawlContext::CrawlContext(HiddenDbServer* server, CrawlState* state,
+                           const CrawlOptions& options)
+    : server_(server), state_(state), options_(options), k_(server->k()) {
+  HDC_CHECK(server != nullptr);
+  HDC_CHECK(state != nullptr);
+  if (!state_->fatal.ok()) stopped_ = true;
+}
+
+CrawlContext::Outcome CrawlContext::Issue(const Query& query,
+                                          Response* response) {
+  HDC_CHECK(response != nullptr);
+  if (stopped_) return Outcome::kStop;
+  if (run_queries_ >= options_.max_queries) {
+    stopped_ = true;
+    return Outcome::kStop;
+  }
+  if (options_.oracle != nullptr &&
+      !options_.oracle->MayContainTuples(query)) {
+    response->tuples.clear();
+    response->overflow = false;
+    return Outcome::kPrunedEmpty;
+  }
+
+  Status s = server_->Issue(query, response);
+  if (!s.ok()) {
+    // Quota exhausted, connection dropped, server outage: stop cleanly.
+    // The caller re-pushes its work item, so the crawl resumes exactly
+    // where it was interrupted (wrap flaky servers in RetryingServer to
+    // absorb transient failures instead).
+    interrupt_ = std::move(s);
+    stopped_ = true;
+    return Outcome::kStop;
+  }
+
+  ++run_queries_;
+  ++state_->queries_issued;
+  for (const ReturnedTuple& rt : response->tuples) {
+    state_->seen_rows.insert(rt.hidden_id);
+  }
+  if (options_.record_trace) {
+    state_->trace.push_back(TraceEntry{
+        state_->queries_issued, response->resolved(),
+        static_cast<uint32_t>(response->size()), state_->seen_rows.size(),
+        state_->extracted.size()});
+  }
+  return response->overflow ? Outcome::kOverflow : Outcome::kResolved;
+}
+
+void CrawlContext::CollectResponse(const Response& response) {
+  HDC_CHECK_MSG(response.resolved(),
+                "only resolved responses may be collected");
+  for (const ReturnedTuple& rt : response.tuples) {
+    state_->extracted.AddUnchecked(rt.tuple);
+    if (options_.tuple_sink) options_.tuple_sink(rt.tuple);
+  }
+  if (options_.record_trace && !state_->trace.empty()) {
+    state_->trace.back().tuples_collected = state_->extracted.size();
+  }
+}
+
+void CrawlContext::CollectFiltered(const std::vector<ReturnedTuple>& bag,
+                                   const Query& filter) {
+  for (const ReturnedTuple& rt : bag) {
+    if (filter.Matches(rt.tuple)) {
+      state_->extracted.AddUnchecked(rt.tuple);
+      if (options_.tuple_sink) options_.tuple_sink(rt.tuple);
+    }
+  }
+  if (options_.record_trace && !state_->trace.empty()) {
+    state_->trace.back().tuples_collected = state_->extracted.size();
+  }
+}
+
+void CrawlContext::SetFatal(Status status) {
+  HDC_CHECK(!status.ok());
+  state_->fatal = std::move(status);
+  stopped_ = true;
+}
+
+}  // namespace hdc

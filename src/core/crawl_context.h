@@ -1,0 +1,72 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#pragma once
+
+#include <cstdint>
+
+#include "core/crawler.h"
+#include "query/query.h"
+#include "server/response.h"
+#include "server/server.h"
+
+namespace hdc {
+
+/// Binds a crawl run together: the server, the mutable state and the run
+/// options. All queries flow through Issue(), which enforces the budget,
+/// consults the dependency oracle, updates the seen-rows metric and the
+/// trace. All collection flows through the Collect* methods, which append to
+/// the extraction; callers are responsible for only collecting bags of
+/// *resolved* queries over pairwise-disjoint regions (each algorithm's
+/// correctness argument).
+class CrawlContext {
+ public:
+  CrawlContext(HiddenDbServer* server, CrawlState* state,
+               const CrawlOptions& options);
+
+  enum class Outcome {
+    kResolved,     // response holds the entire q(D)
+    kOverflow,     // response holds k tuples + overflow signal
+    kPrunedEmpty,  // oracle says empty; no query spent
+    kStop,         // budget/server interruption or fatal; re-push work, stop
+  };
+
+  /// Issues `query` unless the budget is exhausted or the oracle prunes it.
+  /// Any server failure (quota, outage) yields kStop: the caller re-pushes
+  /// its work item and the crawl stays resumable — only SetFatal (e.g.
+  /// Unsolvable) ends a crawl for good.
+  Outcome Issue(const Query& query, Response* response);
+
+  /// The server/budget status that interrupted the run, if any.
+  const Status& interrupt() const { return interrupt_; }
+
+  /// Appends every tuple of a resolved response to the extraction.
+  void CollectResponse(const Response& response);
+
+  /// Appends the tuples of a cached resolved bag that satisfy `filter`
+  /// (slice-cover's local answering; costs no query).
+  void CollectFiltered(const std::vector<ReturnedTuple>& bag,
+                       const Query& filter);
+
+  /// Marks the crawl as failed (e.g. Unsolvable). Sticky; also stops.
+  void SetFatal(Status status);
+
+  /// True when the run must halt (budget exhausted or fatal).
+  bool stopped() const { return stopped_; }
+
+  HiddenDbServer* server() { return server_; }
+  CrawlState* state() { return state_; }
+  uint64_t k() const { return k_; }
+
+  /// Queries issued in this run (not cumulative).
+  uint64_t run_queries() const { return run_queries_; }
+
+ private:
+  HiddenDbServer* server_;
+  CrawlState* state_;
+  CrawlOptions options_;
+  uint64_t k_;
+  uint64_t run_queries_ = 0;
+  bool stopped_ = false;
+  Status interrupt_;
+};
+
+}  // namespace hdc

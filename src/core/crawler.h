@@ -1,0 +1,154 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Common crawling framework. Every algorithm of the paper is implemented as
+// a Crawler operating on an explicit work frontier held in a CrawlState, so
+// that (i) crawls can be interrupted by a query budget and resumed later
+// against a fresh quota, and (ii) the harness can observe progressiveness
+// (Figure 13) query by query.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/dependency.h"
+#include "data/dataset.h"
+#include "server/server.h"
+#include "util/status.h"
+
+namespace hdc {
+
+/// Per-query progress sample (recorded when CrawlOptions::record_trace).
+struct TraceEntry {
+  /// 1-based cumulative query count at the time this query was issued.
+  uint64_t query_index = 0;
+  bool resolved = false;
+  /// Tuples in this response.
+  uint32_t returned = 0;
+  /// Distinct physical rows retrieved so far (the Figure 13 "tuples output"
+  /// measure).
+  uint64_t rows_seen = 0;
+  /// Tuples confirmed into the extraction so far (from resolved regions).
+  uint64_t tuples_collected = 0;
+};
+
+struct CrawlOptions {
+  /// Query budget for *this run* (Crawl or Resume call). When it runs out
+  /// the crawler stops cleanly with Status::ResourceExhausted and a
+  /// resumable state.
+  uint64_t max_queries = UINT64_MAX;
+
+  /// Record a TraceEntry per query (costs memory; off by default).
+  bool record_trace = false;
+
+  /// Optional sound pruning oracle (Section 1.3); not owned.
+  const DependencyOracle* oracle = nullptr;
+
+  /// Streaming consumer: invoked once per tuple the moment it is confirmed
+  /// into the extraction. Lets a pipeline process results progressively
+  /// (the property Figure 13 measures) instead of waiting for the crawl to
+  /// finish.
+  std::function<void(const Tuple&)> tuple_sink;
+};
+
+/// Mutable working memory of a crawl: the partial extraction plus the
+/// algorithm-specific frontier (subclasses add it). A state is created by
+/// Crawler::Crawl and can be fed back to Crawler::Resume.
+class CrawlState {
+ public:
+  explicit CrawlState(SchemaPtr schema) : extracted(std::move(schema)) {}
+  virtual ~CrawlState() = default;
+
+  /// True when the frontier is empty — the extraction is complete.
+  virtual bool Finished() const = 0;
+
+  /// Algorithm tag, to guard against resuming a state with the wrong
+  /// crawler.
+  virtual std::string algorithm() const = 0;
+
+  /// Serializes the algorithm-specific frontier — everything between the
+  /// checkpoint format's frontier-begin/frontier-end markers (see
+  /// core/checkpoint.h).
+  virtual void EncodeFrontier(std::ostream* out) const = 0;
+
+  /// Restores the frontier, consuming input lines up to and including the
+  /// "frontier-end" marker.
+  virtual Status DecodeFrontier(std::istream* in) = 0;
+
+  Dataset extracted;
+  std::unordered_set<uint64_t> seen_rows;
+  uint64_t queries_issued = 0;  // cumulative across runs
+  std::vector<TraceEntry> trace;
+  Status fatal;  // e.g. Unsolvable; sticky
+};
+
+/// Outcome of one crawl (or resume) run.
+struct CrawlResult {
+  /// OK: complete extraction. ResourceExhausted: budget ran out,
+  /// `resume_state` is set. Unsolvable: a point with more than k duplicates
+  /// was hit (Section 1.1). Anything else: environment/usage error.
+  Status status;
+
+  /// The tuples extracted so far (the full bag D when status is OK).
+  Dataset extracted;
+
+  /// Cumulative queries across all runs of this crawl.
+  uint64_t queries_issued = 0;
+
+  /// Distinct physical rows retrieved (>= extracted.size() is not implied;
+  /// duplicates at a point are distinct rows).
+  uint64_t rows_seen = 0;
+
+  std::vector<TraceEntry> trace;
+
+  /// Set iff status is ResourceExhausted; pass to Crawler::Resume.
+  std::shared_ptr<CrawlState> resume_state;
+
+  bool complete() const { return status.ok(); }
+
+  CrawlResult() : extracted(nullptr) {}
+  explicit CrawlResult(SchemaPtr schema) : extracted(std::move(schema)) {}
+};
+
+/// Interface shared by all six algorithms (binary-shrink, rank-shrink, DFS,
+/// slice-cover, lazy-slice-cover, hybrid).
+class Crawler {
+ public:
+  virtual ~Crawler() = default;
+
+  /// Algorithm name as used in the paper ("rank-shrink", ...).
+  virtual std::string name() const = 0;
+
+  /// Checks the algorithm supports this data space (e.g. rank-shrink
+  /// requires an all-numeric schema).
+  virtual Status ValidateSchema(const Schema& schema) const = 0;
+
+  /// Runs a fresh crawl against `server` until complete, fatal, or the
+  /// budget runs out.
+  CrawlResult Crawl(HiddenDbServer* server, const CrawlOptions& options = {});
+
+  /// Continues an interrupted crawl. `state` must come from this algorithm.
+  CrawlResult Resume(HiddenDbServer* server, std::shared_ptr<CrawlState> state,
+                     const CrawlOptions& options = {});
+
+ protected:
+  /// Builds the initial state (frontier seeded with the full-space work).
+  virtual std::shared_ptr<CrawlState> MakeInitialState(
+      HiddenDbServer* server) const = 0;
+
+  /// Drains the frontier until done or the context says stop. Must be
+  /// re-entrant: popping work, issuing queries through the context, pushing
+  /// work back when interrupted mid-item.
+  virtual void Run(class CrawlContext* ctx, CrawlState* state) const = 0;
+
+ private:
+  CrawlResult RunAndPackage(HiddenDbServer* server,
+                            std::shared_ptr<CrawlState> state,
+                            const CrawlOptions& options);
+};
+
+}  // namespace hdc

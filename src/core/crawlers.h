@@ -1,0 +1,30 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Umbrella header for the paper's algorithms plus a factory that picks the
+// right optimal algorithm for a data space (Theorem 1's case analysis).
+#pragma once
+
+#include <memory>
+
+#include "core/binary_shrink.h"
+#include "core/crawler.h"
+#include "core/dfs_crawler.h"
+#include "core/hybrid.h"
+#include "core/rank_shrink.h"
+#include "core/slice_cover.h"
+
+namespace hdc {
+
+/// Returns the asymptotically optimal crawler for `schema`:
+///  - all numeric      -> rank-shrink            (Theorem 1, bullet 1)
+///  - all categorical  -> lazy-slice-cover       (bullets 2-3)
+///  - mixed            -> hybrid                 (bullets 4-5)
+inline std::unique_ptr<Crawler> MakeOptimalCrawler(const Schema& schema) {
+  if (schema.all_numeric()) return std::make_unique<RankShrink>();
+  if (schema.all_categorical()) {
+    return std::make_unique<SliceCoverCrawler>(/*lazy=*/true);
+  }
+  return std::make_unique<HybridCrawler>();
+}
+
+}  // namespace hdc

@@ -1,0 +1,75 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Attribute-dependency pruning (paper, Section 1.3). A crawler with external
+// knowledge of the data ("BMW sells no trucks in the US") may skip queries
+// that cannot cover a valid point. Skipping only ever removes queries, so
+// Theorem 1's upper bounds still hold — but the oracle must be *sound*: if
+// it wrongly reports a region empty, the crawl silently misses tuples.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "query/query.h"
+
+namespace hdc {
+
+/// Answers "might any valid tuple satisfy q?". Returning false lets the
+/// crawler treat q as resolved-and-empty without spending a query.
+class DependencyOracle {
+ public:
+  virtual ~DependencyOracle() = default;
+
+  /// Must be *sound*: may return true spuriously (costing nothing beyond the
+  /// paper's bounds) but must never return false for a region that actually
+  /// holds tuples.
+  virtual bool MayContainTuples(const Query& query) const = 0;
+};
+
+/// Wraps an arbitrary predicate.
+class FunctionOracle : public DependencyOracle {
+ public:
+  explicit FunctionOracle(std::function<bool(const Query&)> fn)
+      : fn_(std::move(fn)) {}
+  bool MayContainTuples(const Query& query) const override {
+    return fn_(query);
+  }
+
+ private:
+  std::function<bool(const Query&)> fn_;
+};
+
+/// Knowledge base of forbidden categorical value pairs: (attr_a = va) never
+/// co-occurs with (attr_b = vb). A query is prunable when it pins some
+/// forbidden pair on both sides — the Section 1.3 heuristic for, e.g.,
+/// MAKE = BMW && BODY-STYLE = TRUCK.
+class ForbiddenPairOracle : public DependencyOracle {
+ public:
+  struct ForbiddenPair {
+    size_t attr_a;
+    Value value_a;
+    size_t attr_b;
+    Value value_b;
+  };
+
+  explicit ForbiddenPairOracle(std::vector<ForbiddenPair> pairs)
+      : pairs_(std::move(pairs)) {}
+
+  bool MayContainTuples(const Query& query) const override {
+    for (const ForbiddenPair& p : pairs_) {
+      if (query.IsPinned(p.attr_a) && query.lo(p.attr_a) == p.value_a &&
+          query.IsPinned(p.attr_b) && query.lo(p.attr_b) == p.value_b) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  size_t num_pairs() const { return pairs_.size(); }
+
+ private:
+  std::vector<ForbiddenPair> pairs_;
+};
+
+}  // namespace hdc

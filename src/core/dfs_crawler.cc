@@ -1,0 +1,104 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/dfs_crawler.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "core/checkpoint.h"
+
+#include "core/crawl_context.h"
+#include "util/macros.h"
+
+namespace hdc {
+
+Status DfsCrawler::ValidateSchema(const Schema& schema) const {
+  if (!schema.all_categorical()) {
+    return Status::InvalidArgument(
+        "DFS handles all-categorical data spaces only");
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<CrawlState> DfsCrawler::MakeInitialState(
+    HiddenDbServer* server) const {
+  auto state = std::make_shared<DfsState>(server->schema());
+  state->frontier.push_back(
+      DfsState::Node{Query::FullSpace(server->schema()), 0});
+  return state;
+}
+
+void DfsCrawler::Run(CrawlContext* ctx, CrawlState* state) const {
+  auto* st = static_cast<DfsState*>(state);
+  const Schema& schema = *st->extracted.schema();
+  const uint32_t d = static_cast<uint32_t>(schema.num_attributes());
+
+  while (!st->frontier.empty()) {
+    DfsState::Node node = st->frontier.back();
+    st->frontier.pop_back();
+
+    Response response;
+    switch (ctx->Issue(node.q, &response)) {
+      case CrawlContext::Outcome::kStop:
+        st->frontier.push_back(std::move(node));
+        return;
+      case CrawlContext::Outcome::kPrunedEmpty:
+        continue;
+      case CrawlContext::Outcome::kResolved:
+        // Pruning rule: the whole subtree of node is covered by this
+        // response.
+        ctx->CollectResponse(response);
+        continue;
+      case CrawlContext::Outcome::kOverflow:
+        break;
+    }
+
+    if (node.level == d) {
+      ctx->SetFatal(Status::Unsolvable("point " + node.q.ToString() +
+                                       " holds more than k tuples"));
+      return;
+    }
+    const size_t attr = node.level;
+    const Value domain = static_cast<Value>(schema.domain_size(attr));
+    // Push in descending value order so children pop in 1..U order.
+    for (Value c = domain; c >= 1; --c) {
+      st->frontier.push_back(
+          DfsState::Node{node.q.WithCategoricalEquals(attr, c),
+                         node.level + 1});
+    }
+  }
+}
+
+
+void DfsState::EncodeFrontier(std::ostream* out) const {
+  for (const Node& node : frontier) {
+    *out << "node " << node.level << ' ';
+    EncodeQueryTokens(node.q, out);
+    *out << '\n';
+  }
+}
+
+Status DfsState::DecodeFrontier(std::istream* in) {
+  frontier.clear();
+  const SchemaPtr& schema = extracted.schema();
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line == "frontier-end") return Status::OK();
+    std::istringstream tokens(line);
+    std::string tag;
+    uint32_t level = 0;
+    if (!(tokens >> tag >> level) || tag != "node") {
+      return Status::InvalidArgument("malformed dfs frontier line: " + line);
+    }
+    if (level > schema->num_attributes()) {
+      return Status::InvalidArgument("dfs level out of range");
+    }
+    Query q = Query::FullSpace(schema);
+    Status s = DecodeQueryTokens(&tokens, schema, &q);
+    if (!s.ok()) return s;
+    frontier.push_back(Node{std::move(q), level});
+  }
+  return Status::InvalidArgument("checkpoint truncated in dfs frontier");
+}
+
+}  // namespace hdc

@@ -1,0 +1,172 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/domain_discovery.h"
+
+#include "query/query.h"
+#include "util/macros.h"
+
+namespace hdc {
+namespace {
+
+/// Issues `query` and reports whether any tuple satisfies it (an
+/// overflowing response trivially does; a resolved one iff non-empty).
+Status RegionNonEmpty(HiddenDbServer* server, const Query& query,
+                      uint64_t* queries, bool* non_empty) {
+  Response response;
+  HDC_RETURN_IF_ERROR(server->Issue(query, &response));
+  ++*queries;
+  *non_empty = response.overflow || !response.tuples.empty();
+  return Status::OK();
+}
+
+/// Largest x in (lo_known_nonempty, hi_known_empty) such that
+/// [x, +inf) is non-empty on `attr` — i.e. the observed maximum.
+Status BinarySearchMax(HiddenDbServer* server, size_t attr, Value lo,
+                       Value hi, uint64_t* queries, Value* out) {
+  const Query full = Query::FullSpace(server->schema());
+  while (lo + 1 < hi) {
+    const Value mid = lo + (hi - lo) / 2;
+    bool non_empty = false;
+    HDC_RETURN_IF_ERROR(RegionNonEmpty(
+        server, full.WithNumericRange(attr, mid, kNumericMax), queries,
+        &non_empty));
+    if (non_empty) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  *out = lo;
+  return Status::OK();
+}
+
+Status BinarySearchMin(HiddenDbServer* server, size_t attr, Value lo,
+                       Value hi, uint64_t* queries, Value* out) {
+  // Invariant: (-inf, lo] empty, (-inf, hi] non-empty.
+  const Query full = Query::FullSpace(server->schema());
+  while (lo + 1 < hi) {
+    const Value mid = lo + (hi - lo) / 2;
+    bool non_empty = false;
+    HDC_RETURN_IF_ERROR(RegionNonEmpty(
+        server, full.WithNumericRange(attr, kNumericMin, mid), queries,
+        &non_empty));
+    if (non_empty) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  *out = hi;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DiscoverNumericBounds(HiddenDbServer* server, size_t attr,
+                             DiscoveredBounds* out) {
+  HDC_CHECK(server != nullptr && out != nullptr);
+  const SchemaPtr& schema = server->schema();
+  if (attr >= schema->num_attributes() || !schema->IsNumeric(attr)) {
+    return Status::InvalidArgument("attribute is not numeric");
+  }
+  *out = DiscoveredBounds{};
+
+  // A witness: any response to the full query carries attr values that
+  // bracket the search.
+  const Query full = Query::FullSpace(schema);
+  Response response;
+  HDC_RETURN_IF_ERROR(server->Issue(full, &response));
+  ++out->queries;
+  if (response.resolved() && response.tuples.empty()) {
+    out->empty = true;
+    return Status::OK();
+  }
+  Value witness_lo = response.tuples.front().tuple[attr];
+  Value witness_hi = witness_lo;
+  for (const ReturnedTuple& rt : response.tuples) {
+    witness_lo = std::min(witness_lo, rt.tuple[attr]);
+    witness_hi = std::max(witness_hi, rt.tuple[attr]);
+  }
+
+  // --- maximum: exponential climb from the witness, then binary search ---
+  {
+    Value lo = witness_hi;  // [lo, +inf) known non-empty
+    Value hi = kNumericMax;
+    Value step = 1;
+    while (true) {
+      if (lo > kNumericMax - step) {
+        // The remaining range is the sentinel bound itself.
+        break;
+      }
+      const Value probe = lo + step;
+      bool non_empty = false;
+      HDC_RETURN_IF_ERROR(RegionNonEmpty(
+          server, full.WithNumericRange(attr, probe, kNumericMax),
+          &out->queries, &non_empty));
+      if (non_empty) {
+        lo = probe;
+        step = step > kNumericMax / 2 ? step : step * 2;
+      } else {
+        hi = probe;
+        break;
+      }
+    }
+    HDC_RETURN_IF_ERROR(
+        BinarySearchMax(server, attr, lo, hi, &out->queries, &out->hi));
+  }
+
+  // --- minimum: mirrored ---
+  {
+    Value hi = witness_lo;  // (-inf, hi] known non-empty
+    Value lo = kNumericMin;
+    Value step = 1;
+    while (true) {
+      if (hi < kNumericMin + step) break;
+      const Value probe = hi - step;
+      bool non_empty = false;
+      HDC_RETURN_IF_ERROR(RegionNonEmpty(
+          server, full.WithNumericRange(attr, kNumericMin, probe),
+          &out->queries, &non_empty));
+      if (non_empty) {
+        hi = probe;
+        step = step > kNumericMax / 2 ? step : step * 2;
+      } else {
+        lo = probe;
+        break;
+      }
+    }
+    HDC_RETURN_IF_ERROR(
+        BinarySearchMin(server, attr, lo, hi, &out->queries, &out->lo));
+  }
+
+  return Status::OK();
+}
+
+Status DiscoverBoundedSchema(HiddenDbServer* server, SchemaPtr* out,
+                             uint64_t* total_queries) {
+  HDC_CHECK(server != nullptr && out != nullptr);
+  const SchemaPtr& schema = server->schema();
+  uint64_t queries = 0;
+  std::vector<AttributeSpec> attrs;
+  attrs.reserve(schema->num_attributes());
+  for (size_t a = 0; a < schema->num_attributes(); ++a) {
+    AttributeSpec spec = schema->attribute(a);
+    if (spec.is_numeric()) {
+      DiscoveredBounds bounds;
+      HDC_RETURN_IF_ERROR(DiscoverNumericBounds(server, a, &bounds));
+      queries += bounds.queries;
+      if (bounds.empty) {
+        spec.lo = 0;
+        spec.hi = 0;
+      } else {
+        spec.lo = bounds.lo;
+        spec.hi = bounds.hi;
+      }
+    }
+    attrs.push_back(std::move(spec));
+  }
+  if (total_queries != nullptr) *total_queries = queries;
+  *out = Schema::Make(std::move(attrs));
+  return Status::OK();
+}
+
+}  // namespace hdc

@@ -1,0 +1,46 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Numeric domain discovery. Section 1.3 notes a crawler must learn the
+// attribute domains before crawling; categorical domains come from the
+// search form, but numeric bounds are usually *not* advertised. This module
+// discovers the exact observed min/max of every numeric attribute with
+// O(log range) range-emptiness probes — which in turn lets binary-shrink
+// (whose midpoint splits need finite extents) run against servers whose
+// schema declares unbounded numeric attributes.
+#pragma once
+
+#include <cstdint>
+
+#include "data/schema.h"
+#include "server/server.h"
+#include "util/status.h"
+
+namespace hdc {
+
+/// Result of probing one numeric attribute.
+struct DiscoveredBounds {
+  /// Observed minimum / maximum (valid only when !empty).
+  Value lo = 0;
+  Value hi = 0;
+  /// True when the database holds no tuples at all.
+  bool empty = false;
+  /// Probing cost in queries.
+  uint64_t queries = 0;
+};
+
+/// Finds the exact observed [min, max] of numeric attribute `attr` via
+/// exponential search + binary search on range emptiness. Costs
+/// O(log(spread)) queries where spread is the distance from a witness value
+/// to the true extreme.
+Status DiscoverNumericBounds(HiddenDbServer* server, size_t attr,
+                             DiscoveredBounds* out);
+
+/// Probes every numeric attribute and returns a copy of the server's
+/// schema whose numeric attributes carry the discovered bounds (categorical
+/// attributes unchanged). `total_queries` (optional) receives the probing
+/// cost. On an empty database the returned schema pins numeric attributes
+/// to [0, 0].
+Status DiscoverBoundedSchema(HiddenDbServer* server, SchemaPtr* out,
+                             uint64_t* total_queries = nullptr);
+
+}  // namespace hdc

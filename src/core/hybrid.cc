@@ -1,0 +1,29 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/hybrid.h"
+
+namespace hdc {
+
+HybridCrawler::HybridCrawler(HybridOptions options)
+    : options_(std::move(options)) {}
+
+Status HybridCrawler::ValidateSchema(const Schema& schema) const {
+  (void)schema;  // every combination of attribute kinds is supported
+  return Status::OK();
+}
+
+std::shared_ptr<CrawlState> HybridCrawler::MakeInitialState(
+    HiddenDbServer* server) const {
+  return MakeSliceEngineState(server->schema(), name(),
+                              /*eager=*/!options_.lazy,
+                              options_.categorical_order);
+}
+
+void HybridCrawler::Run(CrawlContext* ctx, CrawlState* state) const {
+  SliceEngineOptions engine_options;
+  engine_options.eager = !options_.lazy;
+  engine_options.rank = options_.rank;
+  engine_options.order = options_.categorical_order;
+  SliceEngineRun(ctx, static_cast<SliceEngineState*>(state), engine_options);
+}
+
+}  // namespace hdc

@@ -1,0 +1,49 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// hybrid (paper, Section 5): the crawler for mixed data spaces. Runs
+// (lazy-)slice-cover over the categorical attributes — numeric predicates
+// pinned to their full extent — and, at each reached categorical point
+// p_CAT, runs rank-shrink over the numeric subspace D_NUM(p_CAT). Cost
+// (Lemma 9, cat > 1):
+//     (n/k) Sigma_{i<=cat} min{U_i, n/k} + Sigma_{i<=cat} U_i
+//         + O((d - cat) n/k),
+// and U_1 + O(d n/k) when cat = 1. Degenerates gracefully: cat = 0 is pure
+// rank-shrink, no numeric attributes is pure (lazy-)slice-cover.
+#pragma once
+
+#include "core/crawler.h"
+#include "core/slice_engine.h"
+
+namespace hdc {
+
+struct HybridOptions {
+  /// Use the lazy slice table (the paper's hybrid builds on
+  /// lazy-slice-cover; eager is provided for ablation).
+  bool lazy = true;
+  /// Tuning of the numeric phase.
+  RankShrinkOptions rank;
+  /// Traversal order of the categorical attributes.
+  CategoricalOrder categorical_order = CategoricalOrder::kSchemaOrder;
+};
+
+class HybridCrawler : public Crawler {
+ public:
+  explicit HybridCrawler(HybridOptions options = {});
+
+  std::string name() const override { return "hybrid"; }
+
+  /// Accepts any data space.
+  Status ValidateSchema(const Schema& schema) const override;
+
+  const HybridOptions& options() const { return options_; }
+
+ protected:
+  std::shared_ptr<CrawlState> MakeInitialState(
+      HiddenDbServer* server) const override;
+  void Run(CrawlContext* ctx, CrawlState* state) const override;
+
+ private:
+  HybridOptions options_;
+};
+
+}  // namespace hdc

@@ -1,0 +1,83 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/size_estimator.h"
+
+#include <cmath>
+#include <vector>
+
+#include "query/query.h"
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace hdc {
+
+Status EstimateDatabaseSize(HiddenDbServer* server, uint64_t num_walks,
+                            uint64_t seed, SizeEstimate* out) {
+  HDC_CHECK(server != nullptr && out != nullptr);
+  const SchemaPtr& schema = server->schema();
+  if (!schema->all_categorical()) {
+    return Status::NotSupported(
+        "size estimation drills down categorical attributes only; project "
+        "the space or crawl instead");
+  }
+  if (num_walks == 0) {
+    return Status::InvalidArgument("need at least one walk");
+  }
+  *out = SizeEstimate{};
+  Rng rng(seed);
+
+  // If the root resolves, the answer is exact and free of variance.
+  const Query root = Query::FullSpace(schema);
+  Response response;
+  HDC_RETURN_IF_ERROR(server->Issue(root, &response));
+  ++out->queries;
+  if (response.resolved()) {
+    out->estimate = static_cast<double>(response.size());
+    out->exact = true;
+    out->walks = 1;
+    return Status::OK();
+  }
+
+  const size_t d = schema->num_attributes();
+  std::vector<double> samples;
+  samples.reserve(num_walks);
+  for (uint64_t w = 0; w < num_walks; ++w) {
+    Query q = root;
+    double multiplier = 1.0;
+    double sample = 0.0;
+    for (size_t level = 0; level < d; ++level) {
+      const uint64_t domain = schema->domain_size(level);
+      const Value c =
+          static_cast<Value>(rng.UniformU64(domain)) + 1;
+      q = q.WithCategoricalEquals(level, c);
+      multiplier *= static_cast<double>(domain);
+
+      HDC_RETURN_IF_ERROR(server->Issue(q, &response));
+      ++out->queries;
+      if (response.resolved()) {
+        sample = multiplier * static_cast<double>(response.size());
+        break;
+      }
+      // A point query cannot overflow on a solvable instance, so the walk
+      // always terminates inside the loop.
+      HDC_CHECK_MSG(level + 1 < d, "point query overflowed: instance has a "
+                                   "point with more than k tuples");
+    }
+    samples.push_back(sample);
+  }
+
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  const double mean = sum / static_cast<double>(samples.size());
+  double variance = 0.0;
+  for (double s : samples) variance += (s - mean) * (s - mean);
+  out->estimate = mean;
+  out->walks = samples.size();
+  if (samples.size() > 1) {
+    variance /= static_cast<double>(samples.size() - 1);
+    out->standard_error =
+        std::sqrt(variance / static_cast<double>(samples.size()));
+  }
+  return Status::OK();
+}
+
+}  // namespace hdc

@@ -1,0 +1,44 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Sampling-based size estimation — the *alternative* to crawling discussed
+// in the paper's related work (Section 1.4, Dasgupta et al. [9]): instead
+// of extracting everything, estimate |D| from a handful of random
+// drill-downs. Included so the crawl-vs-sample trade-off can be measured
+// (bench_estimation): sampling is orders of magnitude cheaper but
+// approximate and supports only aggregates, while crawling enables
+// "virtually any form of processing" exactly.
+//
+// The estimator performs random walks down the categorical data-space tree
+// (Section 3.1): from the root, repeatedly pin the next attribute to a
+// uniformly random domain value until the query resolves with m tuples;
+// the walk's estimate is m * (product of the domain sizes descended
+// through). The first-resolved nodes along all paths form a cut that
+// partitions D, so the estimator is unbiased: E[estimate] = |D|.
+#pragma once
+
+#include <cstdint>
+
+#include "server/server.h"
+#include "util/status.h"
+
+namespace hdc {
+
+struct SizeEstimate {
+  /// Mean of the per-walk unbiased estimates.
+  double estimate = 0.0;
+  /// Standard error of the mean (0 when fewer than 2 walks).
+  double standard_error = 0.0;
+  /// Total queries spent.
+  uint64_t queries = 0;
+  uint64_t walks = 0;
+  /// True when the root query resolved: `estimate` is exact.
+  bool exact = false;
+};
+
+/// Runs `num_walks` random drill-downs against an all-categorical server.
+/// Returns NotSupported for spaces with numeric attributes (a numeric
+/// subspace cannot be descended by value enumeration).
+Status EstimateDatabaseSize(HiddenDbServer* server, uint64_t num_walks,
+                            uint64_t seed, SizeEstimate* out);
+
+}  // namespace hdc

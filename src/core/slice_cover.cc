@@ -1,0 +1,28 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/slice_cover.h"
+
+namespace hdc {
+
+Status SliceCoverCrawler::ValidateSchema(const Schema& schema) const {
+  if (!schema.all_categorical()) {
+    return Status::InvalidArgument(
+        std::string(lazy_ ? "lazy-slice-cover" : "slice-cover") +
+        " handles all-categorical data spaces only (use hybrid for mixed)");
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<CrawlState> SliceCoverCrawler::MakeInitialState(
+    HiddenDbServer* server) const {
+  return MakeSliceEngineState(server->schema(), name(), /*eager=*/!lazy_,
+                              order_);
+}
+
+void SliceCoverCrawler::Run(CrawlContext* ctx, CrawlState* state) const {
+  SliceEngineOptions options;
+  options.eager = !lazy_;
+  options.order = order_;
+  SliceEngineRun(ctx, static_cast<SliceEngineState*>(state), options);
+}
+
+}  // namespace hdc

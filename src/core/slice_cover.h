@@ -1,0 +1,44 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// slice-cover and lazy-slice-cover (paper, Section 3.2): the optimal
+// categorical crawlers. Cost at most
+//     Sigma_i U_i + (n/k) * Sigma_i min{U_i, n/k}     (d > 1)
+//     U_1                                             (d = 1)
+// which Theorem 4 proves optimal up to constants. The lazy variant skips
+// the preprocessing phase and issues slice queries on first need; it never
+// costs more and is the paper's practical winner (Figure 11).
+#pragma once
+
+#include "core/crawler.h"
+#include "core/slice_engine.h"
+
+namespace hdc {
+
+class SliceCoverCrawler : public Crawler {
+ public:
+  /// `lazy` selects lazy-slice-cover (no preprocessing phase); `order`
+  /// picks the attribute traversal order (the paper uses schema order).
+  explicit SliceCoverCrawler(
+      bool lazy, CategoricalOrder order = CategoricalOrder::kSchemaOrder)
+      : lazy_(lazy), order_(order) {}
+
+  std::string name() const override {
+    return lazy_ ? "lazy-slice-cover" : "slice-cover";
+  }
+
+  /// Requires an all-categorical schema (use HybridCrawler for mixed).
+  Status ValidateSchema(const Schema& schema) const override;
+
+  bool lazy() const { return lazy_; }
+
+ protected:
+  std::shared_ptr<CrawlState> MakeInitialState(
+      HiddenDbServer* server) const override;
+  void Run(CrawlContext* ctx, CrawlState* state) const override;
+
+ private:
+  bool lazy_;
+  CategoricalOrder order_;
+};
+
+}  // namespace hdc

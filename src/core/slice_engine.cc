@@ -1,0 +1,403 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/slice_engine.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "core/checkpoint.h"
+
+#include "core/crawl_context.h"
+#include "util/macros.h"
+
+namespace hdc {
+namespace {
+
+/// Fetches (and on first need, issues) the slice entry for categorical
+/// position `cat_pos`, value `v`. Returns nullptr when the run must stop
+/// before the slice could be obtained (caller re-pushes its work item).
+SliceEntry* EnsureSlice(CrawlContext* ctx, SliceEngineState* st,
+                        size_t cat_pos, Value v) {
+  SliceEntry& entry = st->slices[cat_pos][static_cast<size_t>(v)];
+  if (entry.state != SliceEntry::State::kUnknown) return &entry;
+
+  const SchemaPtr& schema = st->extracted.schema();
+  const size_t attr = st->cat_order[cat_pos];
+  Query slice_query = Query::FullSpace(schema).WithCategoricalEquals(attr, v);
+
+  Response response;
+  switch (ctx->Issue(slice_query, &response)) {
+    case CrawlContext::Outcome::kStop:
+      return nullptr;
+    case CrawlContext::Outcome::kPrunedEmpty:
+      entry.state = SliceEntry::State::kResolved;
+      return &entry;
+    case CrawlContext::Outcome::kResolved:
+      entry.state = SliceEntry::State::kResolved;
+      entry.bag = std::move(response.tuples);
+      return &entry;
+    case CrawlContext::Outcome::kOverflow:
+      // Remember nothing but a bit (Section 3.2).
+      entry.state = SliceEntry::State::kOverflow;
+      return &entry;
+  }
+  return nullptr;
+}
+
+/// Eager preprocessing: issue every slice query of every categorical
+/// attribute. Returns false when interrupted.
+bool RunPreprocessing(CrawlContext* ctx, SliceEngineState* st) {
+  const SchemaPtr& schema = st->extracted.schema();
+  const auto& cat = st->cat_order;
+  while (st->pre_cat_pos < cat.size()) {
+    const Value domain =
+        static_cast<Value>(schema->domain_size(cat[st->pre_cat_pos]));
+    while (st->pre_value <= domain) {
+      if (EnsureSlice(ctx, st, st->pre_cat_pos, st->pre_value) == nullptr) {
+        return false;
+      }
+      ++st->pre_value;
+    }
+    ++st->pre_cat_pos;
+    st->pre_value = 1;
+  }
+  st->preprocessing_done = true;
+  return true;
+}
+
+}  // namespace
+
+SliceEngineState::SliceEngineState(SchemaPtr schema, std::string algorithm,
+                                   bool eager_mode,
+                                   std::vector<size_t> order)
+    : CrawlState(std::move(schema)),
+      cat_order(std::move(order)),
+      eager(eager_mode),
+      algorithm_(std::move(algorithm)) {
+  const SchemaPtr& s = extracted.schema();
+  if (cat_order.empty()) cat_order = s->categorical_indices();
+  HDC_CHECK(cat_order.size() == s->num_categorical());
+  slices.resize(cat_order.size());
+  for (size_t p = 0; p < cat_order.size(); ++p) {
+    HDC_CHECK(s->IsCategorical(cat_order[p]));
+    slices[p].resize(s->domain_size(cat_order[p]) + 1);
+  }
+  preprocessing_done = !eager;
+}
+
+std::vector<size_t> ResolveCategoricalOrder(const Schema& schema,
+                                            CategoricalOrder order) {
+  std::vector<size_t> cat = schema.categorical_indices();
+  if (order == CategoricalOrder::kSchemaOrder) return cat;
+  std::stable_sort(cat.begin(), cat.end(), [&](size_t a, size_t b) {
+    return order == CategoricalOrder::kNarrowestFirst
+               ? schema.domain_size(a) < schema.domain_size(b)
+               : schema.domain_size(a) > schema.domain_size(b);
+  });
+  return cat;
+}
+
+std::shared_ptr<SliceEngineState> MakeSliceEngineState(
+    const SchemaPtr& schema, const std::string& algorithm, bool eager,
+    CategoricalOrder order) {
+  auto st = std::make_shared<SliceEngineState>(
+      schema, algorithm, eager, ResolveCategoricalOrder(*schema, order));
+  Query full = Query::FullSpace(schema);
+  if (schema->num_categorical() == 0) {
+    // Pure numeric space: the whole crawl is one rank-shrink instance.
+    st->frontier.push_back(SliceEngineState::Item{
+        SliceEngineState::Item::Kind::kRank, std::move(full), 0});
+  } else {
+    st->frontier.push_back(SliceEngineState::Item{
+        SliceEngineState::Item::Kind::kNode, std::move(full), 0});
+  }
+  return st;
+}
+
+void SliceEngineRun(CrawlContext* ctx, SliceEngineState* st,
+                    const SliceEngineOptions& options) {
+  const SchemaPtr& schema = st->extracted.schema();
+  const auto& cat = st->cat_order;
+  const uint32_t cat_count = static_cast<uint32_t>(cat.size());
+
+  if (st->eager && !st->preprocessing_done) {
+    if (!RunPreprocessing(ctx, st)) return;
+  }
+
+  while (!st->frontier.empty()) {
+    SliceEngineState::Item item = st->frontier.back();
+    st->frontier.pop_back();
+
+    if (item.kind == SliceEngineState::Item::Kind::kRank) {
+      // Numeric sub-problem under a fully-pinned categorical point (or the
+      // whole space when cat_count == 0). With no numeric attributes the
+      // rectangle is a point: resolved collects it, overflow is fatal.
+      Response response;
+      switch (ctx->Issue(item.q, &response)) {
+        case CrawlContext::Outcome::kStop:
+          st->frontier.push_back(std::move(item));
+          return;
+        case CrawlContext::Outcome::kPrunedEmpty:
+          continue;
+        case CrawlContext::Outcome::kResolved:
+          ctx->CollectResponse(response);
+          continue;
+        case CrawlContext::Outcome::kOverflow:
+          break;
+      }
+      auto attr = ChooseSplitAttribute(item.q, response.tuples, options.rank);
+      if (!attr.has_value()) {
+        HDC_CHECK_MSG(item.q.IsPoint(),
+                      "free categorical attribute at the rank-shrink phase");
+        ctx->SetFatal(Status::Unsolvable("point " + item.q.ToString() +
+                                         " holds more than k tuples"));
+        return;
+      }
+      std::vector<Query> expanded;
+      RankShrinkExpand(item.q, *attr, response.tuples, ctx->k(), options.rank,
+                       &expanded);
+      for (auto& q : expanded) {
+        st->frontier.push_back(SliceEngineState::Item{
+            SliceEngineState::Item::Kind::kRank, std::move(q), 0});
+      }
+      continue;
+    }
+
+    // --- kNode: a data-space-tree node over the categorical attributes ---
+    const uint32_t level = item.level;
+
+    if (level == 0) {
+      // The root query is never issued: enumerate its children directly
+      // (their slice lookups decide everything the root's status could).
+      const Value domain = static_cast<Value>(schema->domain_size(cat[0]));
+      for (Value c = domain; c >= 1; --c) {
+        st->frontier.push_back(SliceEngineState::Item{
+            SliceEngineState::Item::Kind::kNode,
+            item.q.WithCategoricalEquals(cat[0], c), 1});
+      }
+      continue;
+    }
+
+    // The node was created by refining its parent with the slice
+    // (cat[level-1] = v); that slice decides whether it can be answered
+    // locally.
+    const Value v = item.q.lo(cat[level - 1]);
+    SliceEntry* slice = EnsureSlice(ctx, st, level - 1, v);
+    if (slice == nullptr) {
+      st->frontier.push_back(std::move(item));
+      return;
+    }
+    if (slice->state == SliceEntry::State::kResolved) {
+      // Local answer: the slice's bag is authoritative for this node's
+      // region; filter it by the node query. No server query spent.
+      ctx->CollectFiltered(slice->bag, item.q);
+      continue;
+    }
+
+    if (level == cat_count) {
+      // Every categorical attribute is pinned: hand the numeric subspace to
+      // rank-shrink (which will issue this very rectangle as its first
+      // query).
+      st->frontier.push_back(SliceEngineState::Item{
+          SliceEngineState::Item::Kind::kRank, std::move(item.q), 0});
+      continue;
+    }
+
+    // Determine this node's own status. At level 1 the node query *is* the
+    // slice query, which we just saw overflow — do not spend a query.
+    bool overflow = true;
+    if (level >= 2) {
+      Response response;
+      switch (ctx->Issue(item.q, &response)) {
+        case CrawlContext::Outcome::kStop:
+          st->frontier.push_back(std::move(item));
+          return;
+        case CrawlContext::Outcome::kPrunedEmpty:
+          continue;
+        case CrawlContext::Outcome::kResolved:
+          ctx->CollectResponse(response);
+          continue;
+        case CrawlContext::Outcome::kOverflow:
+          overflow = true;
+          break;
+      }
+    }
+    HDC_CHECK(overflow);
+
+    const size_t next_attr = cat[level];
+    const Value domain = static_cast<Value>(schema->domain_size(next_attr));
+    for (Value c = domain; c >= 1; --c) {
+      st->frontier.push_back(SliceEngineState::Item{
+          SliceEngineState::Item::Kind::kNode,
+          item.q.WithCategoricalEquals(next_attr, c), level + 1});
+    }
+  }
+}
+
+
+void SliceEngineState::EncodeFrontier(std::ostream* out) const {
+  *out << "catorder";
+  for (size_t attr : cat_order) *out << ' ' << attr;
+  *out << '\n';
+  *out << "eager " << (eager ? 1 : 0) << '\n';
+  *out << "predone " << (preprocessing_done ? 1 : 0) << '\n';
+  *out << "precursor " << pre_cat_pos << ' ' << pre_value << '\n';
+
+  for (size_t pos = 0; pos < slices.size(); ++pos) {
+    for (size_t v = 1; v < slices[pos].size(); ++v) {
+      const SliceEntry& entry = slices[pos][v];
+      if (entry.state == SliceEntry::State::kUnknown) continue;
+      if (entry.state == SliceEntry::State::kOverflow) {
+        *out << "slice " << pos << ' ' << v << " O\n";
+      } else {
+        *out << "slice " << pos << ' ' << v << " R " << entry.bag.size()
+             << '\n';
+        for (const ReturnedTuple& rt : entry.bag) {
+          *out << "bag " << rt.hidden_id << ' ';
+          EncodeTupleTokens(rt.tuple, out);
+          *out << '\n';
+        }
+      }
+    }
+  }
+
+  for (const Item& item : frontier) {
+    *out << "item "
+         << (item.kind == Item::Kind::kNode ? "node" : "rank") << ' '
+         << item.level << ' ';
+    EncodeQueryTokens(item.q, out);
+    *out << '\n';
+  }
+}
+
+Status SliceEngineState::DecodeFrontier(std::istream* in) {
+  const SchemaPtr& schema = extracted.schema();
+  const size_t arity = schema->num_attributes();
+  frontier.clear();
+
+  auto read_line = [in](std::string* line) {
+    if (!std::getline(*in, *line)) {
+      return Status::InvalidArgument("checkpoint truncated in slice state");
+    }
+    if (!line->empty() && line->back() == '\r') line->pop_back();
+    return Status::OK();
+  };
+
+  std::string line, tag;
+  HDC_RETURN_IF_ERROR(read_line(&line));
+  {
+    std::istringstream tokens(line);
+    if (!(tokens >> tag) || tag != "catorder") {
+      return Status::InvalidArgument("expected catorder line, got: " + line);
+    }
+    std::vector<size_t> order;
+    size_t attr;
+    while (tokens >> attr) order.push_back(attr);
+    if (order.size() != schema->num_categorical()) {
+      return Status::InvalidArgument("catorder has wrong arity");
+    }
+    for (size_t a : order) {
+      if (a >= schema->num_attributes() || !schema->IsCategorical(a)) {
+        return Status::InvalidArgument("catorder lists a bad attribute");
+      }
+    }
+    cat_order = std::move(order);
+    slices.assign(cat_order.size(), {});
+    for (size_t p = 0; p < cat_order.size(); ++p) {
+      slices[p].resize(schema->domain_size(cat_order[p]) + 1);
+    }
+  }
+  HDC_RETURN_IF_ERROR(read_line(&line));
+  {
+    std::istringstream tokens(line);
+    int flag = 0;
+    if (!(tokens >> tag >> flag) || tag != "eager") {
+      return Status::InvalidArgument("expected eager line, got: " + line);
+    }
+    eager = flag != 0;
+  }
+  HDC_RETURN_IF_ERROR(read_line(&line));
+  {
+    std::istringstream tokens(line);
+    int flag = 0;
+    if (!(tokens >> tag >> flag) || tag != "predone") {
+      return Status::InvalidArgument("expected predone line, got: " + line);
+    }
+    preprocessing_done = flag != 0;
+  }
+  HDC_RETURN_IF_ERROR(read_line(&line));
+  {
+    std::istringstream tokens(line);
+    if (!(tokens >> tag >> pre_cat_pos >> pre_value) || tag != "precursor") {
+      return Status::InvalidArgument("expected precursor line, got: " + line);
+    }
+    if (pre_cat_pos > slices.size()) {
+      return Status::InvalidArgument("preprocessing cursor out of range");
+    }
+  }
+
+  while (true) {
+    HDC_RETURN_IF_ERROR(read_line(&line));
+    if (line == "frontier-end") return Status::OK();
+    std::istringstream tokens(line);
+    if (!(tokens >> tag)) {
+      return Status::InvalidArgument("malformed slice-state line: " + line);
+    }
+    if (tag == "slice") {
+      size_t pos = 0, value = 0;
+      std::string state_code;
+      if (!(tokens >> pos >> value >> state_code) || pos >= slices.size() ||
+          value == 0 || value >= slices[pos].size()) {
+        return Status::InvalidArgument("malformed slice line: " + line);
+      }
+      SliceEntry& entry = slices[pos][value];
+      if (state_code == "O") {
+        entry.state = SliceEntry::State::kOverflow;
+      } else if (state_code == "R") {
+        size_t count = 0;
+        if (!(tokens >> count)) {
+          return Status::InvalidArgument("malformed slice line: " + line);
+        }
+        entry.state = SliceEntry::State::kResolved;
+        entry.bag.clear();
+        entry.bag.reserve(count);
+        for (size_t i = 0; i < count; ++i) {
+          HDC_RETURN_IF_ERROR(read_line(&line));
+          std::istringstream bag_tokens(line);
+          std::string bag_tag;
+          uint64_t hidden_id = 0;
+          if (!(bag_tokens >> bag_tag >> hidden_id) || bag_tag != "bag") {
+            return Status::InvalidArgument("malformed bag line: " + line);
+          }
+          Tuple t;
+          HDC_RETURN_IF_ERROR(DecodeTupleTokens(&bag_tokens, arity, &t));
+          entry.bag.push_back(ReturnedTuple{std::move(t), hidden_id});
+        }
+      } else {
+        return Status::InvalidArgument("unknown slice state: " + line);
+      }
+    } else if (tag == "item") {
+      std::string kind;
+      uint32_t level = 0;
+      if (!(tokens >> kind >> level)) {
+        return Status::InvalidArgument("malformed item line: " + line);
+      }
+      Query q = Query::FullSpace(schema);
+      HDC_RETURN_IF_ERROR(DecodeQueryTokens(&tokens, schema, &q));
+      Item item{kind == "node" ? Item::Kind::kNode : Item::Kind::kRank,
+                std::move(q), level};
+      if (kind != "node" && kind != "rank") {
+        return Status::InvalidArgument("unknown item kind: " + line);
+      }
+      if (item.kind == Item::Kind::kNode &&
+          level > schema->num_categorical()) {
+        return Status::InvalidArgument("item level out of range");
+      }
+      frontier.push_back(std::move(item));
+    } else {
+      return Status::InvalidArgument("unknown slice-state line: " + line);
+    }
+  }
+}
+
+}  // namespace hdc

@@ -1,0 +1,122 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Shared engine behind slice-cover, lazy-slice-cover (paper, Section 3.2)
+// and hybrid (Section 5).
+//
+// A *slice query* pins exactly one categorical attribute and is wildcard
+// everywhere else. The engine keeps a lookup table of slice responses:
+// resolved slices store their full bag, overflowing slices store only a bit
+// ("we remember nothing but a bit"). extended-DFS then walks the data-space
+// tree over the categorical attributes:
+//   - the root is never issued: its children are enumerated directly;
+//   - a child whose refining slice resolved is answered locally by
+//     filtering the slice's cached bag (no query);
+//   - a child whose slice overflowed is visited: its own query is issued
+//     (except at level 1, where the node query *is* the slice query) and,
+//     on overflow, expanded one level further;
+//   - a node with every categorical attribute pinned is the root of a
+//     numeric sub-problem and is handed to rank-shrink (Section 5). With no
+//     numeric attributes that sub-problem is a single point query, which
+//     degenerates to exactly Section 3.2's behaviour.
+//
+// Eager mode issues all Sigma U_i slice queries up-front (slice-cover);
+// lazy mode issues each slice on first need and memoizes
+// (lazy-slice-cover), which never costs more (Section 3.2, "Heuristic").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/crawler.h"
+#include "core/rank_shrink.h"
+#include "query/query.h"
+#include "server/response.h"
+
+namespace hdc {
+
+/// One row of the slice lookup table.
+struct SliceEntry {
+  enum class State : uint8_t { kUnknown, kResolved, kOverflow };
+  State state = State::kUnknown;
+  /// Full result bag; only populated when state == kResolved.
+  std::vector<ReturnedTuple> bag;
+};
+
+/// Order in which the extended-DFS consumes the categorical attributes.
+/// The paper fixes the schema order (Section 6); the ablation bench shows
+/// the optimal algorithms want narrow domains first — a wide first
+/// attribute forces U_1 slice queries before anything can be pruned.
+enum class CategoricalOrder {
+  kSchemaOrder,     // the paper's setup
+  kNarrowestFirst,  // ascending domain size (ties by schema position)
+  kWidestFirst,     // descending domain size — the stress case
+};
+
+class SliceEngineState : public CrawlState {
+ public:
+  /// `algorithm` is the owning crawler's name ("slice-cover",
+  /// "lazy-slice-cover" or "hybrid"); `eager` selects the preprocessing
+  /// phase; `cat_order` lists the categorical attribute indices in
+  /// traversal order (empty = schema order).
+  SliceEngineState(SchemaPtr schema, std::string algorithm, bool eager,
+                   std::vector<size_t> cat_order = {});
+
+  bool Finished() const override {
+    return preprocessing_done && frontier.empty();
+  }
+  std::string algorithm() const override { return algorithm_; }
+  void EncodeFrontier(std::ostream* out) const override;
+  Status DecodeFrontier(std::istream* in) override;
+
+  /// Categorical attribute indices in traversal order; tree level L pins
+  /// cat_order[0..L-1].
+  std::vector<size_t> cat_order;
+
+  /// slices[p][v]: entry for the slice query pinning attribute
+  /// cat_order[p] to value v. Index 0 of the inner vector is unused
+  /// (values are 1-based).
+  std::vector<std::vector<SliceEntry>> slices;
+
+  /// Eager preprocessing cursor (so a budget stop mid-preprocessing
+  /// resumes where it left off).
+  bool eager = false;
+  bool preprocessing_done = false;
+  size_t pre_cat_pos = 0;
+  Value pre_value = 1;
+
+  /// Work frontier of the extended-DFS. kNode items are data-space-tree
+  /// nodes (level = number of pinned categorical attributes); kRank items
+  /// are rank-shrink rectangles under a fully-pinned categorical point.
+  struct Item {
+    enum class Kind : uint8_t { kNode, kRank };
+    Kind kind;
+    Query q;
+    uint32_t level;
+  };
+  std::vector<Item> frontier;
+
+ private:
+  std::string algorithm_;
+};
+
+struct SliceEngineOptions {
+  bool eager = false;
+  RankShrinkOptions rank;
+  CategoricalOrder order = CategoricalOrder::kSchemaOrder;
+};
+
+/// Resolves a CategoricalOrder into the concrete attribute-index order.
+std::vector<size_t> ResolveCategoricalOrder(const Schema& schema,
+                                            CategoricalOrder order);
+
+/// Creates the initial state: the frontier holds the tree root (or, with no
+/// categorical attributes, a single rank-shrink rectangle covering D).
+std::shared_ptr<SliceEngineState> MakeSliceEngineState(
+    const SchemaPtr& schema, const std::string& algorithm, bool eager,
+    CategoricalOrder order = CategoricalOrder::kSchemaOrder);
+
+/// Drains the state against the context until finished or stopped.
+void SliceEngineRun(CrawlContext* ctx, SliceEngineState* st,
+                    const SliceEngineOptions& options);
+
+}  // namespace hdc

@@ -1,0 +1,69 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/value.h"
+
+namespace hdc {
+
+/// Whether an attribute supports range predicates (numeric, totally ordered)
+/// or only equality / wildcard predicates (categorical).
+enum class AttributeKind { kNumeric, kCategorical };
+
+const char* AttributeKindName(AttributeKind kind);
+
+/// Static description of one attribute of the data space.
+///
+/// Categorical attributes have a finite domain {1, ..., domain_size} whose
+/// ordering is meaningless. Numeric attributes conceptually range over all
+/// integers; `lo`/`hi` optionally record known bounds (used as the starting
+/// extent by binary-shrink, which cannot bisect an unbounded interval, and by
+/// generators to describe the data). Rank-shrink never needs bounds.
+struct AttributeSpec {
+  std::string name;
+  AttributeKind kind = AttributeKind::kNumeric;
+
+  /// Categorical only: |dom(Ai)| = U_i, values are 1..domain_size.
+  uint64_t domain_size = 0;
+
+  /// Numeric only: known domain bounds; default unbounded sentinels.
+  Value lo = kNumericMin;
+  Value hi = kNumericMax;
+
+  static AttributeSpec Numeric(std::string name) {
+    AttributeSpec spec;
+    spec.name = std::move(name);
+    spec.kind = AttributeKind::kNumeric;
+    return spec;
+  }
+
+  static AttributeSpec NumericBounded(std::string name, Value lo, Value hi) {
+    AttributeSpec spec;
+    spec.name = std::move(name);
+    spec.kind = AttributeKind::kNumeric;
+    spec.lo = lo;
+    spec.hi = hi;
+    return spec;
+  }
+
+  static AttributeSpec Categorical(std::string name, uint64_t domain_size) {
+    AttributeSpec spec;
+    spec.name = std::move(name);
+    spec.kind = AttributeKind::kCategorical;
+    spec.domain_size = domain_size;
+    return spec;
+  }
+
+  bool is_numeric() const { return kind == AttributeKind::kNumeric; }
+  bool is_categorical() const { return kind == AttributeKind::kCategorical; }
+
+  /// True if `v` is a legal value for this attribute.
+  bool ValueInDomain(Value v) const {
+    if (is_numeric()) return v >= lo && v <= hi;
+    return v >= 1 && v <= static_cast<Value>(domain_size);
+  }
+};
+
+}  // namespace hdc

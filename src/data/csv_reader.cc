@@ -1,0 +1,215 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "data/csv_reader.h"
+
+#include <charconv>
+#include <fstream>
+#include <vector>
+
+namespace hdc {
+namespace {
+
+/// Splits one CSV record into cells, honouring double-quote escaping.
+Status SplitCsvLine(const std::string& line, std::vector<std::string>* out) {
+  out->clear();
+  std::string cell;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += ch;
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == ',') {
+      out->push_back(std::move(cell));
+      cell.clear();
+    } else if (ch != '\r') {
+      cell += ch;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quote: " + line);
+  out->push_back(std::move(cell));
+  return Status::OK();
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+Status ParseValue(const std::string& cell, Value* out) {
+  const std::string trimmed = Trim(cell);
+  auto [ptr, ec] = std::from_chars(trimmed.data(),
+                                   trimmed.data() + trimmed.size(), *out);
+  if (ec != std::errc() || ptr != trimmed.data() + trimmed.size()) {
+    return Status::InvalidArgument("not an integer: '" + cell + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string part;
+  for (char ch : s) {
+    if (ch == sep) {
+      parts.push_back(part);
+      part.clear();
+    } else {
+      part += ch;
+    }
+  }
+  parts.push_back(part);
+  return parts;
+}
+
+}  // namespace
+
+Status ParseSchemaSpec(const std::string& spec, SchemaPtr* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output");
+  std::vector<AttributeSpec> attrs;
+  for (const std::string& raw_entry : SplitOn(spec, ',')) {
+    const std::string entry = Trim(raw_entry);
+    if (entry.empty()) continue;
+    std::vector<std::string> fields = SplitOn(entry, ':');
+    if (fields.size() < 2) {
+      return Status::InvalidArgument("schema entry needs name:kind — '" +
+                                     entry + "'");
+    }
+    const std::string name = Trim(fields[0]);
+    const std::string kind = Trim(fields[1]);
+    if (name.empty()) {
+      return Status::InvalidArgument("empty attribute name in '" + entry +
+                                     "'");
+    }
+    if (kind == "cat") {
+      if (fields.size() != 3) {
+        return Status::InvalidArgument(
+            "categorical attribute needs a domain size — '" + entry + "'");
+      }
+      Value domain = 0;
+      HDC_RETURN_IF_ERROR(ParseValue(fields[2], &domain));
+      if (domain < 1) {
+        return Status::InvalidArgument("domain size must be positive — '" +
+                                       entry + "'");
+      }
+      attrs.push_back(AttributeSpec::Categorical(
+          name, static_cast<uint64_t>(domain)));
+    } else if (kind == "num") {
+      if (fields.size() == 2) {
+        attrs.push_back(AttributeSpec::Numeric(name));
+      } else if (fields.size() == 4) {
+        Value lo = 0, hi = 0;
+        HDC_RETURN_IF_ERROR(ParseValue(fields[2], &lo));
+        HDC_RETURN_IF_ERROR(ParseValue(fields[3], &hi));
+        if (lo > hi) {
+          return Status::InvalidArgument("bounds out of order — '" + entry +
+                                         "'");
+        }
+        attrs.push_back(AttributeSpec::NumericBounded(name, lo, hi));
+      } else {
+        return Status::InvalidArgument(
+            "numeric attribute takes no params or lo:hi — '" + entry + "'");
+      }
+    } else {
+      return Status::InvalidArgument("unknown attribute kind '" + kind +
+                                     "' (want cat|num)");
+    }
+  }
+  if (attrs.empty()) {
+    return Status::InvalidArgument("schema spec declares no attributes");
+  }
+  *out = Schema::Make(std::move(attrs));
+  return Status::OK();
+}
+
+std::string FormatSchemaSpec(const Schema& schema) {
+  std::string out;
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) out += ", ";
+    const AttributeSpec& spec = schema.attribute(i);
+    out += spec.name;
+    if (spec.is_categorical()) {
+      out += ":cat:" + std::to_string(spec.domain_size);
+    } else if (spec.lo > kNumericMin || spec.hi < kNumericMax) {
+      out += ":num:" + std::to_string(spec.lo) + ":" +
+             std::to_string(spec.hi);
+    } else {
+      out += ":num";
+    }
+  }
+  return out;
+}
+
+Status LoadCsv(const std::string& path, SchemaPtr schema, Dataset* out) {
+  if (schema == nullptr || out == nullptr) {
+    return Status::InvalidArgument("LoadCsv needs a schema and an output");
+  }
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument(path + " is empty (no header row)");
+  }
+  std::vector<std::string> cells;
+  HDC_RETURN_IF_ERROR(SplitCsvLine(line, &cells));
+  if (cells.size() != schema->num_attributes()) {
+    return Status::InvalidArgument(
+        path + ": header has " + std::to_string(cells.size()) +
+        " columns, schema has " + std::to_string(schema->num_attributes()));
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (Trim(cells[i]) != schema->attribute(i).name) {
+      return Status::InvalidArgument(path + ": header column " +
+                                     std::to_string(i + 1) + " is '" +
+                                     cells[i] + "', schema expects '" +
+                                     schema->attribute(i).name + "'");
+    }
+  }
+
+  Dataset dataset(schema);
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line == "\r") continue;
+    HDC_RETURN_IF_ERROR(SplitCsvLine(line, &cells));
+    if (cells.size() != schema->num_attributes()) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) + ": expected " +
+          std::to_string(schema->num_attributes()) + " cells, got " +
+          std::to_string(cells.size()));
+    }
+    std::vector<Value> values(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      Status s = ParseValue(cells[i], &values[i]);
+      if (!s.ok()) {
+        return Status::InvalidArgument(path + ":" +
+                                       std::to_string(line_number) + ": " +
+                                       s.message());
+      }
+      if (!schema->attribute(i).ValueInDomain(values[i])) {
+        return Status::InvalidArgument(
+            path + ":" + std::to_string(line_number) + ": value " +
+            std::to_string(values[i]) + " outside the domain of " +
+            schema->attribute(i).name);
+      }
+    }
+    dataset.AddUnchecked(Tuple(std::move(values)));
+  }
+  *out = std::move(dataset);
+  return Status::OK();
+}
+
+}  // namespace hdc

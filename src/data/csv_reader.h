@@ -1,0 +1,33 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// CSV ingestion: load a dataset saved by Dataset::SaveCsv (or produced by
+// any tool emitting integer cells) against a known schema, and parse the
+// compact schema-spec strings used by the CLI.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace hdc {
+
+/// Parses a schema specification of the form
+///
+///   "Make:cat:85, Price:num:200:200000, Mileage:num"
+///
+/// i.e. comma-separated `name:kind[:params]` entries where kind is `cat`
+/// (one param: domain size) or `num` (optional two params: lo and hi
+/// bounds; omitted means unbounded). Whitespace around entries is ignored.
+Status ParseSchemaSpec(const std::string& spec, SchemaPtr* out);
+
+/// Renders a schema back into the spec format accepted by ParseSchemaSpec.
+std::string FormatSchemaSpec(const Schema& schema);
+
+/// Loads a CSV file with a header row into a dataset with the given
+/// schema. The header must list exactly the schema's attribute names in
+/// order; every cell must be an integer within its attribute's domain.
+/// Quoted cells (RFC-4180 style) are accepted.
+Status LoadCsv(const std::string& path, SchemaPtr schema, Dataset* out);
+
+}  // namespace hdc

@@ -1,0 +1,161 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/csv_writer.h"
+#include "util/macros.h"
+
+namespace hdc {
+
+Dataset::Dataset(SchemaPtr schema) : schema_(std::move(schema)) {
+  HDC_CHECK(schema_ != nullptr);
+}
+
+Dataset::Dataset(SchemaPtr schema, std::vector<Tuple> tuples)
+    : schema_(std::move(schema)), tuples_(std::move(tuples)) {
+  HDC_CHECK(schema_ != nullptr);
+  HDC_CHECK_OK(Validate());
+}
+
+void Dataset::Add(Tuple tuple) {
+  HDC_CHECK(tuple.size() == schema_->num_attributes());
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    HDC_CHECK_MSG(schema_->attribute(i).ValueInDomain(tuple[i]),
+                  "tuple value outside attribute domain");
+  }
+  tuples_.push_back(std::move(tuple));
+}
+
+Status Dataset::Validate() const {
+  for (const Tuple& t : tuples_) {
+    if (t.size() != schema_->num_attributes()) {
+      return Status::InvalidArgument("tuple arity does not match schema");
+    }
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (!schema_->attribute(i).ValueInDomain(t[i])) {
+        return Status::InvalidArgument(
+            "value " + std::to_string(t[i]) + " outside domain of attribute " +
+            schema_->attribute(i).name);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t Dataset::MaxPointMultiplicity() const {
+  std::unordered_map<Tuple, uint64_t, TupleHasher> counts;
+  counts.reserve(tuples_.size() * 2);
+  uint64_t max_count = 0;
+  for (const Tuple& t : tuples_) {
+    uint64_t c = ++counts[t];
+    max_count = std::max(max_count, c);
+  }
+  return max_count;
+}
+
+uint64_t Dataset::DistinctPointCount() const {
+  std::unordered_set<Tuple, TupleHasher> points;
+  points.reserve(tuples_.size() * 2);
+  for (const Tuple& t : tuples_) points.insert(t);
+  return points.size();
+}
+
+std::vector<AttributeStats> Dataset::ComputeAttributeStats() const {
+  std::vector<AttributeStats> stats(schema_->num_attributes());
+  for (size_t i = 0; i < stats.size(); ++i) {
+    const AttributeSpec& spec = schema_->attribute(i);
+    stats[i].name = spec.name;
+    stats[i].kind = spec.kind;
+    std::unordered_set<Value> distinct;
+    Value min_v = kNumericMax, max_v = kNumericMin;
+    for (const Tuple& t : tuples_) {
+      distinct.insert(t[i]);
+      min_v = std::min(min_v, t[i]);
+      max_v = std::max(max_v, t[i]);
+    }
+    stats[i].distinct_values = distinct.size();
+    if (!tuples_.empty()) {
+      stats[i].min_value = min_v;
+      stats[i].max_value = max_v;
+    }
+  }
+  return stats;
+}
+
+Dataset Dataset::BernoulliSample(double p, Rng* rng) const {
+  HDC_CHECK(rng != nullptr);
+  Dataset out(schema_);
+  for (const Tuple& t : tuples_) {
+    if (rng->Bernoulli(p)) out.AddUnchecked(t);
+  }
+  return out;
+}
+
+Dataset Dataset::Project(const std::vector<size_t>& attribute_indices) const {
+  std::vector<AttributeSpec> attrs;
+  attrs.reserve(attribute_indices.size());
+  for (size_t idx : attribute_indices) {
+    HDC_CHECK(idx < schema_->num_attributes());
+    attrs.push_back(schema_->attribute(idx));
+  }
+  Dataset out(Schema::Make(std::move(attrs)));
+  for (const Tuple& t : tuples_) {
+    std::vector<Value> values;
+    values.reserve(attribute_indices.size());
+    for (size_t idx : attribute_indices) values.push_back(t[idx]);
+    out.AddUnchecked(Tuple(std::move(values)));
+  }
+  return out;
+}
+
+std::vector<size_t> Dataset::TopDistinctAttributes(size_t d) const {
+  HDC_CHECK(d <= schema_->num_attributes());
+  std::vector<AttributeStats> stats = ComputeAttributeStats();
+  std::vector<size_t> order(stats.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return stats[a].distinct_values > stats[b].distinct_values;
+  });
+  order.resize(d);
+  // Keep the selected attributes in their original schema order, matching
+  // the experimental setup of Section 6.
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+Status Dataset::SaveCsv(const std::string& path) const {
+  CsvWriter writer(path);
+  if (!writer.status().ok()) return writer.status();
+  std::vector<std::string> header;
+  header.reserve(schema_->num_attributes());
+  for (size_t i = 0; i < schema_->num_attributes(); ++i) {
+    header.push_back(schema_->attribute(i).name);
+  }
+  writer.WriteRow(header);
+  std::vector<std::string> row(schema_->num_attributes());
+  for (const Tuple& t : tuples_) {
+    for (size_t i = 0; i < t.size(); ++i) row[i] = std::to_string(t[i]);
+    writer.WriteRow(row);
+  }
+  return writer.Close();
+}
+
+bool Dataset::MultisetEquals(const Dataset& a, const Dataset& b) {
+  return a.size() == b.size() && MultisetDistance(a, b) == 0;
+}
+
+uint64_t Dataset::MultisetDistance(const Dataset& a, const Dataset& b) {
+  std::unordered_map<Tuple, int64_t, TupleHasher> counts;
+  counts.reserve((a.size() + b.size()) * 2);
+  for (const Tuple& t : a.tuples()) ++counts[t];
+  for (const Tuple& t : b.tuples()) --counts[t];
+  uint64_t distance = 0;
+  for (const auto& [tuple, count] : counts) {
+    distance += static_cast<uint64_t>(count < 0 ? -count : count);
+  }
+  return distance;
+}
+
+}  // namespace hdc

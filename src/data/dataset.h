@@ -1,0 +1,87 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/schema.h"
+#include "data/tuple.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace hdc {
+
+/// Per-attribute summary used by the Figure 9 reproduction and by the
+/// "project to the d most-distinct attributes" transform of Figures 10b/11b.
+struct AttributeStats {
+  std::string name;
+  AttributeKind kind = AttributeKind::kNumeric;
+  uint64_t distinct_values = 0;
+  Value min_value = 0;
+  Value max_value = 0;
+};
+
+/// A hidden database instance: a *bag* of tuples over a schema. Duplicate
+/// tuples are allowed and meaningful (the paper's Problem 1 is only solvable
+/// when no point carries more than k duplicates).
+class Dataset {
+ public:
+  explicit Dataset(SchemaPtr schema);
+  Dataset(SchemaPtr schema, std::vector<Tuple> tuples);
+
+  const SchemaPtr& schema() const { return schema_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Appends a tuple; aborts if its arity or values do not fit the schema.
+  void Add(Tuple tuple);
+
+  /// Appends without validation (hot path for generators; validated datasets
+  /// can call Validate() once at the end).
+  void AddUnchecked(Tuple tuple) { tuples_.push_back(std::move(tuple)); }
+
+  /// Checks every tuple against the schema.
+  Status Validate() const;
+
+  /// Largest number of identical tuples at any single point. Problem 1 is
+  /// solvable iff this is <= k (Section 1.1).
+  uint64_t MaxPointMultiplicity() const;
+
+  /// Number of distinct points occupied.
+  uint64_t DistinctPointCount() const;
+
+  /// Per-attribute statistics (distinct counts, ranges).
+  std::vector<AttributeStats> ComputeAttributeStats() const;
+
+  /// Independent Bernoulli(p) sample of the bag — the sampling scheme of
+  /// Figures 10c / 11c ("independently sampling each of its tuples with a
+  /// 20% probability").
+  Dataset BernoulliSample(double p, Rng* rng) const;
+
+  /// Keeps only the given attributes (schema order preserved as listed).
+  Dataset Project(const std::vector<size_t>& attribute_indices) const;
+
+  /// Indices of the `d` attributes with the most distinct values, ordered as
+  /// they appear in the schema — the selection rule of Figures 10b / 11b.
+  std::vector<size_t> TopDistinctAttributes(size_t d) const;
+
+  /// Saves as CSV with a header row of attribute names.
+  Status SaveCsv(const std::string& path) const;
+
+  /// True iff both bags contain exactly the same multiset of tuples.
+  static bool MultisetEquals(const Dataset& a, const Dataset& b);
+
+  /// Multiset difference size: |a \ b| + |b \ a| (0 iff equal).
+  static uint64_t MultisetDistance(const Dataset& a, const Dataset& b);
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace hdc

@@ -1,0 +1,114 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "data/schema.h"
+
+#include "util/macros.h"
+
+namespace hdc {
+
+const char* AttributeKindName(AttributeKind kind) {
+  return kind == AttributeKind::kNumeric ? "num" : "cat";
+}
+
+Schema::Schema(std::vector<AttributeSpec> attributes)
+    : attributes_(std::move(attributes)) {
+  HDC_CHECK(!attributes_.empty());
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    const AttributeSpec& spec = attributes_[i];
+    if (spec.is_categorical()) {
+      HDC_CHECK_MSG(spec.domain_size >= 1,
+                    "categorical attribute needs a positive domain size");
+      categorical_indices_.push_back(i);
+    } else {
+      HDC_CHECK_MSG(spec.lo <= spec.hi, "numeric bounds must be ordered");
+      numeric_indices_.push_back(i);
+    }
+  }
+}
+
+SchemaPtr Schema::Numeric(size_t d) {
+  std::vector<AttributeSpec> attrs;
+  attrs.reserve(d);
+  for (size_t i = 0; i < d; ++i) {
+    attrs.push_back(AttributeSpec::Numeric("A" + std::to_string(i + 1)));
+  }
+  return std::make_shared<Schema>(std::move(attrs));
+}
+
+SchemaPtr Schema::NumericBounded(
+    std::vector<std::pair<Value, Value>> bounds) {
+  std::vector<AttributeSpec> attrs;
+  attrs.reserve(bounds.size());
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    attrs.push_back(AttributeSpec::NumericBounded(
+        "A" + std::to_string(i + 1), bounds[i].first, bounds[i].second));
+  }
+  return std::make_shared<Schema>(std::move(attrs));
+}
+
+SchemaPtr Schema::Categorical(std::vector<uint64_t> domain_sizes) {
+  std::vector<AttributeSpec> attrs;
+  attrs.reserve(domain_sizes.size());
+  for (size_t i = 0; i < domain_sizes.size(); ++i) {
+    attrs.push_back(AttributeSpec::Categorical("A" + std::to_string(i + 1),
+                                               domain_sizes[i]));
+  }
+  return std::make_shared<Schema>(std::move(attrs));
+}
+
+SchemaPtr Schema::Make(std::vector<AttributeSpec> attributes) {
+  return std::make_shared<Schema>(std::move(attributes));
+}
+
+uint64_t Schema::domain_size(size_t i) const {
+  HDC_CHECK(IsCategorical(i));
+  return attributes_[i].domain_size;
+}
+
+uint64_t Schema::TotalCategoricalDomain() const {
+  uint64_t total = 0;
+  for (size_t i : categorical_indices_) total += attributes_[i].domain_size;
+  return total;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    const AttributeSpec& spec = attributes_[i];
+    out += spec.name;
+    out += ':';
+    out += AttributeKindName(spec.kind);
+    if (spec.is_categorical()) {
+      out += '(' + std::to_string(spec.domain_size) + ')';
+    }
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    const AttributeSpec& a = attributes_[i];
+    const AttributeSpec& b = other.attributes_[i];
+    if (a.kind != b.kind || a.domain_size != b.domain_size || a.lo != b.lo ||
+        a.hi != b.hi || a.name != b.name) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Schema::CompatibleWith(const Schema& other) const {
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    const AttributeSpec& a = attributes_[i];
+    const AttributeSpec& b = other.attributes_[i];
+    if (a.kind != b.kind || a.domain_size != b.domain_size ||
+        a.name != b.name) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hdc

@@ -1,0 +1,85 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/attribute.h"
+
+namespace hdc {
+
+class Schema;
+
+/// Schemas are immutable and shared by datasets, queries and servers.
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// Ordered list of attributes describing a data space D = dom(A1) x ... x
+/// dom(Ad). The attribute *order* matters: the paper's algorithms consume
+/// attributes left to right (Section 6 fixes the order per dataset), and the
+/// experiments in Figures 10b / 11b vary which attributes participate.
+class Schema {
+ public:
+  explicit Schema(std::vector<AttributeSpec> attributes);
+
+  /// All-numeric space with unbounded domains.
+  static SchemaPtr Numeric(size_t d);
+
+  /// All-numeric space where attribute i spans [bounds[i].first,
+  /// bounds[i].second].
+  static SchemaPtr NumericBounded(std::vector<std::pair<Value, Value>> bounds);
+
+  /// All-categorical space; domain_sizes[i] = U_{i+1}.
+  static SchemaPtr Categorical(std::vector<uint64_t> domain_sizes);
+
+  /// Arbitrary mix.
+  static SchemaPtr Make(std::vector<AttributeSpec> attributes);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const AttributeSpec& attribute(size_t i) const { return attributes_[i]; }
+
+  bool IsNumeric(size_t i) const { return attributes_[i].is_numeric(); }
+  bool IsCategorical(size_t i) const {
+    return attributes_[i].is_categorical();
+  }
+
+  /// Categorical domain size U_i (requires IsCategorical(i)).
+  uint64_t domain_size(size_t i) const;
+
+  /// Indices of categorical / numeric attributes, in schema order.
+  const std::vector<size_t>& categorical_indices() const {
+    return categorical_indices_;
+  }
+  const std::vector<size_t>& numeric_indices() const {
+    return numeric_indices_;
+  }
+
+  size_t num_categorical() const { return categorical_indices_.size(); }
+  size_t num_numeric() const { return numeric_indices_.size(); }
+
+  bool all_numeric() const { return num_categorical() == 0; }
+  bool all_categorical() const { return num_numeric() == 0; }
+
+  /// Sum of categorical domain sizes (the Sigma U_i term of Theorem 1).
+  uint64_t TotalCategoricalDomain() const;
+
+  /// Human-readable one-liner, e.g. "Make:cat(85), Price:num".
+  std::string ToString() const;
+
+  /// Structural equality: names, kinds, categorical domains AND numeric
+  /// bounds.
+  bool operator==(const Schema& other) const;
+
+  /// Compatibility for query evaluation: same attributes, kinds and
+  /// categorical domains; numeric *bounds* may differ (they are crawler
+  /// knowledge, not server contract — e.g. tightened by domain discovery).
+  bool CompatibleWith(const Schema& other) const;
+
+ private:
+  std::vector<AttributeSpec> attributes_;
+  std::vector<size_t> categorical_indices_;
+  std::vector<size_t> numeric_indices_;
+};
+
+}  // namespace hdc

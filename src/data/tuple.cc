@@ -1,0 +1,30 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "data/tuple.h"
+
+namespace hdc {
+
+size_t Tuple::Hash() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (Value v : values_) {
+    uint64_t x = static_cast<uint64_t>(v);
+    // Mix each 64-bit value through a splitmix-style finalizer before
+    // folding, so nearby integers do not collide.
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    h = (h ^ x) * 0x100000001b3ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(values_[i]);
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace hdc

@@ -1,0 +1,52 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+
+namespace hdc {
+
+/// A point of the data space: one value per attribute, in schema order.
+/// Tuples are plain value containers; a dataset may contain duplicates
+/// (the database is a bag).
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t size() const { return values_.size(); }
+  Value operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+
+  const std::vector<Value>& values() const { return values_; }
+
+  bool operator==(const Tuple& other) const {
+    return values_ == other.values_;
+  }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+
+  /// Lexicographic order; used only for canonicalization (multiset compare,
+  /// dataset sorting) — never for algorithmic decisions on categorical data.
+  bool operator<(const Tuple& other) const { return values_ < other.values_; }
+
+  /// FNV-1a style hash over the value sequence.
+  size_t Hash() const;
+
+  /// "(3, 1, 55)"
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHasher {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace hdc

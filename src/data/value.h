@@ -1,0 +1,26 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Scalar value model. Following the paper (Section 1.1), every attribute
+// domain is represented by integers: a numeric attribute ranges over all
+// integers, while a categorical attribute with domain size U takes values
+// 1..U whose ordering carries no meaning.
+#pragma once
+
+#include <cstdint>
+
+namespace hdc {
+
+/// A single attribute value.
+using Value = int64_t;
+
+/// Sentinels standing in for -inf / +inf on numeric attributes. Chosen well
+/// inside the int64 range so that the +/-1 arithmetic of query splits can
+/// never overflow.
+inline constexpr Value kNumericMin = INT64_MIN / 4;
+inline constexpr Value kNumericMax = INT64_MAX / 4;
+
+/// Categorical wildcard marker used in query predicates (categorical domains
+/// start at 1, so 0 is free).
+inline constexpr Value kCategoricalWildcard = 0;
+
+}  // namespace hdc

@@ -1,0 +1,113 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "gen/adult_gen.h"
+
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace hdc {
+namespace {
+
+// Approximate marginals of the cleaned UCI Adult data (train + test,
+// 45,222 rows). Only the shape matters for crawl cost: frequency skew and
+// value multiplicities.
+const std::vector<double> kSexWeights = {0.67, 0.33};
+const std::vector<double> kRaceWeights = {0.855, 0.096, 0.031, 0.010, 0.008};
+const std::vector<double> kRelWeights = {0.405, 0.255, 0.155, 0.105, 0.050,
+                                         0.030};
+const std::vector<double> kEduWeights = {0.32, 0.22, 0.16, 0.12, 0.10, 0.08};
+const std::vector<double> kMaritalWeights = {0.46, 0.33, 0.14, 0.03,
+                                             0.02, 0.01, 0.01};
+const std::vector<double> kWrkClassWeights = {0.70,  0.08,  0.08, 0.04,
+                                              0.035, 0.035, 0.02, 0.01};
+
+// Edu (grouped, 6 buckets) -> typical years-of-education base for the
+// correlated Edu-num attribute.
+const int64_t kEduNumBase[6] = {13, 9, 10, 14, 11, 7};
+
+}  // namespace
+
+Dataset GenerateAdult(const AdultGeneratorOptions& options) {
+  HDC_CHECK_MSG(options.num_tuples >= 41,
+                "need at least 41 tuples to cover the Country domain");
+  Rng rng(options.seed);
+
+  std::vector<AttributeSpec> attrs = {
+      AttributeSpec::Categorical("Sex", 2),
+      AttributeSpec::Categorical("Race", 5),
+      AttributeSpec::Categorical("Rel", 6),
+      AttributeSpec::Categorical("Edu", 6),
+      AttributeSpec::Categorical("Marital", 7),
+      AttributeSpec::Categorical("Wrk-class", 8),
+      AttributeSpec::Categorical("Occ", 14),
+      AttributeSpec::Categorical("Country", 41),
+      AttributeSpec::NumericBounded("Edu-num", 1, 16),
+      AttributeSpec::NumericBounded("Age", 17, 90),
+      AttributeSpec::NumericBounded("Wrk-hr", 1, 99),
+      AttributeSpec::NumericBounded("Cap-loss", 0, 2290),
+      AttributeSpec::NumericBounded("Cap-gain", 0, 100000),
+      AttributeSpec::NumericBounded("Fnalwgt", 10000, 1500000),
+  };
+  SchemaPtr schema = Schema::Make(std::move(attrs));
+
+  DiscreteDistribution sex(kSexWeights), race(kRaceWeights),
+      rel(kRelWeights), edu(kEduWeights), marital(kMaritalWeights),
+      wrk_class(kWrkClassWeights);
+  ZipfDistribution occ(14, 0.7);
+  // Country: ~90% value 1 (US), the rest Zipf over the remaining 40.
+  ZipfDistribution country_rest(40, 0.8);
+  // Non-zero capital gains: 150 fixed amounts, skewed toward the small end.
+  ZipfDistribution cap_gain_levels(150, 0.5);
+
+  Dataset out(schema);
+  for (size_t i = 0; i < options.num_tuples; ++i) {
+    std::vector<Value> v(14);
+    v[0] = static_cast<Value>(sex.Sample(&rng)) + 1;
+    v[1] = static_cast<Value>(race.Sample(&rng)) + 1;
+    v[2] = static_cast<Value>(rel.Sample(&rng)) + 1;
+    v[3] = static_cast<Value>(edu.Sample(&rng)) + 1;
+    v[4] = static_cast<Value>(marital.Sample(&rng)) + 1;
+    v[5] = static_cast<Value>(wrk_class.Sample(&rng)) + 1;
+    v[6] = static_cast<Value>(occ.Sample(&rng));
+    v[7] = rng.Bernoulli(0.90)
+               ? 1
+               : static_cast<Value>(country_rest.Sample(&rng)) + 1;
+
+    // Domain coverage: the paper's domain sizes equal the observed distinct
+    // counts, so force every categorical value to appear at least once
+    // (rows are shuffled below).
+    for (size_t a = 0; a < 8; ++a) {
+      const uint64_t u = schema->domain_size(a);
+      if (i < u) v[a] = static_cast<Value>(i) + 1;
+    }
+
+    // Edu-num correlates with the education bucket.
+    v[8] = std::min<Value>(
+        16, std::max<Value>(1, kEduNumBase[v[3] - 1] + rng.UniformInt(-2, 2)));
+    v[9] = rng.NormalInt(38.6, 13.7, 17, 90);
+    v[10] = rng.Bernoulli(0.47) ? 40 : rng.NormalInt(41.0, 12.0, 1, 99);
+    v[11] = rng.Bernoulli(0.953)
+                ? 0
+                : 1300 + 10 * static_cast<Value>(rng.UniformU64(100));
+    v[12] = rng.Bernoulli(0.916)
+                ? 0
+                : 114 + 667 * (static_cast<Value>(
+                                   cap_gain_levels.Sample(&rng)) -
+                               1);
+    v[13] = rng.UniformInt(12285, 1490400);
+
+    out.AddUnchecked(Tuple(std::move(v)));
+  }
+
+  // Shuffle so the coverage-forced prefix rows are not clustered.
+  std::vector<Tuple> rows = out.tuples();
+  rng.Shuffle(&rows);
+  return Dataset(schema, std::move(rows));
+}
+
+Dataset GenerateAdultNumeric(const AdultGeneratorOptions& options) {
+  Dataset full = GenerateAdult(options);
+  // The 6 numeric attributes, in the paper's Figure 9 order.
+  return full.Project({8, 9, 10, 11, 12, 13});
+}
+
+}  // namespace hdc

@@ -1,0 +1,69 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "gen/hard_instances.h"
+
+#include "util/macros.h"
+
+namespace hdc {
+
+HardInstance MakeHardNumericInstance(uint64_t k, size_t d, uint64_t m) {
+  HDC_CHECK_MSG(d >= 1 && m >= 1 && k >= 1, "positive parameters required");
+  HDC_CHECK_MSG(static_cast<uint64_t>(d) <= k, "Theorem 3 requires d <= k");
+
+  std::vector<std::pair<Value, Value>> bounds(
+      d, {1, static_cast<Value>(m) + 1});
+  SchemaPtr schema = Schema::NumericBounded(std::move(bounds));
+
+  Dataset dataset(schema);
+  for (uint64_t i = 1; i <= m; ++i) {
+    std::vector<Value> diagonal(d, static_cast<Value>(i));
+    for (uint64_t c = 0; c < k; ++c) dataset.AddUnchecked(Tuple(diagonal));
+    for (size_t j = 0; j < d; ++j) {
+      std::vector<Value> values = diagonal;
+      values[j] = static_cast<Value>(i) + 1;
+      dataset.AddUnchecked(Tuple(std::move(values)));
+    }
+  }
+
+  HardInstance out{std::move(dataset), k, static_cast<uint64_t>(d) * m,
+                   "hard-numeric(k=" + std::to_string(k) +
+                       ",d=" + std::to_string(d) +
+                       ",m=" + std::to_string(m) + ")"};
+  return out;
+}
+
+bool HardCategoricalBoundApplies(uint64_t k, uint64_t U) {
+  const uint64_t d = 2 * k;
+  // d * U^2 <= 2^(d/4), avoiding overflow: cap the exponent.
+  const uint64_t exponent = d / 4;
+  if (exponent >= 63) return true;
+  return d * U * U <= (1ULL << exponent);
+}
+
+HardInstance MakeHardCategoricalInstance(uint64_t k, uint64_t U) {
+  HDC_CHECK_MSG(U >= 3, "Theorem 4 requires U >= 3");
+  HDC_CHECK_MSG(k >= 3, "Theorem 4 requires k >= 3");
+  const size_t d = static_cast<size_t>(2 * k);
+
+  SchemaPtr schema = Schema::Categorical(std::vector<uint64_t>(d, U));
+
+  // The paper uses values 0..U-1; categorical domains here are 1..U, so
+  // every coordinate is stored +1. The shift is irrelevant: categorical
+  // ordering carries no meaning.
+  Dataset dataset(schema);
+  for (uint64_t i = 0; i < U; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      std::vector<Value> values(d, static_cast<Value>(i) + 1);
+      values[j] = static_cast<Value>((i + 1) % U) + 1;
+      dataset.AddUnchecked(Tuple(std::move(values)));
+    }
+  }
+
+  HardInstance out{std::move(dataset), k,
+                   static_cast<uint64_t>(d) * U * U,
+                   "hard-categorical(k=" + std::to_string(k) +
+                       ",U=" + std::to_string(U) +
+                       ",d=" + std::to_string(d) + ")"};
+  return out;
+}
+
+}  // namespace hdc

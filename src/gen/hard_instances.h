@@ -1,0 +1,44 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// The lower-bound constructions of Section 4, used to demonstrate that the
+// upper bounds of Theorem 1 are tight up to constants (Theorem 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace hdc {
+
+/// A worst-case input together with the number of queries any correct
+/// algorithm provably needs on it.
+struct HardInstance {
+  Dataset dataset;
+  uint64_t k = 0;
+  /// Proven worst-case query lower bound (d*m for Theorem 3; d*U^2 as the
+  /// Omega(dU^2) reference for Theorem 4).
+  uint64_t lower_bound = 0;
+  std::string name;
+};
+
+/// Theorem 3's numeric instance (Figure 7). Requires d <= k. The space is
+/// [1, m+1]^d; group i (1 <= i <= m) holds k "diagonal" tuples at point
+/// (i, ..., i) and d "non-diagonal" tuples, the j-th equal to the diagonal
+/// except value i+1 on attribute Aj. n = m * (k + d); any algorithm needs at
+/// least d*m queries.
+HardInstance MakeHardNumericInstance(uint64_t k, size_t d, uint64_t m);
+
+/// Theorem 4's categorical instance (Figure 8) with d = 2k attributes of
+/// domain size U. Requires U >= 3 and k >= 3; the Omega(dU^2) bound
+/// additionally needs d * U^2 <= 2^(d/4) (checked by
+/// HardCategoricalBoundApplies). Group i (0 <= i <= U-1) holds d tuples, the
+/// j-th taking value (i+1) mod U on attribute Aj and value i elsewhere
+/// (stored 1-based). n = d * U.
+HardInstance MakeHardCategoricalInstance(uint64_t k, uint64_t U);
+
+/// True when the parameter regime of Theorem 4 holds, i.e. d*U^2 <= 2^(d/4)
+/// with d = 2k.
+bool HardCategoricalBoundApplies(uint64_t k, uint64_t U);
+
+}  // namespace hdc

@@ -1,0 +1,110 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "gen/nsf_gen.h"
+
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace hdc {
+
+// The real NSF award data is strongly correlated: awards cluster by program
+// (a program fixes the funding-amount bucket, instrument, field, state and
+// NSF organisation, and is handled by a handful of program managers), and a
+// PI belongs to one organisation in one city. The generator reproduces that
+// dependency structure because it is what keeps deep data-space-tree nodes
+// heavy — the regime where lazy-slice-cover's local answering beats DFS
+// (Figure 11). Independent columns would let the tree thin out too early
+// and understate the paper's gap.
+Dataset GenerateNsf(const NsfGeneratorOptions& options) {
+  // Figure 9 domain sizes, in the paper's attribute order.
+  constexpr uint64_t kAmnt = 5, kInstru = 8, kField = 49, kPiState = 58,
+                     kNsfOrg = 58, kProgMgr = 654, kCity = 1093,
+                     kPiOrg = 3110, kPiName = 29042;
+  HDC_CHECK_MSG(options.num_tuples >= kPiName,
+                "need at least 29042 tuples to cover the PI-name domain");
+
+  SchemaPtr schema = Schema::Make({
+      AttributeSpec::Categorical("Amnt", kAmnt),
+      AttributeSpec::Categorical("Instru", kInstru),
+      AttributeSpec::Categorical("Field", kField),
+      AttributeSpec::Categorical("PI-state", kPiState),
+      AttributeSpec::Categorical("NSF-org", kNsfOrg),
+      AttributeSpec::Categorical("Prog-mgr", kProgMgr),
+      AttributeSpec::Categorical("City", kCity),
+      AttributeSpec::Categorical("PI-org", kPiOrg),
+      AttributeSpec::Categorical("PI-name", kPiName),
+  });
+
+  Rng rng(options.seed);
+  const size_t n = options.num_tuples;
+
+  // Program clusters: each fixes the five narrow attributes and a small
+  // pool of program managers. Cluster popularity is Zipf(1.0).
+  constexpr size_t kClusters = 400;
+  constexpr size_t kMgrsPerCluster = 4;
+  struct Cluster {
+    Value amnt, instru, field, state, org;
+    Value mgrs[kMgrsPerCluster];
+  };
+  ZipfDistribution amnt_dist(kAmnt, 0.4), instru_dist(kInstru, 0.9),
+      field_dist(kField, 0.9), state_dist(kPiState, 0.8),
+      org_dist(kNsfOrg, 0.9), mgr_dist(kProgMgr, 0.7),
+      city_dist(kCity, 0.9), name_dist(kPiName, 0.5);
+  std::vector<Cluster> clusters(kClusters);
+  for (auto& c : clusters) {
+    c.amnt = static_cast<Value>(amnt_dist.Sample(&rng));
+    c.instru = static_cast<Value>(instru_dist.Sample(&rng));
+    c.field = static_cast<Value>(field_dist.Sample(&rng));
+    c.state = static_cast<Value>(state_dist.Sample(&rng));
+    c.org = static_cast<Value>(org_dist.Sample(&rng));
+    for (auto& m : c.mgrs) m = static_cast<Value>(mgr_dist.Sample(&rng));
+  }
+  ZipfDistribution cluster_dist(kClusters, 1.0);
+
+  Dataset out(schema);
+  for (size_t i = 0; i < n; ++i) {
+    const Cluster& c = clusters[cluster_dist.Sample(&rng) - 1];
+    std::vector<Value> v(9);
+    // Narrow attributes from the cluster, with 5% independent noise.
+    v[0] = rng.Bernoulli(0.05) ? static_cast<Value>(amnt_dist.Sample(&rng))
+                               : c.amnt;
+    v[1] = rng.Bernoulli(0.05) ? static_cast<Value>(instru_dist.Sample(&rng))
+                               : c.instru;
+    v[2] = rng.Bernoulli(0.05) ? static_cast<Value>(field_dist.Sample(&rng))
+                               : c.field;
+    v[3] = rng.Bernoulli(0.05) ? static_cast<Value>(state_dist.Sample(&rng))
+                               : c.state;
+    v[4] = rng.Bernoulli(0.05) ? static_cast<Value>(org_dist.Sample(&rng))
+                               : c.org;
+    // Program manager from the cluster's pool, 10% noise.
+    v[5] = rng.Bernoulli(0.10)
+               ? static_cast<Value>(mgr_dist.Sample(&rng))
+               : c.mgrs[rng.UniformU64(kMgrsPerCluster)];
+    // PI-name: the first 29,042 rows enumerate the domain (the paper's
+    // observed-distinct == domain-size property), the rest are repeat
+    // submitters drawn Zipf.
+    v[8] = i < kPiName ? static_cast<Value>(i) + 1
+                       : static_cast<Value>(name_dist.Sample(&rng));
+    // A PI belongs to exactly one organisation; organisations sit in one
+    // city (10% of awards list a satellite-campus city).
+    v[7] = 1 + (v[8] - 1) % static_cast<Value>(kPiOrg);
+    v[6] = rng.Bernoulli(0.10)
+               ? static_cast<Value>(city_dist.Sample(&rng))
+               : 1 + (v[7] - 1) % static_cast<Value>(kCity);
+
+    // Domain-coverage overrides for the cluster-driven attributes (shuffled
+    // below, so they act as uniform background noise).
+    const uint64_t domains[6] = {kAmnt, kInstru, kField,
+                                 kPiState, kNsfOrg, kProgMgr};
+    for (size_t a = 0; a < 6; ++a) {
+      if (i < domains[a]) v[a] = static_cast<Value>(i) + 1;
+    }
+
+    out.AddUnchecked(Tuple(std::move(v)));
+  }
+
+  std::vector<Tuple> rows = out.tuples();
+  rng.Shuffle(&rows);
+  return Dataset(schema, std::move(rows));
+}
+
+}  // namespace hdc

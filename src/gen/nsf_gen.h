@@ -1,0 +1,25 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Simulacrum of the NSF award-search dataset of the paper's evaluation
+// (Figure 9): 47,816 tuples over 9 categorical attributes with domain sizes
+// Amnt(5), Instru(8), Field(49), PI-state(58), NSF-org(58), Prog-mgr(654),
+// City(1093), PI-org(3110), PI-name(29042). Each column is Zipf-skewed and
+// covers its full domain (in the paper "the number of distinct values on
+// each attribute equals the attribute's domain size"), which is exactly
+// what drives categorical crawl cost.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace hdc {
+
+struct NsfGeneratorOptions {
+  size_t num_tuples = 47816;
+  uint64_t seed = 2012;
+};
+
+Dataset GenerateNsf(const NsfGeneratorOptions& options = {});
+
+}  // namespace hdc

@@ -1,0 +1,158 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "gen/synthetic.h"
+
+#include <optional>
+
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace hdc {
+namespace {
+
+Value DrawNumeric(Rng* rng, Value range, double skew,
+                  const std::optional<ZipfDistribution>& zipf) {
+  if (skew > 0.0) {
+    return static_cast<Value>(zipf->Sample(rng)) - 1;
+  }
+  return rng->UniformInt(0, range - 1);
+}
+
+}  // namespace
+
+Dataset GenerateSyntheticNumeric(const SyntheticNumericOptions& options) {
+  HDC_CHECK(options.d >= 1 && options.value_range >= 1);
+  Rng rng(options.seed);
+
+  SchemaPtr schema;
+  if (options.bounded_schema) {
+    std::vector<std::pair<Value, Value>> bounds(
+        options.d, {0, options.value_range - 1});
+    schema = Schema::NumericBounded(std::move(bounds));
+  } else {
+    schema = Schema::Numeric(options.d);
+  }
+
+  std::optional<ZipfDistribution> zipf;
+  if (options.value_skew > 0.0) {
+    zipf.emplace(static_cast<uint64_t>(options.value_range),
+                 options.value_skew);
+  }
+
+  auto draw_tuple = [&]() {
+    std::vector<Value> values(options.d);
+    for (auto& v : values) {
+      v = DrawNumeric(&rng, options.value_range, options.value_skew, zipf);
+    }
+    return Tuple(std::move(values));
+  };
+
+  std::vector<Tuple> pool;
+  for (size_t i = 0; i < options.duplicate_pool; ++i) {
+    pool.push_back(draw_tuple());
+  }
+
+  Dataset out(schema);
+  for (size_t i = 0; i < options.n; ++i) {
+    if (options.duplicate_prob > 0.0 && !pool.empty() &&
+        rng.Bernoulli(options.duplicate_prob)) {
+      out.AddUnchecked(pool[rng.UniformU64(pool.size())]);
+    } else {
+      out.AddUnchecked(draw_tuple());
+    }
+  }
+  return out;
+}
+
+Dataset GenerateSyntheticCategorical(
+    const SyntheticCategoricalOptions& options) {
+  HDC_CHECK(!options.domain_sizes.empty());
+  Rng rng(options.seed);
+  SchemaPtr schema = Schema::Categorical(options.domain_sizes);
+
+  std::vector<ZipfDistribution> dists;
+  dists.reserve(options.domain_sizes.size());
+  for (uint64_t u : options.domain_sizes) {
+    dists.emplace_back(u, options.zipf_s);
+  }
+
+  auto draw_tuple = [&]() {
+    std::vector<Value> values(options.domain_sizes.size());
+    for (size_t a = 0; a < values.size(); ++a) {
+      values[a] = static_cast<Value>(dists[a].Sample(&rng));
+    }
+    return Tuple(std::move(values));
+  };
+
+  std::vector<Tuple> pool;
+  for (size_t i = 0; i < options.duplicate_pool; ++i) {
+    pool.push_back(draw_tuple());
+  }
+
+  Dataset out(schema);
+  for (size_t i = 0; i < options.n; ++i) {
+    if (options.duplicate_prob > 0.0 && !pool.empty() &&
+        rng.Bernoulli(options.duplicate_prob)) {
+      out.AddUnchecked(pool[rng.UniformU64(pool.size())]);
+    } else {
+      out.AddUnchecked(draw_tuple());
+    }
+  }
+  return out;
+}
+
+Dataset GenerateSyntheticMixed(const SyntheticMixedOptions& options) {
+  HDC_CHECK(options.num_numeric >= 1 || !options.domain_sizes.empty());
+  Rng rng(options.seed);
+
+  std::vector<AttributeSpec> attrs;
+  for (size_t i = 0; i < options.domain_sizes.size(); ++i) {
+    attrs.push_back(AttributeSpec::Categorical("C" + std::to_string(i + 1),
+                                               options.domain_sizes[i]));
+  }
+  for (size_t i = 0; i < options.num_numeric; ++i) {
+    attrs.push_back(AttributeSpec::NumericBounded(
+        "N" + std::to_string(i + 1), 0, options.value_range - 1));
+  }
+  SchemaPtr schema = Schema::Make(std::move(attrs));
+
+  std::vector<ZipfDistribution> cat_dists;
+  for (uint64_t u : options.domain_sizes) {
+    cat_dists.emplace_back(u, options.zipf_s);
+  }
+  std::optional<ZipfDistribution> num_zipf;
+  if (options.value_skew > 0.0) {
+    num_zipf.emplace(static_cast<uint64_t>(options.value_range),
+                     options.value_skew);
+  }
+
+  auto draw_tuple = [&]() {
+    std::vector<Value> values;
+    values.reserve(schema->num_attributes());
+    for (auto& dist : cat_dists) {
+      values.push_back(static_cast<Value>(dist.Sample(&rng)));
+    }
+    for (size_t i = 0; i < options.num_numeric; ++i) {
+      values.push_back(DrawNumeric(&rng, options.value_range,
+                                   options.value_skew, num_zipf));
+    }
+    return Tuple(std::move(values));
+  };
+
+  std::vector<Tuple> pool;
+  for (size_t i = 0; i < options.duplicate_pool; ++i) {
+    pool.push_back(draw_tuple());
+  }
+
+  Dataset out(schema);
+  for (size_t i = 0; i < options.n; ++i) {
+    if (options.duplicate_prob > 0.0 && !pool.empty() &&
+        rng.Bernoulli(options.duplicate_prob)) {
+      out.AddUnchecked(pool[rng.UniformU64(pool.size())]);
+    } else {
+      out.AddUnchecked(draw_tuple());
+    }
+  }
+  return out;
+}
+
+}  // namespace hdc

@@ -1,0 +1,62 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Fully synthetic dataset families for unit and property tests: random
+// numeric/categorical/mixed bags with controllable skew and whole-tuple
+// duplication (the stress case for rank-shrink's 3-way splits and for the
+// solvability boundary of Problem 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace hdc {
+
+struct SyntheticNumericOptions {
+  size_t d = 2;
+  size_t n = 1000;
+  /// Values are drawn from [0, value_range).
+  Value value_range = 1000;
+  /// Zipf skew of the value distribution (0 = uniform); skew produces heavy
+  /// per-attribute ties, triggering 3-way splits.
+  double value_skew = 0.0;
+  /// With this probability a tuple is a copy of one of `duplicate_pool`
+  /// fixed tuples — whole-point multiplicity.
+  double duplicate_prob = 0.0;
+  size_t duplicate_pool = 4;
+  /// Record [0, value_range) bounds in the schema (needed by binary-shrink).
+  bool bounded_schema = true;
+  uint64_t seed = 1;
+};
+
+Dataset GenerateSyntheticNumeric(const SyntheticNumericOptions& options);
+
+struct SyntheticCategoricalOptions {
+  std::vector<uint64_t> domain_sizes = {4, 4, 4};
+  size_t n = 1000;
+  /// Zipf skew per attribute value distribution (0 = uniform).
+  double zipf_s = 0.8;
+  double duplicate_prob = 0.0;
+  size_t duplicate_pool = 4;
+  uint64_t seed = 1;
+};
+
+Dataset GenerateSyntheticCategorical(
+    const SyntheticCategoricalOptions& options);
+
+struct SyntheticMixedOptions {
+  std::vector<uint64_t> domain_sizes = {4, 8};  // categorical attrs first
+  size_t num_numeric = 2;
+  size_t n = 1000;
+  Value value_range = 1000;
+  double zipf_s = 0.8;
+  double value_skew = 0.0;
+  double duplicate_prob = 0.0;
+  size_t duplicate_pool = 4;
+  uint64_t seed = 1;
+};
+
+Dataset GenerateSyntheticMixed(const SyntheticMixedOptions& options);
+
+}  // namespace hdc

@@ -1,0 +1,94 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "gen/yahoo_gen.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace hdc {
+namespace {
+
+SchemaPtr MakeYahooSchema() {
+  return Schema::Make({
+      AttributeSpec::Categorical("Owner", 2),
+      AttributeSpec::Categorical("Body-style", 7),
+      AttributeSpec::Categorical("Make", 85),
+      AttributeSpec::NumericBounded("Mileage", 0, 300000),
+      AttributeSpec::NumericBounded("Year", 1981, 2012),
+      AttributeSpec::NumericBounded("Price", 200, 200000),
+  });
+}
+
+// Price tier by make (cycled over the 85 makes).
+const Value kTierBase[5] = {3000, 8000, 15000, 30000, 60000};
+
+}  // namespace
+
+Tuple YahooHeavyListing() {
+  // Owner=1, Body-style=1, Make=1, Mileage=12000, Year=2011, Price=15950 —
+  // a fleet listing posted many times.
+  return Tuple({1, 1, 1, 12000, 2011, 15950});
+}
+
+Dataset GenerateYahoo(const YahooGeneratorOptions& options) {
+  HDC_CHECK_MSG(options.num_tuples >= 85 + options.max_duplicates,
+                "need enough tuples to cover the Make domain plus the "
+                "duplicated listing");
+  Rng rng(options.seed);
+  SchemaPtr schema = MakeYahooSchema();
+
+  ZipfDistribution make_dist(85, 1.0);
+  const std::vector<double> body_weights = {0.30, 0.22, 0.13, 0.12,
+                                            0.08, 0.08, 0.07};
+  DiscreteDistribution body_dist(body_weights);
+
+  Dataset out(schema);
+  const size_t organic = options.num_tuples - options.max_duplicates;
+  for (size_t i = 0; i < organic; ++i) {
+    std::vector<Value> v(6);
+    // Make, with forced domain coverage on the first 85 rows.
+    v[2] = i < 85 ? static_cast<Value>(i) + 1
+                  : static_cast<Value>(make_dist.Sample(&rng));
+    // Body-style mix rotates with the make (correlation), forced coverage
+    // on the first 7 rows.
+    v[1] = i < 7 ? static_cast<Value>(i) + 1
+                 : 1 + static_cast<Value>((body_dist.Sample(&rng) + v[2]) % 7);
+    v[0] = i < 2 ? static_cast<Value>(i) + 1 : (rng.Bernoulli(0.55) ? 1 : 2);
+
+    const Value year = rng.NormalInt(2006.0, 5.0, 1981, 2012);
+    v[4] = year;
+    const Value age = 2012 - year;
+
+    // Mileage tracks age; a quarter of listings round to the nearest
+    // thousand (sellers do), creating value ties.
+    Value mileage = age * 12000 + rng.NormalInt(0.0, 15000.0, -36000, 36000);
+    mileage = std::max<Value>(0, std::min<Value>(300000, mileage));
+    if (rng.Bernoulli(0.25)) mileage = (mileage + 500) / 1000 * 1000;
+    v[3] = mileage;
+
+    // Price: make-tier base with exponential depreciation, rounded to $50
+    // steps (ties again).
+    const Value base = kTierBase[(v[2] - 1) % 5];
+    double price = static_cast<double>(base) *
+                       std::pow(0.9, static_cast<double>(age)) +
+                   static_cast<double>(rng.NormalInt(
+                       0.0, static_cast<double>(base) * 0.15,
+                       -base / 2, base / 2));
+    Value p = static_cast<Value>(std::llround(price / 50.0)) * 50;
+    v[5] = std::max<Value>(200, std::min<Value>(200000, p));
+
+    out.AddUnchecked(Tuple(std::move(v)));
+  }
+
+  const Tuple heavy = YahooHeavyListing();
+  for (size_t i = 0; i < options.max_duplicates; ++i) {
+    out.AddUnchecked(heavy);
+  }
+
+  std::vector<Tuple> rows = out.tuples();
+  rng.Shuffle(&rows);
+  return Dataset(schema, std::move(rows));
+}
+
+}  // namespace hdc

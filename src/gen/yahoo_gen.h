@@ -1,0 +1,32 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Simulacrum of the Yahoo! Autos hidden database of the paper's evaluation
+// (Figure 9): 69,768 tuples, categorical Owner(2), Body-style(7), Make(85)
+// followed by numeric Mileage, Year, Price. Correlations mirror a used-car
+// market (make determines price tier and body-style mix; mileage tracks
+// age), and — reproducing the documented property that blocks k = 64 in
+// Figure 12 — one listing appears as more than 64 identical tuples.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "data/tuple.h"
+
+namespace hdc {
+
+struct YahooGeneratorOptions {
+  size_t num_tuples = 69768;
+  uint64_t seed = 2012;
+  /// Multiplicity of the heaviest duplicated listing. The paper's Yahoo
+  /// data has more than 64 identical tuples (Section 6), making the crawl
+  /// infeasible at k = 64 but fine at k >= 128.
+  size_t max_duplicates = 70;
+};
+
+Dataset GenerateYahoo(const YahooGeneratorOptions& options = {});
+
+/// The tuple duplicated `max_duplicates` times (exposed for tests).
+Tuple YahooHeavyListing();
+
+}  // namespace hdc

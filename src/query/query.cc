@@ -1,0 +1,194 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "query/query.h"
+
+#include "util/macros.h"
+
+namespace hdc {
+
+Query::Query(SchemaPtr schema) : schema_(std::move(schema)) {
+  HDC_CHECK(schema_ != nullptr);
+  slots_.resize(schema_->num_attributes());
+}
+
+Query Query::FullSpace(SchemaPtr schema) {
+  Query q(std::move(schema));
+  for (size_t i = 0; i < q.slots_.size(); ++i) {
+    const AttributeSpec& spec = q.schema_->attribute(i);
+    if (spec.is_categorical()) {
+      q.slots_[i] = {1, static_cast<Value>(spec.domain_size)};
+    } else {
+      q.slots_[i] = {spec.lo, spec.hi};
+    }
+  }
+  return q;
+}
+
+bool Query::IsWildcard(size_t i) const {
+  const AttributeSpec& spec = schema_->attribute(i);
+  if (spec.is_categorical()) {
+    return slots_[i].lo == 1 &&
+           slots_[i].hi == static_cast<Value>(spec.domain_size);
+  }
+  return slots_[i].lo == spec.lo && slots_[i].hi == spec.hi;
+}
+
+bool Query::IsPoint() const {
+  for (const AttrInterval& slot : slots_) {
+    if (!slot.IsPinned()) return false;
+  }
+  return true;
+}
+
+std::optional<size_t> Query::FirstNonPinnedAttribute() const {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].IsPinned()) return i;
+  }
+  return std::nullopt;
+}
+
+void Query::CheckCategoricalValue(size_t i, Value c) const {
+  HDC_CHECK(i < slots_.size());
+  HDC_CHECK_MSG(schema_->IsCategorical(i),
+                "equality predicates are for categorical attributes");
+  HDC_CHECK_MSG(c >= 1 && c <= static_cast<Value>(schema_->domain_size(i)),
+                "categorical value outside its domain");
+}
+
+Query Query::WithCategoricalEquals(size_t i, Value c) const {
+  CheckCategoricalValue(i, c);
+  Query out = *this;
+  out.slots_[i] = {c, c};
+  return out;
+}
+
+Query Query::WithCategoricalWildcard(size_t i) const {
+  HDC_CHECK(i < slots_.size());
+  HDC_CHECK(schema_->IsCategorical(i));
+  Query out = *this;
+  out.slots_[i] = {1, static_cast<Value>(schema_->domain_size(i))};
+  return out;
+}
+
+Query Query::WithNumericRange(size_t i, Value lo, Value hi) const {
+  HDC_CHECK(i < slots_.size());
+  HDC_CHECK_MSG(schema_->IsNumeric(i),
+                "range predicates are for numeric attributes");
+  HDC_CHECK_MSG(lo <= hi, "range must be non-empty");
+  Query out = *this;
+  out.slots_[i] = {lo, hi};
+  return out;
+}
+
+bool Query::Matches(const Tuple& tuple) const {
+  HDC_CHECK(tuple.size() == slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].Contains(tuple[i])) return false;
+  }
+  return true;
+}
+
+bool Query::Contains(const Query& other) const {
+  HDC_CHECK(slots_.size() == other.slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].Contains(other.slots_[i])) return false;
+  }
+  return true;
+}
+
+bool Query::Intersects(const Query& other) const {
+  HDC_CHECK(slots_.size() == other.slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].hi < other.slots_[i].lo ||
+        other.slots_[i].hi < slots_[i].lo) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::pair<size_t, Value>> Query::AsSliceQuery() const {
+  std::optional<std::pair<size_t, Value>> found;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (IsWildcard(i)) continue;
+    if (!schema_->IsCategorical(i) || !slots_[i].IsPinned() || found) {
+      return std::nullopt;
+    }
+    found = {i, slots_[i].lo};
+  }
+  return found;
+}
+
+size_t Query::NumPinned() const {
+  size_t count = 0;
+  for (const AttrInterval& slot : slots_) {
+    if (slot.IsPinned()) ++count;
+  }
+  return count;
+}
+
+std::string Query::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (i > 0) out += ", ";
+    const AttributeSpec& spec = schema_->attribute(i);
+    out += spec.name;
+    if (spec.is_categorical()) {
+      if (IsWildcard(i)) {
+        out += "=*";
+      } else {
+        out += "=" + std::to_string(slots_[i].lo);
+      }
+    } else {
+      auto bound = [](Value v) {
+        if (v <= kNumericMin) return std::string("-inf");
+        if (v >= kNumericMax) return std::string("+inf");
+        return std::to_string(v);
+      };
+      if (slots_[i].IsPinned()) {
+        out += "=" + std::to_string(slots_[i].lo);
+      } else {
+        out +=
+            " in [" + bound(slots_[i].lo) + ", " + bound(slots_[i].hi) + "]";
+      }
+    }
+  }
+  return out;
+}
+
+size_t Query::Hash() const {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](uint64_t x) {
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    h = (h ^ (x ^ (x >> 31))) * 0x100000001b3ULL;
+  };
+  for (const AttrInterval& slot : slots_) {
+    mix(static_cast<uint64_t>(slot.lo));
+    mix(static_cast<uint64_t>(slot.hi));
+  }
+  return static_cast<size_t>(h);
+}
+
+TwoWaySplitResult TwoWaySplit(const Query& q, size_t attr, Value x) {
+  HDC_CHECK(attr < q.num_attributes());
+  HDC_CHECK_MSG(q.schema()->IsNumeric(attr), "splits act on numeric extents");
+  const AttrInterval& ext = q.extent(attr);
+  HDC_CHECK_MSG(ext.lo < x && x <= ext.hi,
+                "2-way split point must leave both halves non-empty");
+  return TwoWaySplitResult{q.WithNumericRange(attr, ext.lo, x - 1),
+                           q.WithNumericRange(attr, x, ext.hi)};
+}
+
+ThreeWaySplitResult ThreeWaySplit(const Query& q, size_t attr, Value x) {
+  HDC_CHECK(attr < q.num_attributes());
+  HDC_CHECK_MSG(q.schema()->IsNumeric(attr), "splits act on numeric extents");
+  const AttrInterval& ext = q.extent(attr);
+  HDC_CHECK(ext.Contains(x));
+  ThreeWaySplitResult out{std::nullopt, q.WithNumericRange(attr, x, x),
+                          std::nullopt};
+  if (ext.lo < x) out.left = q.WithNumericRange(attr, ext.lo, x - 1);
+  if (x < ext.hi) out.right = q.WithNumericRange(attr, x + 1, ext.hi);
+  return out;
+}
+
+}  // namespace hdc

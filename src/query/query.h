@@ -1,0 +1,137 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Query model (paper, Section 1.1). A query places one predicate per
+// attribute:
+//   - numeric Ai:      a range condition  Ai in [x, y]
+//   - categorical Ai:  an equality  Ai = c, or the wildcard  Ai = *
+//
+// Internally both forms are an interval [lo, hi]: a categorical slot is
+// either pinned ([c, c]) or the full domain ([1, U]); arbitrary categorical
+// ranges are *not* representable, enforced by the mutators. A numeric query
+// is therefore an axis-parallel rectangle, exactly the geometry Section 2
+// reasons about.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "data/tuple.h"
+
+namespace hdc {
+
+/// Closed interval of values on one attribute.
+struct AttrInterval {
+  Value lo = 0;
+  Value hi = 0;
+
+  bool Contains(Value v) const { return v >= lo && v <= hi; }
+  bool Contains(const AttrInterval& other) const {
+    return lo <= other.lo && other.hi <= hi;
+  }
+  /// Single-value interval — the attribute is "exhausted" in paper terms.
+  bool IsPinned() const { return lo == hi; }
+  bool operator==(const AttrInterval& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+};
+
+/// A conjunctive query over a schema. Value semantics; copying is cheap
+/// (d <= a few dozen attributes).
+class Query {
+ public:
+  /// The query whose rectangle covers the entire data space: numeric slots
+  /// span the schema-declared bounds (unbounded sentinels by default),
+  /// categorical slots are wildcards.
+  static Query FullSpace(SchemaPtr schema);
+
+  const SchemaPtr& schema() const { return schema_; }
+  size_t num_attributes() const { return slots_.size(); }
+
+  const AttrInterval& extent(size_t i) const { return slots_[i]; }
+  Value lo(size_t i) const { return slots_[i].lo; }
+  Value hi(size_t i) const { return slots_[i].hi; }
+
+  /// True if attribute i's predicate is the trivial full-domain one.
+  bool IsWildcard(size_t i) const;
+
+  /// True if attribute i is fixed to a single value (exhausted).
+  bool IsPinned(size_t i) const { return slots_[i].IsPinned(); }
+
+  /// True if every attribute is pinned — the rectangle is a point.
+  bool IsPoint() const;
+
+  /// Lowest-index attribute that is not exhausted, or nullopt for a point.
+  std::optional<size_t> FirstNonPinnedAttribute() const;
+
+  /// Returns a copy with categorical attribute i set to `Ai = c`.
+  Query WithCategoricalEquals(size_t i, Value c) const;
+
+  /// Returns a copy with categorical attribute i reset to the wildcard.
+  Query WithCategoricalWildcard(size_t i) const;
+
+  /// Returns a copy with numeric attribute i restricted to [lo, hi].
+  Query WithNumericRange(size_t i, Value lo, Value hi) const;
+
+  /// Predicate evaluation.
+  bool Matches(const Tuple& tuple) const;
+
+  /// Geometric containment: every tuple matching `other` matches *this.
+  bool Contains(const Query& other) const;
+
+  /// Geometric intersection test.
+  bool Intersects(const Query& other) const;
+
+  /// If this is a *slice query* — wildcard on every attribute except exactly
+  /// one pinned categorical attribute (numeric slots at full extent) —
+  /// returns {attribute index, value}. (Paper, Section 3.2.)
+  std::optional<std::pair<size_t, Value>> AsSliceQuery() const;
+
+  /// Number of pinned attributes.
+  size_t NumPinned() const;
+
+  /// e.g. "A1=3, A2=*, A3 in [55, 70]".
+  std::string ToString() const;
+
+  bool operator==(const Query& other) const { return slots_ == other.slots_; }
+  bool operator!=(const Query& other) const { return !(*this == other); }
+
+  /// Hash over the slot intervals (schema assumed shared).
+  size_t Hash() const;
+
+ private:
+  explicit Query(SchemaPtr schema);
+
+  void CheckCategoricalValue(size_t i, Value c) const;
+
+  SchemaPtr schema_;
+  std::vector<AttrInterval> slots_;
+};
+
+struct QueryHasher {
+  size_t operator()(const Query& q) const { return q.Hash(); }
+};
+
+/// Result of a 2-way split of rectangle q at value x on attribute `attr`
+/// (paper, Figure 2a): left gets [lo, x-1], right gets [x, hi]. Requires
+/// lo < x <= hi so both halves are non-empty.
+struct TwoWaySplitResult {
+  Query left;
+  Query right;
+};
+TwoWaySplitResult TwoWaySplit(const Query& q, size_t attr, Value x);
+
+/// Result of a 3-way split at value x (paper, Figure 2b): left [lo, x-1],
+/// mid [x, x], right [x+1, hi]. `left`/`right` are absent when their extent
+/// would be empty (x at the boundary); `mid` always exists and has `attr`
+/// exhausted.
+struct ThreeWaySplitResult {
+  std::optional<Query> left;
+  Query mid;
+  std::optional<Query> right;
+};
+ThreeWaySplitResult ThreeWaySplit(const Query& q, size_t attr, Value x);
+
+}  // namespace hdc

@@ -1,0 +1,221 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Composable server wrappers (RocksDB-style decorators). A crawl against a
+// remote site typically runs behind
+//   BudgetServer( CountingServer( LocalServer ) )
+// so it can be metered and interrupted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "server/server.h"
+#include "util/macros.h"
+
+namespace hdc {
+
+/// Base decorator: forwards everything to a wrapped (non-owned) server.
+/// The wrapped server must outlive the decorator.
+class ServerDecorator : public HiddenDbServer {
+ public:
+  explicit ServerDecorator(HiddenDbServer* base) : base_(base) {}
+
+  Status Issue(const Query& query, Response* response) override {
+    return base_->Issue(query, response);
+  }
+  uint64_t k() const override { return base_->k(); }
+  const SchemaPtr& schema() const override { return base_->schema(); }
+
+ protected:
+  HiddenDbServer* base_;
+};
+
+/// Compact per-query record kept by CountingServer when tracing is on.
+struct QueryRecord {
+  bool resolved = false;
+  uint32_t returned = 0;
+};
+
+/// Counts queries (the paper's cost metric) and optionally keeps a compact
+/// trace of every response.
+class CountingServer : public ServerDecorator {
+ public:
+  explicit CountingServer(HiddenDbServer* base, bool keep_trace = false)
+      : ServerDecorator(base), keep_trace_(keep_trace) {}
+
+  Status Issue(const Query& query, Response* response) override {
+    Status s = base_->Issue(query, response);
+    if (s.ok()) {
+      ++queries_;
+      if (keep_trace_) {
+        trace_.push_back(QueryRecord{
+            response->resolved(), static_cast<uint32_t>(response->size())});
+      }
+    }
+    return s;
+  }
+
+  uint64_t queries() const { return queries_; }
+  const std::vector<QueryRecord>& trace() const { return trace_; }
+  void Reset() {
+    queries_ = 0;
+    trace_.clear();
+  }
+
+ private:
+  bool keep_trace_;
+  uint64_t queries_ = 0;
+  std::vector<QueryRecord> trace_;
+};
+
+/// Enforces a hard query budget: once `max_queries` have been forwarded,
+/// further issues fail with ResourceExhausted (the crawler checkpoints and
+/// can resume against a fresh budget — e.g. the next day's quota).
+class BudgetServer : public ServerDecorator {
+ public:
+  BudgetServer(HiddenDbServer* base, uint64_t max_queries)
+      : ServerDecorator(base), remaining_(max_queries) {}
+
+  Status Issue(const Query& query, Response* response) override {
+    if (remaining_ == 0) {
+      return Status::ResourceExhausted("query budget exhausted");
+    }
+    Status s = base_->Issue(query, response);
+    if (s.ok()) --remaining_;
+    return s;
+  }
+
+  uint64_t remaining() const { return remaining_; }
+
+  /// Grants a fresh allotment (e.g. quota reset).
+  void Refill(uint64_t max_queries) { remaining_ = max_queries; }
+
+ private:
+  uint64_t remaining_;
+};
+
+/// Presents a different — but compatible — schema to the crawler than the
+/// wrapped server's: e.g. numeric bounds tightened by domain discovery
+/// (core/domain_discovery.h), which is what lets binary-shrink run against
+/// a server that declares unbounded numeric domains.
+class SchemaOverrideServer : public ServerDecorator {
+ public:
+  SchemaOverrideServer(HiddenDbServer* base, SchemaPtr schema)
+      : ServerDecorator(base), schema_(std::move(schema)) {
+    HDC_CHECK_MSG(schema_ != nullptr &&
+                      schema_->CompatibleWith(*base->schema()),
+                  "override schema must be structurally compatible");
+  }
+
+  const SchemaPtr& schema() const override { return schema_; }
+
+ private:
+  SchemaPtr schema_;
+};
+
+/// Failure injection: deterministically fails every `period`-th Issue with
+/// an Internal error *before* reaching the wrapped server — a dropped
+/// connection, which consumes no quota. period = 0 never fails.
+class FlakyServer : public ServerDecorator {
+ public:
+  FlakyServer(HiddenDbServer* base, uint64_t period)
+      : ServerDecorator(base), period_(period) {}
+
+  Status Issue(const Query& query, Response* response) override {
+    ++attempts_;
+    if (period_ > 0 && attempts_ % period_ == 0) {
+      ++failures_;
+      return Status::Internal("simulated connection failure");
+    }
+    return base_->Issue(query, response);
+  }
+
+  uint64_t attempts() const { return attempts_; }
+  uint64_t failures() const { return failures_; }
+
+ private:
+  uint64_t period_;
+  uint64_t attempts_ = 0;
+  uint64_t failures_ = 0;
+};
+
+/// Retries transient failures (Internal) up to `max_retries` extra
+/// attempts per query. Deliberate refusals — ResourceExhausted budgets —
+/// are never retried: a quota does not come back by asking again.
+class RetryingServer : public ServerDecorator {
+ public:
+  RetryingServer(HiddenDbServer* base, uint64_t max_retries)
+      : ServerDecorator(base), max_retries_(max_retries) {}
+
+  Status Issue(const Query& query, Response* response) override {
+    Status s = base_->Issue(query, response);
+    uint64_t attempts = 0;
+    while (s.code() == Status::Code::kInternal && attempts < max_retries_) {
+      ++attempts;
+      ++retries_performed_;
+      s = base_->Issue(query, response);
+    }
+    return s;
+  }
+
+  uint64_t retries_performed() const { return retries_performed_; }
+
+ private:
+  uint64_t max_retries_;
+  uint64_t retries_performed_ = 0;
+};
+
+/// Invokes a callback after every successful query — used by benches to
+/// sample progressiveness curves without entangling crawler internals.
+class ObservedServer : public ServerDecorator {
+ public:
+  using Callback = std::function<void(const Query&, const Response&)>;
+
+  ObservedServer(HiddenDbServer* base, Callback callback)
+      : ServerDecorator(base), callback_(std::move(callback)) {}
+
+  Status Issue(const Query& query, Response* response) override {
+    Status s = base_->Issue(query, response);
+    if (s.ok() && callback_) callback_(query, *response);
+    return s;
+  }
+
+ private:
+  Callback callback_;
+};
+
+/// Audit log: streams one line per query to `out` —
+///   <index>\t<resolved|OVERFLOW>\t<returned>\t<query>
+/// so an operator can review exactly what a crawl asked a site, or diff
+/// two crawls' query sequences. The stream is not owned and must outlive
+/// the decorator.
+class QueryLogServer : public ServerDecorator {
+ public:
+  QueryLogServer(HiddenDbServer* base, std::ostream* out)
+      : ServerDecorator(base), out_(out) {
+    HDC_CHECK(out != nullptr);
+  }
+
+  Status Issue(const Query& query, Response* response) override {
+    Status s = base_->Issue(query, response);
+    if (s.ok()) {
+      ++index_;
+      *out_ << index_ << '\t'
+            << (response->overflow ? "OVERFLOW" : "resolved") << '\t'
+            << response->size() << '\t' << query.ToString() << '\n';
+    }
+    return s;
+  }
+
+  uint64_t logged() const { return index_; }
+
+ private:
+  std::ostream* out_;
+  uint64_t index_ = 0;
+};
+
+}  // namespace hdc

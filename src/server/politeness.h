@@ -1,0 +1,43 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Virtual-clock politeness model. The paper motivates minimizing queries by
+// per-IP daily quotas (Section 1.1); this helper converts a measured query
+// count into wall-clock estimates under such quotas, without actually
+// sleeping. Used by examples to report "crawling this site would take X
+// days at 1 query/5s, 10k queries/day".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hdc {
+
+struct PolitenessModel {
+  /// Per-IP daily quota (0 = unlimited).
+  uint64_t queries_per_day = 0;
+  /// Round-trip latency budget per query, in milliseconds.
+  uint64_t per_query_latency_ms = 1000;
+
+  struct Estimate {
+    double hours_latency_bound = 0.0;  // latency-limited duration
+    double days_quota_bound = 0.0;     // quota-limited duration
+    double days_total = 0.0;           // max of the two, in days
+  };
+
+  Estimate EstimateDuration(uint64_t num_queries) const {
+    Estimate e;
+    e.hours_latency_bound = static_cast<double>(num_queries) *
+                            static_cast<double>(per_query_latency_ms) /
+                            3'600'000.0;
+    if (queries_per_day > 0) {
+      e.days_quota_bound = static_cast<double>(num_queries) /
+                           static_cast<double>(queries_per_day);
+    }
+    double latency_days = e.hours_latency_bound / 24.0;
+    e.days_total =
+        latency_days > e.days_quota_bound ? latency_days : e.days_quota_bound;
+    return e;
+  }
+};
+
+}  // namespace hdc

@@ -1,0 +1,56 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "server/ranking.h"
+
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace hdc {
+
+std::vector<uint64_t> RandomPriorityPolicy::AssignPriorities(
+    const Dataset& dataset) {
+  Rng rng(seed_);
+  std::vector<uint64_t> priorities(dataset.size());
+  for (auto& p : priorities) p = rng.Next();
+  return priorities;
+}
+
+std::vector<uint64_t> IdOrderPolicy::AssignPriorities(const Dataset& dataset) {
+  std::vector<uint64_t> priorities(dataset.size());
+  const uint64_t n = dataset.size();
+  for (uint64_t i = 0; i < n; ++i) {
+    priorities[i] = ascending_ ? (n - i) : i;
+  }
+  return priorities;
+}
+
+std::vector<uint64_t> ByAttributePolicy::AssignPriorities(
+    const Dataset& dataset) {
+  HDC_CHECK(attribute_ < dataset.schema()->num_attributes());
+  std::vector<uint64_t> priorities(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    // Map the (signed) attribute value onto an order-preserving unsigned
+    // scale; flip for descending.
+    uint64_t key = static_cast<uint64_t>(dataset.tuple(i)[attribute_]) +
+                   (1ULL << 63);
+    priorities[i] = ascending_ ? ~key : key;
+  }
+  return priorities;
+}
+
+std::string ByAttributePolicy::name() const {
+  return "by-attr-" + std::to_string(attribute_) +
+         (ascending_ ? "-asc" : "-desc");
+}
+
+std::unique_ptr<RankingPolicy> MakeRandomPriorityPolicy(uint64_t seed) {
+  return std::make_unique<RandomPriorityPolicy>(seed);
+}
+std::unique_ptr<RankingPolicy> MakeIdOrderPolicy(bool ascending) {
+  return std::make_unique<IdOrderPolicy>(ascending);
+}
+std::unique_ptr<RankingPolicy> MakeByAttributePolicy(size_t attribute,
+                                                     bool ascending) {
+  return std::make_unique<ByAttributePolicy>(attribute, ascending);
+}
+
+}  // namespace hdc

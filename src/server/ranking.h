@@ -1,0 +1,79 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Ranking policies decide *which* k tuples an overflowing query returns.
+// The paper's experiments assign each tuple a random priority and always
+// return the k highest-priority qualifying tuples (Section 6); real sites
+// rank by an attribute (price ascending, newest first, ...). Crawling
+// algorithms must extract the full database under any fixed policy — the
+// property tests sweep all of these.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace hdc {
+
+/// Assigns a static priority to every tuple of the dataset. Higher priority
+/// = returned first. Ties are broken by row id (ascending) at the server, so
+/// responses are always deterministic.
+class RankingPolicy {
+ public:
+  virtual ~RankingPolicy() = default;
+
+  /// Returns one priority per tuple, aligned with dataset row ids.
+  virtual std::vector<uint64_t> AssignPriorities(const Dataset& dataset) = 0;
+
+  /// Short label used in bench output.
+  virtual std::string name() const = 0;
+};
+
+/// The paper's policy: an independent random priority per tuple.
+class RandomPriorityPolicy : public RankingPolicy {
+ public:
+  explicit RandomPriorityPolicy(uint64_t seed) : seed_(seed) {}
+  std::vector<uint64_t> AssignPriorities(const Dataset& dataset) override;
+  std::string name() const override { return "random-priority"; }
+
+ private:
+  uint64_t seed_;
+};
+
+/// Priorities follow insertion order: `ascending` favours the oldest rows.
+/// A useful adversary — early rows shadow late rows in every overflowing
+/// query, the worst case for "just repeat the broad query" crawlers.
+class IdOrderPolicy : public RankingPolicy {
+ public:
+  explicit IdOrderPolicy(bool ascending) : ascending_(ascending) {}
+  std::vector<uint64_t> AssignPriorities(const Dataset& dataset) override;
+  std::string name() const override {
+    return ascending_ ? "oldest-first" : "newest-first";
+  }
+
+ private:
+  bool ascending_;
+};
+
+/// Ranks by an attribute value (e.g. price ascending), modelling real result
+/// orderings; ties by row id.
+class ByAttributePolicy : public RankingPolicy {
+ public:
+  ByAttributePolicy(size_t attribute, bool ascending)
+      : attribute_(attribute), ascending_(ascending) {}
+  std::vector<uint64_t> AssignPriorities(const Dataset& dataset) override;
+  std::string name() const override;
+
+ private:
+  size_t attribute_;
+  bool ascending_;
+};
+
+std::unique_ptr<RankingPolicy> MakeRandomPriorityPolicy(uint64_t seed);
+std::unique_ptr<RankingPolicy> MakeIdOrderPolicy(bool ascending);
+std::unique_ptr<RankingPolicy> MakeByAttributePolicy(size_t attribute,
+                                                     bool ascending);
+
+}  // namespace hdc

@@ -1,0 +1,34 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/tuple.h"
+
+namespace hdc {
+
+/// One tuple of a server response. `hidden_id` identifies the physical row
+/// (as a result row on a real site would); crawling algorithms never branch
+/// on it — it exists so the harness can measure progressiveness (how many
+/// distinct rows have been retrieved so far, Figure 13) without guessing
+/// about duplicate tuples.
+struct ReturnedTuple {
+  Tuple tuple;
+  uint64_t hidden_id = 0;
+};
+
+/// Server answer to one query (paper, Section 1.1):
+///  - if |q(D)| <= k: the entire bag q(D), overflow = false ("resolved");
+///  - else: k tuples of q(D) plus an overflow signal. Which k is the
+///    server's choice (a fixed ranking); re-issuing the same query returns
+///    the same k tuples.
+struct Response {
+  std::vector<ReturnedTuple> tuples;
+  bool overflow = false;
+
+  bool resolved() const { return !overflow; }
+  size_t size() const { return tuples.size(); }
+};
+
+}  // namespace hdc

@@ -1,0 +1,35 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#pragma once
+
+#include <cstdint>
+
+#include "data/schema.h"
+#include "query/query.h"
+#include "server/response.h"
+#include "util/status.h"
+
+namespace hdc {
+
+/// The crawler-facing contract of a hidden database server: submit a form
+/// query, receive at most k tuples plus an overflow signal. Implementations:
+/// LocalServer (in-memory evaluation, the paper's Section 6 methodology) and
+/// the decorators in server/decorators.h (counting, budgets, tracing).
+///
+/// Servers are not thread-safe; a crawl is a sequential conversation.
+class HiddenDbServer {
+ public:
+  virtual ~HiddenDbServer() = default;
+
+  /// Executes `query`. Returns non-OK only for environmental reasons (e.g.
+  /// a BudgetServer's budget is exhausted) — never because of the data.
+  virtual Status Issue(const Query& query, Response* response) = 0;
+
+  /// The server's result-size limit k (e.g. 1000 for Yahoo! Autos).
+  virtual uint64_t k() const = 0;
+
+  /// The data space the server exposes. A real crawler learns this from the
+  /// search form (Section 1.3, "Domain values").
+  virtual const SchemaPtr& schema() const = 0;
+};
+
+}  // namespace hdc

@@ -1,0 +1,48 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "util/csv_writer.h"
+
+namespace hdc {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_.is_open()) {
+    status_ = Status::InvalidArgument("cannot open for writing: " + path);
+  }
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  bool needs_quotes = false;
+  for (char ch : cell) {
+    if (ch == ',' || ch == '"' || ch == '\n' || ch == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (!status_.ok()) return;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << Escape(cells[i]);
+  }
+  out_ << '\n';
+  if (!out_) status_ = Status::Internal("write failed");
+}
+
+Status CsvWriter::Close() {
+  if (out_.is_open()) {
+    out_.close();
+    if (!out_ && status_.ok()) status_ = Status::Internal("close failed");
+  }
+  return status_;
+}
+
+}  // namespace hdc

@@ -1,0 +1,38 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Tiny CSV writer used by the bench harness to dump figure series for
+// external plotting, and by Dataset to persist generated data.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hdc {
+
+/// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check `status()` before use.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row.
+  void WriteRow(const std::vector<std::string>& cells);
+
+  /// Flushes and closes. Returns the final status.
+  Status Close();
+
+  const Status& status() const { return status_; }
+
+  /// Escapes a single cell per CSV quoting rules.
+  static std::string Escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+  Status status_;
+};
+
+}  // namespace hdc

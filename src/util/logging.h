@@ -1,0 +1,49 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Minimal leveled logger. Benches and examples narrate through this so their
+// output can be silenced (tests) or made verbose (debugging a crawl).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hdc {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-collecting helper behind HDC_LOG; flushes one line to stderr on
+/// destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hdc
+
+#define HDC_LOG(level)                                                   \
+  ::hdc::internal::LogMessage(::hdc::LogLevel::k##level, __FILE__, __LINE__)

@@ -1,0 +1,47 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Assertion macros used across the library. hdc is exception-free; invariant
+// violations are programming errors and abort with a diagnostic.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a message when `condition` is false. Enabled in all build
+// types: crawler correctness proofs rely on these invariants, and the cost of
+// the checks is negligible next to query evaluation.
+#define HDC_CHECK(condition)                                                 \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "HDC_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #condition);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define HDC_CHECK_MSG(condition, msg)                                        \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "HDC_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #condition, msg);                               \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+// Aborts when a Status-returning expression is not OK.
+#define HDC_CHECK_OK(expr)                                                   \
+  do {                                                                       \
+    const ::hdc::Status _hdc_status = (expr);                                \
+    if (!_hdc_status.ok()) {                                                 \
+      std::fprintf(stderr, "HDC_CHECK_OK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, _hdc_status.ToString().c_str());                \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+// Early-returns a non-OK status to the caller.
+#define HDC_RETURN_IF_ERROR(expr)                                           \
+  do {                                                                      \
+    ::hdc::Status _hdc_status = (expr);                                     \
+    if (!_hdc_status.ok()) return _hdc_status;                              \
+  } while (0)

@@ -1,0 +1,144 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "util/random.h"
+
+#include <cmath>
+
+namespace hdc {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformU64(uint64_t bound) {
+  HDC_CHECK(bound > 0);
+  // Lemire's multiply-shift with rejection of the biased low range.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  HDC_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) + UniformU64(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+int64_t Rng::NormalInt(double mean, double stddev, int64_t lo, int64_t hi) {
+  HDC_CHECK(lo <= hi);
+  // Box-Muller; one draw per call is plenty for generator workloads.
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  if (u1 <= 0.0) u1 = 1e-12;
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  double value = mean + stddev * z;
+  int64_t rounded = static_cast<int64_t>(std::llround(value));
+  if (rounded < lo) return lo;
+  if (rounded > hi) return hi;
+  return rounded;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double s) : n_(n), s_(s) {
+  HDC_CHECK(n >= 1);
+  HDC_CHECK(s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i), s);
+    cdf_[i - 1] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated floating-point error
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  HDC_CHECK(rng != nullptr);
+  double u = rng->UniformDouble();
+  size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<uint64_t>(lo) + 1;
+}
+
+DiscreteDistribution::DiscreteDistribution(const std::vector<double>& weights) {
+  HDC_CHECK(!weights.empty());
+  cdf_.resize(weights.size());
+  double total = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    HDC_CHECK(weights[i] >= 0.0);
+    total += weights[i];
+    cdf_[i] = total;
+  }
+  HDC_CHECK(total > 0.0);
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+size_t DiscreteDistribution::Sample(Rng* rng) const {
+  HDC_CHECK(rng != nullptr);
+  double u = rng->UniformDouble();
+  size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace hdc

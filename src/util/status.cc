@@ -1,0 +1,38 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "util/status.h"
+
+namespace hdc {
+
+const char* StatusCodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kFailedPrecondition:
+      return "FailedPrecondition";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Status::Code::kUnsolvable:
+      return "Unsolvable";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace hdc

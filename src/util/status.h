@@ -1,0 +1,88 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// RocksDB-style Status: the library is exception-free, and operations that
+// can fail for reasons other than programming errors report through Status.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace hdc {
+
+/// Outcome of a fallible operation.
+///
+/// Conventions (mirroring RocksDB / Arrow):
+///  - `Status::OK()` means success; `ok()` is the only thing most callers
+///    check.
+///  - `ResourceExhausted` is used for query-budget exhaustion during a crawl;
+///    it is an *expected* outcome that callers handle (checkpoint + resume),
+///    not an error to abort on.
+///  - `Unsolvable` is specific to Problem 1: some point of the data space
+///    holds more than k tuples, so no algorithm can extract the full bag
+///    (paper, Section 1.1).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotSupported,
+    kFailedPrecondition,
+    kResourceExhausted,
+    kUnsolvable,
+    kNotFound,
+    kInternal,
+  };
+
+  /// Default-constructed Status is OK.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status Unsolvable(std::string msg) {
+    return Status(Code::kUnsolvable, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsResourceExhausted() const { return code_ == Code::kResourceExhausted; }
+  bool IsUnsolvable() const { return code_ == Code::kUnsolvable; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "ResourceExhausted: query budget of 100
+  /// queries exhausted".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Name of a status code, e.g. "ResourceExhausted".
+const char* StatusCodeName(Status::Code code);
+
+}  // namespace hdc

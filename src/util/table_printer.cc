@@ -1,0 +1,67 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "util/macros.h"
+
+namespace hdc {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {
+  HDC_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  HDC_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Cell(int64_t v) { return std::to_string(v); }
+std::string TablePrinter::Cell(uint64_t v) { return std::to_string(v); }
+
+std::string TablePrinter::Cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return std::string(buf);
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c];
+      if (c + 1 < cells.size()) {
+        out << std::string(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::vector<std::string> rule;
+  rule.reserve(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule.push_back(std::string(widths[c], '-'));
+  }
+  emit_row(rule);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+void TablePrinter::Print() const { Print(std::cout); }
+
+}  // namespace hdc

@@ -1,0 +1,49 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Console table rendering for the benchmark harness. Every figure of the
+// paper is reproduced as an aligned text table whose rows mirror the figure's
+// series, so bench output is directly comparable to the paper.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hdc {
+
+/// Builds an aligned ASCII table:
+///
+///   == Figure 10a: cost vs k (Adult-numeric, d=6) ==
+///   k      binary-shrink  rank-shrink
+///   ----   -------------  -----------
+///   64     3912           2167
+///   ...
+class TablePrinter {
+ public:
+  TablePrinter(std::string title, std::vector<std::string> headers);
+
+  /// Appends a row; the number of cells must equal the number of headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience overloads for common cell types.
+  static std::string Cell(int64_t v);
+  static std::string Cell(uint64_t v);
+  static std::string Cell(double v, int precision = 2);
+
+  /// Renders the full table.
+  std::string ToString() const;
+
+  /// Renders to a stream (defaults used by bench binaries: std::cout).
+  void Print(std::ostream& os) const;
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hdc

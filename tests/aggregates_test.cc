@@ -1,0 +1,206 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "analytics/aggregates.h"
+
+#include <gtest/gtest.h>
+
+namespace hdc {
+namespace {
+
+// Cars: (Make in 1..3, Price, Mileage).
+Dataset Cars() {
+  SchemaPtr schema = Schema::Make({
+      AttributeSpec::Categorical("Make", 3),
+      AttributeSpec::NumericBounded("Price", 0, 100000),
+      AttributeSpec::NumericBounded("Mileage", 0, 300000),
+  });
+  Dataset d(schema);
+  d.Add(Tuple({1, 10000, 50000}));
+  d.Add(Tuple({1, 12000, 40000}));
+  d.Add(Tuple({2, 30000, 20000}));
+  d.Add(Tuple({2, 34000, 10000}));
+  d.Add(Tuple({3, 60000, 5000}));
+  d.Add(Tuple({1, 8000, 90000}));
+  return d;
+}
+
+Query All(const Dataset& d) { return Query::FullSpace(d.schema()); }
+
+TEST(AggregateTest, CountAll) {
+  Dataset d = Cars();
+  AggregateResult r = Aggregate(d, All(d), AggregateSpec::Count());
+  EXPECT_EQ(r.rows, 6u);
+  EXPECT_DOUBLE_EQ(r.value, 6.0);
+}
+
+TEST(AggregateTest, CountFiltered) {
+  Dataset d = Cars();
+  Query make1 = All(d).WithCategoricalEquals(0, 1);
+  AggregateResult r = Aggregate(d, make1, AggregateSpec::Count());
+  EXPECT_EQ(r.rows, 3u);
+}
+
+TEST(AggregateTest, SumAvgMinMax) {
+  Dataset d = Cars();
+  EXPECT_DOUBLE_EQ(Aggregate(d, All(d), AggregateSpec::Sum(1)).value,
+                   154000.0);
+  EXPECT_DOUBLE_EQ(Aggregate(d, All(d), AggregateSpec::Avg(1)).value,
+                   154000.0 / 6.0);
+  EXPECT_DOUBLE_EQ(Aggregate(d, All(d), AggregateSpec::Min(1)).value,
+                   8000.0);
+  EXPECT_DOUBLE_EQ(Aggregate(d, All(d), AggregateSpec::Max(1)).value,
+                   60000.0);
+}
+
+TEST(AggregateTest, EmptyFilterYieldsZeroRows) {
+  Dataset d = Cars();
+  Query none = All(d).WithNumericRange(1, 99999, 100000);
+  AggregateResult r = Aggregate(d, none, AggregateSpec::Avg(1));
+  EXPECT_EQ(r.rows, 0u);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+}
+
+TEST(AggregateTest, RangeAndEqualityFilterCombine) {
+  Dataset d = Cars();
+  Query q = All(d)
+                .WithCategoricalEquals(0, 2)
+                .WithNumericRange(1, 0, 32000);  // make 2, price <= 32000
+  AggregateResult r = Aggregate(d, q, AggregateSpec::Count());
+  EXPECT_EQ(r.rows, 1u);
+}
+
+TEST(GroupByTest, AvgPriceByMake) {
+  Dataset d = Cars();
+  auto rows = GroupBy(d, All(d), 0, AggregateSpec::Avg(1));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].group, 1);
+  EXPECT_DOUBLE_EQ(rows[0].agg.value, 10000.0);
+  EXPECT_EQ(rows[0].agg.rows, 3u);
+  EXPECT_EQ(rows[1].group, 2);
+  EXPECT_DOUBLE_EQ(rows[1].agg.value, 32000.0);
+  EXPECT_EQ(rows[2].group, 3);
+  EXPECT_DOUBLE_EQ(rows[2].agg.value, 60000.0);
+}
+
+TEST(GroupByTest, FilteredGroupsOmitEmpty) {
+  Dataset d = Cars();
+  Query cheap = All(d).WithNumericRange(1, 0, 15000);
+  auto rows = GroupBy(d, cheap, 0, AggregateSpec::Count());
+  ASSERT_EQ(rows.size(), 1u);  // only make 1 has cars under 15k
+  EXPECT_EQ(rows[0].group, 1);
+  EXPECT_EQ(rows[0].agg.rows, 3u);
+}
+
+TEST(HistogramTest, BinsCoverRangeAndCounts) {
+  Dataset d = Cars();
+  auto bins = Histogram(d, All(d), 1, 2);  // price range 8000..60000
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[0].lo, 8000);
+  EXPECT_EQ(bins[1].hi, 60000);
+  uint64_t total = 0;
+  for (const auto& b : bins) total += b.count;
+  EXPECT_EQ(total, 6u);
+  // Width = ceil(52001 / 2) = 26001: bin 0 spans 8000..34000 (5 prices),
+  // bin 1 spans 34001..60000 (1 price).
+  EXPECT_EQ(bins[0].hi, 34000);
+  EXPECT_EQ(bins[0].count, 5u);
+  EXPECT_EQ(bins[1].count, 1u);
+}
+
+TEST(HistogramTest, MoreBinsThanDistinctValuesClamps) {
+  SchemaPtr schema = Schema::NumericBounded({{0, 10}});
+  Dataset d(schema);
+  d.Add(Tuple({3}));
+  d.Add(Tuple({3}));
+  auto bins = Histogram(d, Query::FullSpace(schema), 0, 100);
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_EQ(bins[0].count, 2u);
+}
+
+TEST(HistogramTest, EmptyInputYieldsNoBins) {
+  Dataset d = Cars();
+  Query none = All(d).WithNumericRange(2, 299999, 300000);
+  EXPECT_TRUE(Histogram(d, none, 1, 4).empty());
+}
+
+TEST(QuantileTest, NearestRank) {
+  Dataset d = Cars();
+  // Prices sorted: 8000 10000 12000 30000 34000 60000.
+  EXPECT_EQ(Quantile(d, All(d), 1, 0.0), 8000);
+  EXPECT_EQ(Quantile(d, All(d), 1, 0.5), 12000);
+  EXPECT_EQ(Quantile(d, All(d), 1, 1.0), 60000);
+}
+
+TEST(QuantileTest, EmptyReturnsNullopt) {
+  Dataset d = Cars();
+  Query none = All(d).WithCategoricalEquals(0, 3).WithNumericRange(1, 0, 1);
+  EXPECT_EQ(Quantile(d, none, 1, 0.5), std::nullopt);
+}
+
+TEST(TopByTest, CheapestAndPriciest) {
+  Dataset d = Cars();
+  auto cheapest = TopBy(d, All(d), 1, 2, /*ascending=*/true);
+  ASSERT_EQ(cheapest.size(), 2u);
+  EXPECT_EQ(cheapest[0][1], 8000);
+  EXPECT_EQ(cheapest[1][1], 10000);
+
+  auto priciest = TopBy(d, All(d), 1, 1, /*ascending=*/false);
+  ASSERT_EQ(priciest.size(), 1u);
+  EXPECT_EQ(priciest[0][1], 60000);
+}
+
+TEST(TopByTest, LimitBeyondSizeReturnsAll) {
+  Dataset d = Cars();
+  EXPECT_EQ(TopBy(d, All(d), 1, 100, true).size(), 6u);
+}
+
+TEST(AggregateOpTest, Names) {
+  EXPECT_STREQ(AggregateOpName(AggregateOp::kCount), "count");
+  EXPECT_STREQ(AggregateOpName(AggregateOp::kAvg), "avg");
+  EXPECT_STREQ(AggregateOpName(AggregateOp::kMax), "max");
+}
+
+TEST(DistinctValuesTest, SortedAndUnique) {
+  Dataset d = Cars();
+  auto makes = DistinctValues(d, All(d), 0);
+  EXPECT_EQ(makes, (std::vector<Value>{1, 2, 3}));
+  auto prices = DistinctValues(d, All(d).WithCategoricalEquals(0, 2), 1);
+  EXPECT_EQ(prices, (std::vector<Value>{30000, 34000}));
+}
+
+TEST(DistinctValuesTest, EmptyFilter) {
+  Dataset d = Cars();
+  EXPECT_TRUE(
+      DistinctValues(d, All(d).WithNumericRange(1, 99, 100), 0).empty());
+}
+
+TEST(CrossTabTest, CountsPairsSorted) {
+  SchemaPtr schema = Schema::Categorical({2, 2});
+  Dataset d(schema);
+  d.Add(Tuple({1, 1}));
+  d.Add(Tuple({1, 1}));
+  d.Add(Tuple({1, 2}));
+  d.Add(Tuple({2, 2}));
+  auto cells = CrossTab(d, Query::FullSpace(schema), 0, 1);
+  ASSERT_EQ(cells.size(), 3u);  // the (2,1) cell is empty and omitted
+  EXPECT_EQ(cells[0].row, 1);
+  EXPECT_EQ(cells[0].column, 1);
+  EXPECT_EQ(cells[0].count, 2u);
+  EXPECT_EQ(cells[1].row, 1);
+  EXPECT_EQ(cells[1].column, 2);
+  EXPECT_EQ(cells[1].count, 1u);
+  EXPECT_EQ(cells[2].row, 2);
+  EXPECT_EQ(cells[2].count, 1u);
+}
+
+TEST(CrossTabTest, FilterApplies) {
+  Dataset d = Cars();
+  // Make x Owner-of-price-band: cross make with mileage bucket via filter.
+  auto cells =
+      CrossTab(d, All(d).WithNumericRange(1, 0, 15000), 0, 0);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].row, 1);
+  EXPECT_EQ(cells[0].count, 3u);
+}
+
+}  // namespace
+}  // namespace hdc

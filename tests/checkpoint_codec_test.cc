@@ -1,0 +1,126 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Property tests of the checkpoint token codecs: random queries and tuples
+// must round-trip exactly, and malformed inputs must be rejected, never
+// crash.
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/random.h"
+
+namespace hdc {
+namespace {
+
+SchemaPtr MixedSchema() {
+  return Schema::Make({
+      AttributeSpec::Categorical("C1", 7),
+      AttributeSpec::NumericBounded("N1", -100, 100),
+      AttributeSpec::Categorical("C2", 3),
+      AttributeSpec::Numeric("N2"),
+  });
+}
+
+Query RandomQuery(const SchemaPtr& schema, Rng* rng) {
+  Query q = Query::FullSpace(schema);
+  if (rng->Bernoulli(0.5)) {
+    q = q.WithCategoricalEquals(0, rng->UniformInt(1, 7));
+  }
+  if (rng->Bernoulli(0.5)) {
+    Value lo = rng->UniformInt(-100, 100);
+    q = q.WithNumericRange(1, lo, rng->UniformInt(lo, 100));
+  }
+  if (rng->Bernoulli(0.5)) {
+    q = q.WithCategoricalEquals(2, rng->UniformInt(1, 3));
+  }
+  if (rng->Bernoulli(0.5)) {
+    Value lo = rng->UniformInt(-1000000, 1000000);
+    q = q.WithNumericRange(3, lo, rng->UniformInt(lo, 1000000));
+  }
+  return q;
+}
+
+TEST(CheckpointCodecTest, QueryRoundTripProperty) {
+  SchemaPtr schema = MixedSchema();
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    Query original = RandomQuery(schema, &rng);
+    std::ostringstream out;
+    EncodeQueryTokens(original, &out);
+    std::istringstream in(out.str());
+    Query decoded = Query::FullSpace(schema);
+    ASSERT_TRUE(DecodeQueryTokens(&in, schema, &decoded).ok())
+        << original.ToString();
+    ASSERT_EQ(decoded, original) << original.ToString();
+  }
+}
+
+TEST(CheckpointCodecTest, TupleRoundTripProperty) {
+  Rng rng(11);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<Value> values(1 + rng.UniformU64(6));
+    for (auto& v : values) v = rng.UniformInt(-1000000000, 1000000000);
+    Tuple original(values);
+    std::ostringstream out;
+    EncodeTupleTokens(original, &out);
+    std::istringstream in(out.str());
+    Tuple decoded;
+    ASSERT_TRUE(DecodeTupleTokens(&in, values.size(), &decoded).ok());
+    ASSERT_EQ(decoded, original);
+  }
+}
+
+TEST(CheckpointCodecTest, DecodeQueryRejectsBadInput) {
+  SchemaPtr schema = MixedSchema();
+  Query q = Query::FullSpace(schema);
+
+  {  // too few tokens
+    std::istringstream in("1 1 0");
+    EXPECT_FALSE(DecodeQueryTokens(&in, schema, &q).ok());
+  }
+  {  // categorical value out of domain
+    std::istringstream in("9 9 0 0 1 3 0 0");
+    EXPECT_FALSE(DecodeQueryTokens(&in, schema, &q).ok());
+  }
+  {  // categorical range that is neither pinned nor full
+    std::istringstream in("2 5 0 0 1 3 0 0");
+    EXPECT_FALSE(DecodeQueryTokens(&in, schema, &q).ok());
+  }
+  {  // numeric extent out of order
+    std::istringstream in("1 1 50 -50 1 3 0 0");
+    EXPECT_FALSE(DecodeQueryTokens(&in, schema, &q).ok());
+  }
+  {  // non-numeric garbage
+    std::istringstream in("a b c d e f g h");
+    EXPECT_FALSE(DecodeQueryTokens(&in, schema, &q).ok());
+  }
+}
+
+TEST(CheckpointCodecTest, DecodeTupleRejectsShortInput) {
+  std::istringstream in("1 2");
+  Tuple t;
+  EXPECT_FALSE(DecodeTupleTokens(&in, 3, &t).ok());
+}
+
+TEST(CheckpointCodecTest, QueryStackFrontierRejectsMissingTerminator) {
+  SchemaPtr schema = Schema::Numeric(1);
+  std::istringstream in("q 0 5\nq 6 9\n");  // no frontier-end
+  std::vector<Query> frontier;
+  EXPECT_FALSE(DecodeQueryStackFrontier(&in, schema, &frontier).ok());
+}
+
+TEST(CheckpointCodecTest, QueryStackFrontierParsesInOrder) {
+  SchemaPtr schema = Schema::Numeric(1);
+  std::istringstream in("q 0 5\nq 6 9\nfrontier-end\n");
+  std::vector<Query> frontier;
+  ASSERT_TRUE(DecodeQueryStackFrontier(&in, schema, &frontier).ok());
+  ASSERT_EQ(frontier.size(), 2u);
+  EXPECT_EQ(frontier[0].lo(0), 0);
+  EXPECT_EQ(frontier[0].hi(0), 5);
+  EXPECT_EQ(frontier[1].lo(0), 6);
+}
+
+}  // namespace
+}  // namespace hdc

@@ -1,0 +1,223 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// The central correctness property of the paper's Problem 1: for every data
+// space type, every result-limit k, and every server ranking policy, each
+// applicable crawler must extract *exactly* the multiset D. Parameterized
+// sweeps (TEST_P) cover the cross-product.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "core/crawlers.h"
+#include "gen/synthetic.h"
+#include "server/local_server.h"
+#include "test_util.h"
+
+namespace hdc {
+namespace {
+
+enum class PolicyKind { kRandomA, kRandomB, kOldest, kNewest, kByAttr };
+
+std::unique_ptr<RankingPolicy> MakePolicy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kRandomA:
+      return MakeRandomPriorityPolicy(101);
+    case PolicyKind::kRandomB:
+      return MakeRandomPriorityPolicy(202);
+    case PolicyKind::kOldest:
+      return MakeIdOrderPolicy(true);
+    case PolicyKind::kNewest:
+      return MakeIdOrderPolicy(false);
+    case PolicyKind::kByAttr:
+      return MakeByAttributePolicy(0, true);
+  }
+  return nullptr;
+}
+
+const char* PolicyName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kRandomA:
+      return "RandomA";
+    case PolicyKind::kRandomB:
+      return "RandomB";
+    case PolicyKind::kOldest:
+      return "Oldest";
+    case PolicyKind::kNewest:
+      return "Newest";
+    case PolicyKind::kByAttr:
+      return "ByAttr";
+  }
+  return "?";
+}
+
+/// Crawls `data` with `crawler` at result limit >= max multiplicity and
+/// expects the exact multiset back.
+void CheckExact(Crawler* crawler, const Dataset& data, uint64_t k,
+                PolicyKind policy) {
+  const uint64_t k_eff = std::max(k, data.MaxPointMultiplicity());
+  testing_util::ExpectExactExtraction(crawler, data, k_eff,
+                                      MakePolicy(policy));
+}
+
+// ---------------------------------------------------------------------
+// Numeric spaces: binary-shrink and rank-shrink.
+// ---------------------------------------------------------------------
+
+using NumericParams = std::tuple<size_t /*d*/, double /*skew*/,
+                                 uint64_t /*k*/, PolicyKind>;
+
+class NumericCompleteness
+    : public ::testing::TestWithParam<NumericParams> {};
+
+TEST_P(NumericCompleteness, BothNumericCrawlersExact) {
+  auto [d, skew, k, policy] = GetParam();
+  SyntheticNumericOptions gen;
+  gen.d = d;
+  gen.n = 700;
+  gen.value_range = 256;
+  gen.value_skew = skew;
+  gen.duplicate_prob = skew > 0 ? 0.05 : 0.0;
+  gen.seed = 1000 + d * 17 + static_cast<uint64_t>(skew * 10) + k;
+  Dataset data = GenerateSyntheticNumeric(gen);
+
+  RankShrink rank_shrink;
+  CheckExact(&rank_shrink, data, k, policy);
+  BinaryShrink binary_shrink;
+  CheckExact(&binary_shrink, data, k, policy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NumericCompleteness,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0.0, 1.0),
+                       ::testing::Values(4, 16, 64),
+                       ::testing::Values(PolicyKind::kRandomA,
+                                         PolicyKind::kRandomB,
+                                         PolicyKind::kOldest,
+                                         PolicyKind::kNewest,
+                                         PolicyKind::kByAttr)),
+    [](const ::testing::TestParamInfo<NumericParams>& info) {
+      return "d" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) > 0 ? "_skew" : "_uniform") + "_k" +
+             std::to_string(std::get<2>(info.param)) + "_" +
+             PolicyName(std::get<3>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Categorical spaces: DFS, slice-cover, lazy-slice-cover.
+// ---------------------------------------------------------------------
+
+using CategoricalParams =
+    std::tuple<int /*shape*/, uint64_t /*k*/, PolicyKind>;
+
+class CategoricalCompleteness
+    : public ::testing::TestWithParam<CategoricalParams> {};
+
+TEST_P(CategoricalCompleteness, AllCategoricalCrawlersExact) {
+  auto [shape, k, policy] = GetParam();
+  SyntheticCategoricalOptions gen;
+  switch (shape) {
+    case 0:
+      gen.domain_sizes = {2, 2, 2, 2};  // deep, tiny domains
+      break;
+    case 1:
+      gen.domain_sizes = {30};  // single wide attribute
+      break;
+    case 2:
+      gen.domain_sizes = {6, 10, 14};  // mixed widths
+      break;
+  }
+  gen.n = 600;
+  gen.zipf_s = 0.9;
+  gen.seed = 2000 + shape * 31 + k;
+  Dataset data = GenerateSyntheticCategorical(gen);
+
+  DfsCrawler dfs;
+  CheckExact(&dfs, data, k, policy);
+  SliceCoverCrawler eager(false);
+  CheckExact(&eager, data, k, policy);
+  SliceCoverCrawler lazy(true);
+  CheckExact(&lazy, data, k, policy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CategoricalCompleteness,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(4, 16, 64),
+                       ::testing::Values(PolicyKind::kRandomA,
+                                         PolicyKind::kOldest,
+                                         PolicyKind::kNewest,
+                                         PolicyKind::kByAttr)),
+    [](const ::testing::TestParamInfo<CategoricalParams>& info) {
+      return "shape" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             PolicyName(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Mixed spaces: hybrid.
+// ---------------------------------------------------------------------
+
+using MixedParams = std::tuple<int /*shape*/, uint64_t /*k*/, PolicyKind>;
+
+class MixedCompleteness : public ::testing::TestWithParam<MixedParams> {};
+
+TEST_P(MixedCompleteness, HybridExact) {
+  auto [shape, k, policy] = GetParam();
+  SyntheticMixedOptions gen;
+  switch (shape) {
+    case 0:
+      gen.domain_sizes = {4};
+      gen.num_numeric = 3;
+      break;
+    case 1:
+      gen.domain_sizes = {3, 5, 7};
+      gen.num_numeric = 1;
+      break;
+    case 2:
+      gen.domain_sizes = {10, 10};
+      gen.num_numeric = 2;
+      break;
+  }
+  gen.n = 700;
+  gen.value_range = 128;
+  gen.zipf_s = 1.0;
+  gen.value_skew = shape == 2 ? 0.8 : 0.0;
+  gen.seed = 3000 + shape * 13 + k;
+  Dataset data = GenerateSyntheticMixed(gen);
+
+  HybridCrawler hybrid;
+  CheckExact(&hybrid, data, k, policy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MixedCompleteness,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(4, 16, 64),
+                       ::testing::Values(PolicyKind::kRandomA,
+                                         PolicyKind::kOldest,
+                                         PolicyKind::kNewest,
+                                         PolicyKind::kByAttr)),
+    [](const ::testing::TestParamInfo<MixedParams>& info) {
+      return "shape" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             PolicyName(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Factory selection.
+// ---------------------------------------------------------------------
+
+TEST(MakeOptimalCrawlerTest, PicksByTheorem1CaseAnalysis) {
+  EXPECT_EQ(MakeOptimalCrawler(*Schema::Numeric(3))->name(), "rank-shrink");
+  EXPECT_EQ(MakeOptimalCrawler(*Schema::Categorical({4}))->name(),
+            "lazy-slice-cover");
+  SchemaPtr mixed = Schema::Make({AttributeSpec::Categorical("C", 2),
+                                  AttributeSpec::Numeric("N")});
+  EXPECT_EQ(MakeOptimalCrawler(*mixed)->name(), "hybrid");
+}
+
+}  // namespace
+}  // namespace hdc

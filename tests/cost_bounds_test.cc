@@ -1,0 +1,120 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Theorem 1's upper bounds as executable assertions, swept over k
+// (parameterized): rank-shrink within the Lemma 2 envelope, slice-cover
+// within Lemma 4, hybrid within Lemma 9 — on data with duplicates and skew
+// (the regimes where the constants are actually exercised).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/hybrid.h"
+#include "core/rank_shrink.h"
+#include "core/slice_cover.h"
+#include "gen/synthetic.h"
+#include "test_util.h"
+
+namespace hdc {
+namespace {
+
+using testing_util::ExpectExactExtraction;
+
+double CeilDiv(uint64_t a, uint64_t b) {
+  return std::ceil(static_cast<double>(a) / static_cast<double>(b));
+}
+
+class BoundsSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BoundsSweep, RankShrinkWithinLemma2) {
+  SyntheticNumericOptions gen;
+  gen.d = 3;
+  gen.n = 6000;
+  gen.value_range = 900;
+  gen.value_skew = 0.5;
+  gen.duplicate_prob = 0.05;
+  gen.duplicate_pool = 8;
+  gen.seed = 101;
+  Dataset data = GenerateSyntheticNumeric(gen);
+  const uint64_t k = std::max(GetParam(), data.MaxPointMultiplicity());
+
+  RankShrink crawler;
+  CrawlResult result = ExpectExactExtraction(&crawler, data, k);
+  // Lemma 2 with alpha = 20 plus small-input slack.
+  const double bound = 20.0 * 3.0 * CeilDiv(gen.n, k) + 8.0 * 3 + 8.0;
+  EXPECT_LE(static_cast<double>(result.queries_issued), bound)
+      << "k=" << k;
+}
+
+TEST_P(BoundsSweep, SliceCoverWithinLemma4) {
+  SyntheticCategoricalOptions gen;
+  gen.domain_sizes = {10, 18, 26};
+  gen.n = 6000;
+  gen.zipf_s = 0.8;
+  gen.seed = 102;
+  Dataset data = GenerateSyntheticCategorical(gen);
+  const uint64_t k = std::max(GetParam(), data.MaxPointMultiplicity());
+
+  SliceCoverCrawler eager(false);
+  CrawlResult result = ExpectExactExtraction(&eager, data, k);
+  const double n_over_k = CeilDiv(gen.n, k);
+  double bound = 0;
+  for (uint64_t u : gen.domain_sizes) {
+    bound += static_cast<double>(u) +
+             n_over_k * std::min(static_cast<double>(u), n_over_k);
+  }
+  EXPECT_LE(static_cast<double>(result.queries_issued), bound) << "k=" << k;
+}
+
+TEST_P(BoundsSweep, HybridWithinLemma9) {
+  SyntheticMixedOptions gen;
+  gen.domain_sizes = {8, 14};
+  gen.num_numeric = 2;
+  gen.n = 6000;
+  gen.value_range = 700;
+  gen.zipf_s = 0.8;
+  gen.seed = 103;
+  Dataset data = GenerateSyntheticMixed(gen);
+  const uint64_t k = std::max(GetParam(), data.MaxPointMultiplicity());
+
+  HybridCrawler crawler;
+  CrawlResult result = ExpectExactExtraction(&crawler, data, k);
+  // Lemma 9 (cat > 1): categorical part per Lemma 4 plus O((d-cat) n/k)
+  // with the same alpha = 20, plus slack.
+  const double n_over_k = CeilDiv(gen.n, k);
+  double bound = 20.0 * 2.0 * n_over_k + 8.0 * 2 + 8.0;
+  for (uint64_t u : gen.domain_sizes) {
+    bound += static_cast<double>(u) +
+             n_over_k * std::min(static_cast<double>(u), n_over_k);
+  }
+  EXPECT_LE(static_cast<double>(result.queries_issued), bound) << "k=" << k;
+}
+
+TEST_P(BoundsSweep, LazyNeverExceedsLemma4Either) {
+  SyntheticCategoricalOptions gen;
+  gen.domain_sizes = {10, 18, 26};
+  gen.n = 6000;
+  gen.zipf_s = 0.8;
+  gen.seed = 104;
+  Dataset data = GenerateSyntheticCategorical(gen);
+  const uint64_t k = std::max(GetParam(), data.MaxPointMultiplicity());
+
+  SliceCoverCrawler lazy(true);
+  CrawlResult result = ExpectExactExtraction(&lazy, data, k);
+  const double n_over_k = CeilDiv(gen.n, k);
+  double bound = 0;
+  for (uint64_t u : gen.domain_sizes) {
+    bound += static_cast<double>(u) +
+             n_over_k * std::min(static_cast<double>(u), n_over_k);
+  }
+  EXPECT_LE(static_cast<double>(result.queries_issued), bound) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, BoundsSweep,
+                         ::testing::Values(8, 16, 32, 64, 128, 256),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace hdc

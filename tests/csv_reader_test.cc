@@ -1,0 +1,141 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "data/csv_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "gen/synthetic.h"
+
+namespace hdc {
+namespace {
+
+TEST(SchemaSpecTest, ParsesMixedSpec) {
+  SchemaPtr schema;
+  ASSERT_TRUE(ParseSchemaSpec(
+                  "Make:cat:85, Price:num:200:200000, Mileage:num", &schema)
+                  .ok());
+  ASSERT_EQ(schema->num_attributes(), 3u);
+  EXPECT_EQ(schema->attribute(0).name, "Make");
+  EXPECT_TRUE(schema->IsCategorical(0));
+  EXPECT_EQ(schema->domain_size(0), 85u);
+  EXPECT_TRUE(schema->IsNumeric(1));
+  EXPECT_EQ(schema->attribute(1).lo, 200);
+  EXPECT_EQ(schema->attribute(1).hi, 200000);
+  EXPECT_TRUE(schema->IsNumeric(2));
+  EXPECT_EQ(schema->attribute(2).lo, kNumericMin);
+}
+
+TEST(SchemaSpecTest, RoundTripsThroughFormat) {
+  SchemaPtr schema;
+  const std::string spec = "A:cat:4, B:num:-10:10, C:num";
+  ASSERT_TRUE(ParseSchemaSpec(spec, &schema).ok());
+  EXPECT_EQ(FormatSchemaSpec(*schema), spec);
+
+  SchemaPtr again;
+  ASSERT_TRUE(ParseSchemaSpec(FormatSchemaSpec(*schema), &again).ok());
+  EXPECT_TRUE(*schema == *again);
+}
+
+TEST(SchemaSpecTest, RejectsMalformedSpecs) {
+  SchemaPtr schema;
+  EXPECT_FALSE(ParseSchemaSpec("", &schema).ok());
+  EXPECT_FALSE(ParseSchemaSpec("NoKind", &schema).ok());
+  EXPECT_FALSE(ParseSchemaSpec("A:cat", &schema).ok());          // no domain
+  EXPECT_FALSE(ParseSchemaSpec("A:cat:0", &schema).ok());        // empty dom
+  EXPECT_FALSE(ParseSchemaSpec("A:cat:xyz", &schema).ok());      // not int
+  EXPECT_FALSE(ParseSchemaSpec("A:num:5", &schema).ok());        // one bound
+  EXPECT_FALSE(ParseSchemaSpec("A:num:10:5", &schema).ok());     // reversed
+  EXPECT_FALSE(ParseSchemaSpec("A:weird", &schema).ok());        // bad kind
+  EXPECT_FALSE(ParseSchemaSpec(":cat:3", &schema).ok());         // no name
+}
+
+TEST(LoadCsvTest, RoundTripsSaveCsv) {
+  SyntheticMixedOptions gen;
+  gen.domain_sizes = {5, 9};
+  gen.num_numeric = 2;
+  gen.n = 500;
+  gen.seed = 21;
+  Dataset original = GenerateSyntheticMixed(gen);
+  const std::string path = ::testing::TempDir() + "/hdc_roundtrip.csv";
+  ASSERT_TRUE(original.SaveCsv(path).ok());
+
+  Dataset loaded(original.schema());
+  ASSERT_TRUE(LoadCsv(path, original.schema(), &loaded).ok());
+  EXPECT_EQ(loaded.size(), original.size());
+  // Order-preserving load: tuple-for-tuple equality, not just multiset.
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    ASSERT_EQ(loaded.tuple(i), original.tuple(i)) << i;
+  }
+}
+
+TEST(LoadCsvTest, MissingFile) {
+  SchemaPtr schema = Schema::Numeric(1);
+  Dataset out(schema);
+  Status s = LoadCsv("/does/not/exist.csv", schema, &out);
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+}
+
+TEST(LoadCsvTest, HeaderMismatch) {
+  const std::string path = ::testing::TempDir() + "/hdc_badheader.csv";
+  std::ofstream(path) << "X,Y\n1,2\n";
+  SchemaPtr schema;
+  ASSERT_TRUE(ParseSchemaSpec("A:num, B:num", &schema).ok());
+  Dataset out(schema);
+  EXPECT_FALSE(LoadCsv(path, schema, &out).ok());
+}
+
+TEST(LoadCsvTest, WrongArityRow) {
+  const std::string path = ::testing::TempDir() + "/hdc_badrow.csv";
+  std::ofstream(path) << "A,B\n1,2\n3\n";
+  SchemaPtr schema;
+  ASSERT_TRUE(ParseSchemaSpec("A:num, B:num", &schema).ok());
+  Dataset out(schema);
+  Status s = LoadCsv(path, schema, &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find(":3"), std::string::npos) << s.ToString();
+}
+
+TEST(LoadCsvTest, NonIntegerCell) {
+  const std::string path = ::testing::TempDir() + "/hdc_badcell.csv";
+  std::ofstream(path) << "A\nhello\n";
+  SchemaPtr schema;
+  ASSERT_TRUE(ParseSchemaSpec("A:num", &schema).ok());
+  Dataset out(schema);
+  EXPECT_FALSE(LoadCsv(path, schema, &out).ok());
+}
+
+TEST(LoadCsvTest, OutOfDomainCell) {
+  const std::string path = ::testing::TempDir() + "/hdc_baddomain.csv";
+  std::ofstream(path) << "A\n7\n";
+  SchemaPtr schema;
+  ASSERT_TRUE(ParseSchemaSpec("A:cat:3", &schema).ok());
+  Dataset out(schema);
+  Status s = LoadCsv(path, schema, &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("domain"), std::string::npos);
+}
+
+TEST(LoadCsvTest, SkipsBlankLinesAndCr) {
+  const std::string path = ::testing::TempDir() + "/hdc_blank.csv";
+  std::ofstream(path) << "A\r\n1\r\n\r\n2\n\n";
+  SchemaPtr schema;
+  ASSERT_TRUE(ParseSchemaSpec("A:num", &schema).ok());
+  Dataset out(schema);
+  ASSERT_TRUE(LoadCsv(path, schema, &out).ok());
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(LoadCsvTest, QuotedCells) {
+  const std::string path = ::testing::TempDir() + "/hdc_quoted.csv";
+  std::ofstream(path) << "A,B\n\"1\",\"2\"\n";
+  SchemaPtr schema;
+  ASSERT_TRUE(ParseSchemaSpec("A:num, B:num", &schema).ok());
+  Dataset out(schema);
+  ASSERT_TRUE(LoadCsv(path, schema, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.tuple(0), Tuple({1, 2}));
+}
+
+}  // namespace
+}  // namespace hdc

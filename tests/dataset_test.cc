@@ -1,0 +1,149 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "util/random.h"
+
+namespace hdc {
+namespace {
+
+Dataset SmallMixed() {
+  SchemaPtr schema = Schema::Make({
+      AttributeSpec::Categorical("C", 3),
+      AttributeSpec::NumericBounded("N", 0, 100),
+  });
+  Dataset d(schema);
+  d.Add(Tuple({1, 10}));
+  d.Add(Tuple({1, 10}));
+  d.Add(Tuple({2, 10}));
+  d.Add(Tuple({3, 50}));
+  return d;
+}
+
+TEST(DatasetTest, SizeAndAccess) {
+  Dataset d = SmallMixed();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_FALSE(d.empty());
+  EXPECT_EQ(d.tuple(3), Tuple({3, 50}));
+}
+
+TEST(DatasetTest, ValidateRejectsOutOfDomain) {
+  Dataset d = SmallMixed();
+  d.AddUnchecked(Tuple({4, 10}));  // categorical value 4 > domain 3
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateRejectsWrongArity) {
+  Dataset d = SmallMixed();
+  d.AddUnchecked(Tuple({1}));
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, MaxPointMultiplicity) {
+  Dataset d = SmallMixed();
+  EXPECT_EQ(d.MaxPointMultiplicity(), 2u);
+  d.Add(Tuple({1, 10}));
+  EXPECT_EQ(d.MaxPointMultiplicity(), 3u);
+}
+
+TEST(DatasetTest, DistinctPointCount) {
+  EXPECT_EQ(SmallMixed().DistinctPointCount(), 3u);
+}
+
+TEST(DatasetTest, AttributeStats) {
+  Dataset d = SmallMixed();
+  auto stats = d.ComputeAttributeStats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "C");
+  EXPECT_EQ(stats[0].distinct_values, 3u);
+  EXPECT_EQ(stats[1].distinct_values, 2u);
+  EXPECT_EQ(stats[1].min_value, 10);
+  EXPECT_EQ(stats[1].max_value, 50);
+}
+
+TEST(DatasetTest, BernoulliSampleBounds) {
+  Rng rng(1);
+  SchemaPtr schema = Schema::Numeric(1);
+  Dataset d(schema);
+  for (int i = 0; i < 10000; ++i) d.AddUnchecked(Tuple({i}));
+  Dataset sample = d.BernoulliSample(0.2, &rng);
+  EXPECT_GT(sample.size(), 1600u);
+  EXPECT_LT(sample.size(), 2400u);
+  EXPECT_EQ(sample.schema(), d.schema());
+}
+
+TEST(DatasetTest, BernoulliSampleExtremes) {
+  Rng rng(2);
+  Dataset d = SmallMixed();
+  EXPECT_EQ(d.BernoulliSample(0.0, &rng).size(), 0u);
+  EXPECT_EQ(d.BernoulliSample(1.0, &rng).size(), d.size());
+}
+
+TEST(DatasetTest, ProjectKeepsSelectedColumns) {
+  Dataset d = SmallMixed();
+  Dataset p = d.Project({1});
+  EXPECT_EQ(p.schema()->num_attributes(), 1u);
+  EXPECT_EQ(p.schema()->attribute(0).name, "N");
+  EXPECT_EQ(p.size(), d.size());
+  EXPECT_EQ(p.tuple(0), Tuple({10}));
+  EXPECT_EQ(p.tuple(3), Tuple({50}));
+}
+
+TEST(DatasetTest, TopDistinctAttributesPreservesSchemaOrder) {
+  SchemaPtr schema = Schema::NumericBounded({{0, 999}, {0, 999}, {0, 999}});
+  Dataset d(schema);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    // A1 has 2 distinct values, A2 has ~300, A3 has 10.
+    d.AddUnchecked(Tuple({rng.UniformInt(0, 1), rng.UniformInt(0, 299),
+                          rng.UniformInt(0, 9)}));
+  }
+  EXPECT_EQ(d.TopDistinctAttributes(1), (std::vector<size_t>{1}));
+  EXPECT_EQ(d.TopDistinctAttributes(2), (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(d.TopDistinctAttributes(3), (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(DatasetTest, MultisetEqualsIsOrderInsensitive) {
+  SchemaPtr schema = Schema::Numeric(1);
+  Dataset a(schema), b(schema);
+  a.AddUnchecked(Tuple({1}));
+  a.AddUnchecked(Tuple({2}));
+  a.AddUnchecked(Tuple({2}));
+  b.AddUnchecked(Tuple({2}));
+  b.AddUnchecked(Tuple({2}));
+  b.AddUnchecked(Tuple({1}));
+  EXPECT_TRUE(Dataset::MultisetEquals(a, b));
+}
+
+TEST(DatasetTest, MultisetEqualsCountsMultiplicity) {
+  SchemaPtr schema = Schema::Numeric(1);
+  Dataset a(schema), b(schema);
+  a.AddUnchecked(Tuple({1}));
+  a.AddUnchecked(Tuple({1}));
+  b.AddUnchecked(Tuple({1}));
+  EXPECT_FALSE(Dataset::MultisetEquals(a, b));
+  EXPECT_EQ(Dataset::MultisetDistance(a, b), 1u);
+  b.AddUnchecked(Tuple({2}));
+  EXPECT_EQ(Dataset::MultisetDistance(a, b), 2u);
+}
+
+TEST(DatasetTest, SaveCsvRoundTripContent) {
+  std::string path = ::testing::TempDir() + "/hdc_dataset_test.csv";
+  Dataset d = SmallMixed();
+  ASSERT_TRUE(d.SaveCsv(path).ok());
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  EXPECT_EQ(header, "C,N");
+  std::getline(in, row);
+  EXPECT_EQ(row, "1,10");
+  int rows = 1;
+  while (std::getline(in, row)) ++rows;
+  EXPECT_EQ(rows, 4);
+}
+
+}  // namespace
+}  // namespace hdc

@@ -1,0 +1,109 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "server/decorators.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "server/local_server.h"
+#include "server/politeness.h"
+
+namespace hdc {
+namespace {
+
+std::shared_ptr<Dataset> TinyData() {
+  SchemaPtr schema = Schema::NumericBounded({{0, 100}});
+  auto d = std::make_shared<Dataset>(schema);
+  for (Value v = 0; v < 20; ++v) d->Add(Tuple({v * 5}));
+  return d;
+}
+
+TEST(CountingServerTest, CountsForwardedQueries) {
+  LocalServer base(TinyData(), 4);
+  CountingServer counting(&base);
+  Response r;
+  Query full = Query::FullSpace(base.schema());
+  ASSERT_TRUE(counting.Issue(full, &r).ok());
+  ASSERT_TRUE(counting.Issue(full.WithNumericRange(0, 0, 10), &r).ok());
+  EXPECT_EQ(counting.queries(), 2u);
+  counting.Reset();
+  EXPECT_EQ(counting.queries(), 0u);
+}
+
+TEST(CountingServerTest, TraceRecordsOutcomes) {
+  LocalServer base(TinyData(), 4);
+  CountingServer counting(&base, /*keep_trace=*/true);
+  Response r;
+  Query full = Query::FullSpace(base.schema());
+  ASSERT_TRUE(counting.Issue(full, &r).ok());                            // overflow
+  ASSERT_TRUE(counting.Issue(full.WithNumericRange(0, 0, 10), &r).ok()); // 3 tuples
+  ASSERT_EQ(counting.trace().size(), 2u);
+  EXPECT_FALSE(counting.trace()[0].resolved);
+  EXPECT_EQ(counting.trace()[0].returned, 4u);
+  EXPECT_TRUE(counting.trace()[1].resolved);
+  EXPECT_EQ(counting.trace()[1].returned, 3u);
+}
+
+TEST(BudgetServerTest, ExhaustsAndRefills) {
+  LocalServer base(TinyData(), 4);
+  BudgetServer budget(&base, /*max_queries=*/2);
+  Response r;
+  Query full = Query::FullSpace(base.schema());
+  EXPECT_TRUE(budget.Issue(full, &r).ok());
+  EXPECT_TRUE(budget.Issue(full, &r).ok());
+  EXPECT_EQ(budget.remaining(), 0u);
+  Status s = budget.Issue(full, &r);
+  EXPECT_TRUE(s.IsResourceExhausted());
+  // The refused query must not have reached the base server.
+  EXPECT_EQ(base.queries_served(), 2u);
+
+  budget.Refill(1);
+  EXPECT_TRUE(budget.Issue(full, &r).ok());
+  EXPECT_EQ(base.queries_served(), 3u);
+}
+
+TEST(ObservedServerTest, CallbackSeesEveryResponse) {
+  LocalServer base(TinyData(), 4);
+  int calls = 0;
+  uint64_t tuples = 0;
+  ObservedServer observed(&base, [&](const Query&, const Response& resp) {
+    ++calls;
+    tuples += resp.size();
+  });
+  Response r;
+  Query full = Query::FullSpace(base.schema());
+  ASSERT_TRUE(observed.Issue(full, &r).ok());
+  ASSERT_TRUE(observed.Issue(full.WithNumericRange(0, 0, 10), &r).ok());
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(tuples, 7u);
+}
+
+TEST(DecoratorTest, ForwardsMetadata) {
+  LocalServer base(TinyData(), 4);
+  CountingServer counting(&base);
+  BudgetServer budget(&counting, 100);
+  EXPECT_EQ(budget.k(), 4u);
+  EXPECT_TRUE(*budget.schema() == *base.schema());
+}
+
+TEST(PolitenessModelTest, QuotaBoundDominatesWhenTight) {
+  PolitenessModel model;
+  model.queries_per_day = 1000;
+  model.per_query_latency_ms = 1000;  // 1s per query
+  auto est = model.EstimateDuration(10000);
+  EXPECT_DOUBLE_EQ(est.days_quota_bound, 10.0);
+  EXPECT_NEAR(est.hours_latency_bound, 10000.0 / 3600.0, 1e-9);
+  EXPECT_DOUBLE_EQ(est.days_total, 10.0);
+}
+
+TEST(PolitenessModelTest, LatencyBoundDominatesWithoutQuota) {
+  PolitenessModel model;
+  model.queries_per_day = 0;  // unlimited
+  model.per_query_latency_ms = 2000;
+  auto est = model.EstimateDuration(43200);  // 86400s = 1 day of latency
+  EXPECT_DOUBLE_EQ(est.days_quota_bound, 0.0);
+  EXPECT_NEAR(est.days_total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hdc

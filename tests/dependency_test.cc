@@ -1,0 +1,108 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/dependency.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/dfs_crawler.h"
+#include "core/slice_cover.h"
+#include "server/local_server.h"
+
+namespace hdc {
+namespace {
+
+// A "cars" space where Make=2 never occurs with Body=3 (the BMW-truck rule
+// of Section 1.3).
+std::shared_ptr<Dataset> CarsData() {
+  SchemaPtr schema = Schema::Categorical({3, 3});
+  auto d = std::make_shared<Dataset>(schema);
+  for (Value make = 1; make <= 3; ++make) {
+    for (Value body = 1; body <= 3; ++body) {
+      if (make == 2 && body == 3) continue;  // forbidden combination
+      for (int c = 0; c < 5; ++c) d->Add(Tuple({make, body}));
+    }
+  }
+  return d;
+}
+
+ForbiddenPairOracle MakeCarsOracle() {
+  return ForbiddenPairOracle({{0, 2, 1, 3}});
+}
+
+TEST(DependencyOracleTest, ForbiddenPairDetection) {
+  ForbiddenPairOracle oracle = MakeCarsOracle();
+  SchemaPtr schema = Schema::Categorical({3, 3});
+  Query q = Query::FullSpace(schema);
+  EXPECT_TRUE(oracle.MayContainTuples(q));
+  EXPECT_TRUE(oracle.MayContainTuples(q.WithCategoricalEquals(0, 2)));
+  EXPECT_TRUE(oracle.MayContainTuples(q.WithCategoricalEquals(1, 3)));
+  EXPECT_FALSE(oracle.MayContainTuples(
+      q.WithCategoricalEquals(0, 2).WithCategoricalEquals(1, 3)));
+  EXPECT_TRUE(oracle.MayContainTuples(
+      q.WithCategoricalEquals(0, 1).WithCategoricalEquals(1, 3)));
+  EXPECT_EQ(oracle.num_pairs(), 1u);
+}
+
+TEST(DependencyOracleTest, FunctionOracleWraps) {
+  FunctionOracle oracle([](const Query& q) { return q.NumPinned() < 2; });
+  SchemaPtr schema = Schema::Categorical({3, 3});
+  Query q = Query::FullSpace(schema);
+  EXPECT_TRUE(oracle.MayContainTuples(q));
+  EXPECT_FALSE(oracle.MayContainTuples(
+      q.WithCategoricalEquals(0, 1).WithCategoricalEquals(1, 1)));
+}
+
+TEST(DependencyOracleTest, DfsWithSoundOracleSavesQueriesStaysExact) {
+  auto data = CarsData();
+  const uint64_t k = 5;  // every (make, body) cell has exactly 5 tuples
+
+  LocalServer plain_server(data, k);
+  DfsCrawler plain;
+  CrawlResult without = plain.Crawl(&plain_server);
+  ASSERT_TRUE(without.status.ok());
+
+  LocalServer oracle_server(data, k);
+  ForbiddenPairOracle oracle = MakeCarsOracle();
+  CrawlOptions options;
+  options.oracle = &oracle;
+  DfsCrawler with;
+  CrawlResult with_result = with.Crawl(&oracle_server, options);
+  ASSERT_TRUE(with_result.status.ok());
+
+  EXPECT_TRUE(Dataset::MultisetEquals(with_result.extracted, *data));
+  EXPECT_LT(with_result.queries_issued, without.queries_issued)
+      << "pruning the forbidden cell must save at least one query";
+}
+
+TEST(DependencyOracleTest, LazySliceCoverWithOracleStaysExact) {
+  auto data = CarsData();
+  const uint64_t k = 5;
+  LocalServer server(data, k);
+  ForbiddenPairOracle oracle = MakeCarsOracle();
+  CrawlOptions options;
+  options.oracle = &oracle;
+  SliceCoverCrawler crawler(/*lazy=*/true);
+  CrawlResult result = crawler.Crawl(&server, options);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(Dataset::MultisetEquals(result.extracted, *data));
+}
+
+TEST(DependencyOracleTest, PrunedQueriesCostNothing) {
+  auto data = CarsData();
+  LocalServer server(data, /*k=*/5);
+  // An oracle that prunes everything: the crawl "finishes" instantly with
+  // an empty extraction and zero queries. (Sound only for empty databases —
+  // this is the documented soundness contract, exercised deliberately.)
+  FunctionOracle deny_all([](const Query&) { return false; });
+  CrawlOptions options;
+  options.oracle = &deny_all;
+  DfsCrawler crawler;
+  CrawlResult result = crawler.Crawl(&server, options);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.queries_issued, 0u);
+  EXPECT_EQ(result.extracted.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hdc

@@ -1,0 +1,110 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/dfs_crawler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gen/synthetic.h"
+#include "paper_categorical_example.h"
+#include "server/local_server.h"
+#include "test_util.h"
+
+namespace hdc {
+namespace {
+
+using testing_util::ExpectExactExtraction;
+using testing_util::PaperFigure5Dataset;
+
+TEST(DfsCrawlerTest, RejectsNonCategoricalSchemas) {
+  DfsCrawler crawler;
+  EXPECT_FALSE(crawler.ValidateSchema(*Schema::Numeric(2)).ok());
+  EXPECT_FALSE(crawler
+                   .ValidateSchema(*Schema::Make(
+                       {AttributeSpec::Categorical("C", 2),
+                        AttributeSpec::Numeric("N")}))
+                   .ok());
+  EXPECT_TRUE(crawler.ValidateSchema(*Schema::Categorical({2, 3})).ok());
+}
+
+// Section 3.1's walk of Figure 5 with k = 3: DFS "eventually visits all of
+// u1, ..., u13" — the root, its 4 children, and the children of the two
+// overflowing level-1 nodes (A1=1 and A1=3). 13 queries total.
+TEST(DfsCrawlerTest, PaperFigure5VisitsThirteenNodes) {
+  auto data = PaperFigure5Dataset();
+  LocalServer server(data, testing_util::kPaperFigure5K);
+  DfsCrawler crawler;
+  CrawlResult result = crawler.Crawl(&server);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(Dataset::MultisetEquals(result.extracted, *data));
+  EXPECT_EQ(result.queries_issued, 13u);
+}
+
+TEST(DfsCrawlerTest, PruningStopsAtResolvedNodes) {
+  // All tuples under A1=1; every other subtree resolves (empty) at level 1.
+  SchemaPtr schema = Schema::Categorical({3, 50});
+  auto data = std::make_shared<Dataset>(schema);
+  for (Value v = 1; v <= 50; ++v) data->Add(Tuple({1, v}));
+  LocalServer server(data, /*k=*/10);
+  DfsCrawler crawler;
+  CrawlResult result = crawler.Crawl(&server);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(Dataset::MultisetEquals(result.extracted, *data));
+  // root + 3 children + 50 grandchildren under A1=1 = 54; the A1=2 and
+  // A1=3 subtrees must have been pruned after 1 query each.
+  EXPECT_EQ(result.queries_issued, 54u);
+}
+
+TEST(DfsCrawlerTest, ResolvedRootIsSingleQuery) {
+  SchemaPtr schema = Schema::Categorical({4, 4});
+  auto data = std::make_shared<Dataset>(schema);
+  data->Add(Tuple({1, 1}));
+  data->Add(Tuple({4, 4}));
+  LocalServer server(data, /*k=*/5);
+  DfsCrawler crawler;
+  CrawlResult result = crawler.Crawl(&server);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.queries_issued, 1u);
+  EXPECT_EQ(result.extracted.size(), 2u);
+}
+
+TEST(DfsCrawlerTest, DetectsUnsolvableInstance) {
+  SchemaPtr schema = Schema::Categorical({2, 2});
+  auto data = std::make_shared<Dataset>(schema);
+  for (int i = 0; i < 4; ++i) data->Add(Tuple({1, 1}));
+  LocalServer server(data, /*k=*/3);
+  DfsCrawler crawler;
+  CrawlResult result = crawler.Crawl(&server);
+  EXPECT_TRUE(result.status.IsUnsolvable());
+}
+
+TEST(DfsCrawlerTest, ExtractsZipfSkewedData) {
+  SyntheticCategoricalOptions gen;
+  gen.domain_sizes = {6, 5, 4};
+  gen.n = 900;
+  gen.zipf_s = 1.0;
+  gen.seed = 21;
+  Dataset data = GenerateSyntheticCategorical(gen);
+  const uint64_t k = 128;
+  ASSERT_LE(data.MaxPointMultiplicity(), k);
+  DfsCrawler crawler;
+  ExpectExactExtraction(&crawler, data, k);
+}
+
+TEST(DfsCrawlerTest, SingleAttributeDomainScan) {
+  SchemaPtr schema = Schema::Categorical({10});
+  auto data = std::make_shared<Dataset>(schema);
+  for (Value v = 1; v <= 10; ++v) {
+    for (Value c = 0; c < v; ++c) data->Add(Tuple({v}));
+  }
+  LocalServer server(data, /*k=*/10);
+  DfsCrawler crawler;
+  CrawlResult result = crawler.Crawl(&server);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(Dataset::MultisetEquals(result.extracted, *data));
+  // Root overflows (55 tuples > 10), then 10 point queries.
+  EXPECT_EQ(result.queries_issued, 11u);
+}
+
+}  // namespace
+}  // namespace hdc

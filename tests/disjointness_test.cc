@@ -1,0 +1,109 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Structural invariant behind the collectors' correctness: for the
+// algorithms that collect every resolved response (binary-shrink,
+// rank-shrink, DFS), the resolved queries' regions are pairwise disjoint —
+// each tuple is confirmed by exactly one query. (Slice-cover collects
+// *filtered* sub-bags of slice responses, so its resolved regions may
+// overlap by design; its exactness is covered by the multiset tests.)
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/binary_shrink.h"
+#include "core/dfs_crawler.h"
+#include "core/rank_shrink.h"
+#include "gen/synthetic.h"
+#include "server/decorators.h"
+#include "server/local_server.h"
+
+namespace hdc {
+namespace {
+
+void CheckResolvedDisjoint(Crawler* crawler,
+                           std::shared_ptr<const Dataset> data, uint64_t k) {
+  LocalServer base(data, k);
+  std::vector<Query> resolved;
+  ObservedServer observed(&base,
+                          [&resolved](const Query& q, const Response& r) {
+                            if (r.resolved()) resolved.push_back(q);
+                          });
+  CrawlResult result = crawler->Crawl(&observed);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  ASSERT_TRUE(Dataset::MultisetEquals(result.extracted, *data));
+
+  for (size_t i = 0; i < resolved.size(); ++i) {
+    for (size_t j = i + 1; j < resolved.size(); ++j) {
+      ASSERT_FALSE(resolved[i].Intersects(resolved[j]))
+          << crawler->name() << ": overlapping resolved queries\n  "
+          << resolved[i].ToString() << "\n  " << resolved[j].ToString();
+    }
+  }
+}
+
+TEST(DisjointnessTest, RankShrinkResolvedRegionsPartition) {
+  SyntheticNumericOptions gen;
+  gen.d = 2;
+  gen.n = 500;
+  gen.value_range = 120;
+  gen.value_skew = 0.7;
+  gen.seed = 81;
+  auto data = std::make_shared<const Dataset>(GenerateSyntheticNumeric(gen));
+  const uint64_t k = std::max<uint64_t>(8, data->MaxPointMultiplicity());
+  RankShrink crawler;
+  CheckResolvedDisjoint(&crawler, data, k);
+}
+
+TEST(DisjointnessTest, BinaryShrinkResolvedRegionsPartition) {
+  SyntheticNumericOptions gen;
+  gen.d = 2;
+  gen.n = 300;
+  gen.value_range = 64;
+  gen.seed = 82;
+  auto data = std::make_shared<const Dataset>(GenerateSyntheticNumeric(gen));
+  const uint64_t k = std::max<uint64_t>(8, data->MaxPointMultiplicity());
+  BinaryShrink crawler;
+  CheckResolvedDisjoint(&crawler, data, k);
+}
+
+TEST(DisjointnessTest, DfsResolvedRegionsPartition) {
+  SyntheticCategoricalOptions gen;
+  gen.domain_sizes = {5, 6, 4};
+  gen.n = 400;
+  gen.seed = 83;
+  auto data =
+      std::make_shared<const Dataset>(GenerateSyntheticCategorical(gen));
+  const uint64_t k = std::max<uint64_t>(8, data->MaxPointMultiplicity());
+  DfsCrawler crawler;
+  CheckResolvedDisjoint(&crawler, data, k);
+}
+
+TEST(DisjointnessTest, RankShrinkUnderAdversarialPolicy) {
+  SyntheticNumericOptions gen;
+  gen.d = 2;
+  gen.n = 400;
+  gen.value_range = 90;
+  gen.seed = 84;
+  auto data_mutable = GenerateSyntheticNumeric(gen);
+  auto data = std::make_shared<const Dataset>(std::move(data_mutable));
+  const uint64_t k = std::max<uint64_t>(8, data->MaxPointMultiplicity());
+
+  LocalServer base(data, k, MakeIdOrderPolicy(false));
+  std::vector<Query> resolved;
+  ObservedServer observed(&base,
+                          [&resolved](const Query& q, const Response& r) {
+                            if (r.resolved()) resolved.push_back(q);
+                          });
+  RankShrink crawler;
+  CrawlResult result = crawler.Crawl(&observed);
+  ASSERT_TRUE(result.status.ok());
+  for (size_t i = 0; i < resolved.size(); ++i) {
+    for (size_t j = i + 1; j < resolved.size(); ++j) {
+      ASSERT_FALSE(resolved[i].Intersects(resolved[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hdc

@@ -1,0 +1,129 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/domain_discovery.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/binary_shrink.h"
+#include "gen/synthetic.h"
+#include "server/decorators.h"
+#include "server/local_server.h"
+
+namespace hdc {
+namespace {
+
+std::shared_ptr<Dataset> UnboundedNumericData(uint64_t seed, size_t n,
+                                              Value lo, Value hi) {
+  SchemaPtr schema = Schema::Numeric(2);
+  auto data = std::make_shared<Dataset>(schema);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    data->Add(Tuple({rng.UniformInt(lo, hi), rng.UniformInt(lo, hi)}));
+  }
+  return data;
+}
+
+std::pair<Value, Value> TrueBounds(const Dataset& data, size_t attr) {
+  Value lo = data.tuple(0)[attr], hi = lo;
+  for (const Tuple& t : data.tuples()) {
+    lo = std::min(lo, t[attr]);
+    hi = std::max(hi, t[attr]);
+  }
+  return {lo, hi};
+}
+
+TEST(DomainDiscoveryTest, FindsExactObservedBounds) {
+  auto data = UnboundedNumericData(91, 500, -12345, 987654);
+  LocalServer server(data, /*k=*/32);
+  for (size_t attr = 0; attr < 2; ++attr) {
+    DiscoveredBounds bounds;
+    ASSERT_TRUE(DiscoverNumericBounds(&server, attr, &bounds).ok());
+    auto [true_lo, true_hi] = TrueBounds(*data, attr);
+    EXPECT_FALSE(bounds.empty);
+    EXPECT_EQ(bounds.lo, true_lo) << "attr " << attr;
+    EXPECT_EQ(bounds.hi, true_hi) << "attr " << attr;
+    // O(log spread): generously under 150 probes for a ~10^6 spread.
+    EXPECT_LT(bounds.queries, 150u);
+  }
+}
+
+TEST(DomainDiscoveryTest, NegativeOnlyValues) {
+  SchemaPtr schema = Schema::Numeric(1);
+  auto data = std::make_shared<Dataset>(schema);
+  for (Value v : {-1000000, -500, -3}) data->Add(Tuple({v}));
+  LocalServer server(data, 2);
+  DiscoveredBounds bounds;
+  ASSERT_TRUE(DiscoverNumericBounds(&server, 0, &bounds).ok());
+  EXPECT_EQ(bounds.lo, -1000000);
+  EXPECT_EQ(bounds.hi, -3);
+}
+
+TEST(DomainDiscoveryTest, SingleValueColumn) {
+  SchemaPtr schema = Schema::Numeric(1);
+  auto data = std::make_shared<Dataset>(schema);
+  for (int i = 0; i < 5; ++i) data->Add(Tuple({42}));
+  LocalServer server(data, 8);
+  DiscoveredBounds bounds;
+  ASSERT_TRUE(DiscoverNumericBounds(&server, 0, &bounds).ok());
+  EXPECT_EQ(bounds.lo, 42);
+  EXPECT_EQ(bounds.hi, 42);
+}
+
+TEST(DomainDiscoveryTest, EmptyDatabase) {
+  auto data = std::make_shared<Dataset>(Schema::Numeric(1));
+  LocalServer server(data, 8);
+  DiscoveredBounds bounds;
+  ASSERT_TRUE(DiscoverNumericBounds(&server, 0, &bounds).ok());
+  EXPECT_TRUE(bounds.empty);
+  EXPECT_EQ(bounds.queries, 1u);
+}
+
+TEST(DomainDiscoveryTest, RejectsCategoricalAttribute) {
+  SchemaPtr schema = Schema::Categorical({4});
+  auto data = std::make_shared<Dataset>(schema);
+  data->Add(Tuple({1}));
+  LocalServer server(data, 8);
+  DiscoveredBounds bounds;
+  EXPECT_TRUE(
+      DiscoverNumericBounds(&server, 0, &bounds).IsInvalidArgument());
+}
+
+TEST(DomainDiscoveryTest, BoundedSchemaCoversAllTuples) {
+  auto data = UnboundedNumericData(92, 400, 0, 100000);
+  LocalServer server(data, /*k=*/16);
+  SchemaPtr bounded;
+  uint64_t queries = 0;
+  ASSERT_TRUE(DiscoverBoundedSchema(&server, &bounded, &queries).ok());
+  EXPECT_GT(queries, 0u);
+  EXPECT_TRUE(bounded->CompatibleWith(*data->schema()));
+  for (const Tuple& t : data->tuples()) {
+    for (size_t a = 0; a < 2; ++a) {
+      EXPECT_TRUE(bounded->attribute(a).ValueInDomain(t[a]));
+    }
+  }
+}
+
+TEST(DomainDiscoveryTest, EnablesBinaryShrinkOnUnboundedServer) {
+  auto data = UnboundedNumericData(93, 600, -5000, 5000);
+  const uint64_t k = std::max<uint64_t>(16, data->MaxPointMultiplicity());
+  LocalServer server(data, k);
+
+  // binary-shrink refuses the raw (unbounded) server...
+  BinaryShrink crawler;
+  CrawlResult direct = crawler.Crawl(&server);
+  EXPECT_TRUE(direct.status.IsInvalidArgument());
+
+  // ...but runs after domain discovery + schema override.
+  SchemaPtr bounded;
+  ASSERT_TRUE(DiscoverBoundedSchema(&server, &bounded).ok());
+  SchemaOverrideServer bounded_server(&server, bounded);
+  CrawlResult result = crawler.Crawl(&bounded_server);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.extracted.size(), data->size());
+  EXPECT_TRUE(Dataset::MultisetEquals(
+      result.extracted, Dataset(bounded, data->tuples())));
+}
+
+}  // namespace
+}  // namespace hdc

@@ -1,0 +1,31 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#pragma once
+
+#include <vector>
+
+#include "server/ranking.h"
+#include "util/macros.h"
+
+namespace hdc {
+namespace testing_util {
+
+/// Test-only policy with explicitly chosen priorities, used to reproduce the
+/// paper's worked examples where specific tuples must be returned first.
+class FixedPriorityPolicy : public RankingPolicy {
+ public:
+  explicit FixedPriorityPolicy(std::vector<uint64_t> priorities)
+      : priorities_(std::move(priorities)) {}
+
+  std::vector<uint64_t> AssignPriorities(const Dataset& dataset) override {
+    HDC_CHECK(priorities_.size() == dataset.size());
+    return priorities_;
+  }
+
+  std::string name() const override { return "fixed"; }
+
+ private:
+  std::vector<uint64_t> priorities_;
+};
+
+}  // namespace testing_util
+}  // namespace hdc

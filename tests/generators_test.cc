@@ -1,0 +1,239 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// The dataset simulacra must reproduce the structural facts of Figure 9 and
+// Section 6 that the experiments depend on.
+#include <gtest/gtest.h>
+
+#include "gen/adult_gen.h"
+#include "gen/nsf_gen.h"
+#include "gen/synthetic.h"
+#include "gen/yahoo_gen.h"
+
+namespace hdc {
+namespace {
+
+TEST(AdultGeneratorTest, SchemaMatchesFigure9) {
+  AdultGeneratorOptions options;
+  options.num_tuples = 3000;  // smaller instance for unit tests
+  Dataset d = GenerateAdult(options);
+  const Schema& schema = *d.schema();
+  ASSERT_EQ(schema.num_attributes(), 14u);
+  const std::vector<std::pair<std::string, uint64_t>> expected_cat = {
+      {"Sex", 2},     {"Race", 5},      {"Rel", 6},  {"Edu", 6},
+      {"Marital", 7}, {"Wrk-class", 8}, {"Occ", 14}, {"Country", 41}};
+  for (size_t i = 0; i < expected_cat.size(); ++i) {
+    EXPECT_EQ(schema.attribute(i).name, expected_cat[i].first);
+    ASSERT_TRUE(schema.IsCategorical(i));
+    EXPECT_EQ(schema.domain_size(i), expected_cat[i].second);
+  }
+  const std::vector<std::string> expected_num = {
+      "Edu-num", "Age", "Wrk-hr", "Cap-loss", "Cap-gain", "Fnalwgt"};
+  for (size_t i = 0; i < expected_num.size(); ++i) {
+    EXPECT_EQ(schema.attribute(8 + i).name, expected_num[i]);
+    EXPECT_TRUE(schema.IsNumeric(8 + i));
+  }
+  EXPECT_EQ(d.size(), 3000u);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(AdultGeneratorTest, DefaultCardinalityMatchesPaper) {
+  Dataset d = GenerateAdult();
+  EXPECT_EQ(d.size(), 45222u);
+}
+
+TEST(AdultGeneratorTest, CategoricalDomainsFullyCovered) {
+  Dataset d = GenerateAdult();
+  auto stats = d.ComputeAttributeStats();
+  for (size_t a = 0; a < 8; ++a) {
+    EXPECT_EQ(stats[a].distinct_values, d.schema()->domain_size(a))
+        << stats[a].name;
+  }
+}
+
+TEST(AdultGeneratorTest, NumericDistinctOrderingMatchesFigure10b) {
+  // Section 6 selects attributes by distinct count: FNALWGT > CAP-GAIN >
+  // CAP-LOSS > WRK-HR > AGE > EDU-NUM.
+  Dataset d = GenerateAdultNumeric();
+  ASSERT_EQ(d.schema()->num_attributes(), 6u);
+  auto stats = d.ComputeAttributeStats();
+  // Attribute order: Edu-num, Age, Wrk-hr, Cap-loss, Cap-gain, Fnalwgt.
+  EXPECT_GT(stats[5].distinct_values, stats[4].distinct_values);  // fnl > cg
+  EXPECT_GT(stats[4].distinct_values, stats[3].distinct_values);  // cg > cl
+  EXPECT_GT(stats[3].distinct_values, stats[2].distinct_values);  // cl > hr
+  EXPECT_GT(stats[2].distinct_values, stats[1].distinct_values);  // hr > age
+  EXPECT_GT(stats[1].distinct_values, stats[0].distinct_values);  // age > edu
+}
+
+TEST(AdultGeneratorTest, CapitalColumnsAreMostlyZero) {
+  Dataset d = GenerateAdult();
+  size_t zero_loss = 0, zero_gain = 0;
+  for (const Tuple& t : d.tuples()) {
+    zero_loss += t[11] == 0;
+    zero_gain += t[12] == 0;
+  }
+  EXPECT_GT(static_cast<double>(zero_loss) / d.size(), 0.9);
+  EXPECT_GT(static_cast<double>(zero_gain) / d.size(), 0.85);
+}
+
+TEST(AdultGeneratorTest, CrawlableAtFigure12Ks) {
+  Dataset d = GenerateAdult();
+  EXPECT_LE(d.MaxPointMultiplicity(), 64u)
+      << "Figure 12 runs Adult from k = 64";
+}
+
+TEST(AdultGeneratorTest, DeterministicPerSeed) {
+  AdultGeneratorOptions options;
+  options.num_tuples = 500;
+  Dataset a = GenerateAdult(options);
+  Dataset b = GenerateAdult(options);
+  EXPECT_TRUE(Dataset::MultisetEquals(a, b));
+  options.seed = 999;
+  Dataset c = GenerateAdult(options);
+  EXPECT_FALSE(Dataset::MultisetEquals(a, c));
+}
+
+TEST(NsfGeneratorTest, SchemaMatchesFigure9) {
+  Dataset d = GenerateNsf();
+  const Schema& schema = *d.schema();
+  ASSERT_EQ(schema.num_attributes(), 9u);
+  EXPECT_TRUE(schema.all_categorical());
+  const std::vector<std::pair<std::string, uint64_t>> expected = {
+      {"Amnt", 5},      {"Instru", 8},   {"Field", 49},
+      {"PI-state", 58}, {"NSF-org", 58}, {"Prog-mgr", 654},
+      {"City", 1093},   {"PI-org", 3110}, {"PI-name", 29042}};
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(schema.attribute(i).name, expected[i].first);
+    EXPECT_EQ(schema.domain_size(i), expected[i].second);
+  }
+  EXPECT_EQ(d.size(), 47816u);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(NsfGeneratorTest, EveryDomainValueObserved) {
+  // "The number of distinct values on each attribute equals the attribute's
+  // domain size" (Section 6).
+  Dataset d = GenerateNsf();
+  auto stats = d.ComputeAttributeStats();
+  for (size_t a = 0; a < 9; ++a) {
+    EXPECT_EQ(stats[a].distinct_values, d.schema()->domain_size(a))
+        << stats[a].name;
+  }
+}
+
+TEST(NsfGeneratorTest, SkewedHeadValues) {
+  Dataset d = GenerateNsf();
+  // Value 1 of a Zipf-covered column should be far more frequent than a
+  // mid-domain value; check Prog-mgr (654 values).
+  size_t head = 0, mid = 0;
+  for (const Tuple& t : d.tuples()) {
+    head += t[5] == 1;
+    mid += t[5] == 327;
+  }
+  EXPECT_GT(head, 10 * mid);
+}
+
+TEST(YahooGeneratorTest, SchemaMatchesFigure9) {
+  Dataset d = GenerateYahoo();
+  const Schema& schema = *d.schema();
+  ASSERT_EQ(schema.num_attributes(), 6u);
+  EXPECT_TRUE(schema.IsCategorical(0));
+  EXPECT_EQ(schema.domain_size(0), 2u);     // Owner
+  EXPECT_EQ(schema.domain_size(1), 7u);     // Body-style
+  EXPECT_EQ(schema.domain_size(2), 85u);    // Make
+  EXPECT_TRUE(schema.IsNumeric(3));         // Mileage
+  EXPECT_TRUE(schema.IsNumeric(4));         // Year
+  EXPECT_TRUE(schema.IsNumeric(5));         // Price
+  EXPECT_EQ(d.size(), 69768u);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(YahooGeneratorTest, HeavyListingBlocksK64ButNotK128) {
+  // Section 6: Yahoo has more than 64 identical tuples, so no algorithm can
+  // extract it at k = 64; k = 128 is fine.
+  Dataset d = GenerateYahoo();
+  uint64_t max_mult = d.MaxPointMultiplicity();
+  EXPECT_GT(max_mult, 64u);
+  EXPECT_LE(max_mult, 128u);
+
+  // The duplicated point is the documented fleet listing.
+  const Tuple heavy = YahooHeavyListing();
+  size_t copies = 0;
+  for (const Tuple& t : d.tuples()) copies += t == heavy;
+  EXPECT_EQ(copies, 70u);
+}
+
+TEST(YahooGeneratorTest, CategoricalDomainsFullyCovered) {
+  Dataset d = GenerateYahoo();
+  auto stats = d.ComputeAttributeStats();
+  EXPECT_EQ(stats[0].distinct_values, 2u);
+  EXPECT_EQ(stats[1].distinct_values, 7u);
+  EXPECT_EQ(stats[2].distinct_values, 85u);
+}
+
+TEST(YahooGeneratorTest, PriceCorrelatesWithMakeTier) {
+  Dataset d = GenerateYahoo();
+  // Tier 5 makes (base $60k) must be pricier on average than tier 1 ($3k).
+  double sum_low = 0, sum_high = 0;
+  size_t n_low = 0, n_high = 0;
+  for (const Tuple& t : d.tuples()) {
+    const int tier = static_cast<int>((t[2] - 1) % 5);
+    if (tier == 0) {
+      sum_low += static_cast<double>(t[5]);
+      ++n_low;
+    } else if (tier == 4) {
+      sum_high += static_cast<double>(t[5]);
+      ++n_high;
+    }
+  }
+  ASSERT_GT(n_low, 0u);
+  ASSERT_GT(n_high, 0u);
+  EXPECT_GT(sum_high / static_cast<double>(n_high),
+            2.0 * sum_low / static_cast<double>(n_low));
+}
+
+TEST(SyntheticGeneratorsTest, RespectOptions) {
+  SyntheticNumericOptions num;
+  num.d = 3;
+  num.n = 100;
+  num.value_range = 10;
+  Dataset dn = GenerateSyntheticNumeric(num);
+  EXPECT_EQ(dn.size(), 100u);
+  EXPECT_EQ(dn.schema()->num_attributes(), 3u);
+  EXPECT_TRUE(dn.Validate().ok());
+
+  SyntheticCategoricalOptions cat;
+  cat.domain_sizes = {3, 4};
+  cat.n = 50;
+  Dataset dc = GenerateSyntheticCategorical(cat);
+  EXPECT_EQ(dc.size(), 50u);
+  EXPECT_TRUE(dc.Validate().ok());
+
+  SyntheticMixedOptions mix;
+  mix.domain_sizes = {2};
+  mix.num_numeric = 2;
+  mix.n = 80;
+  Dataset dm = GenerateSyntheticMixed(mix);
+  EXPECT_EQ(dm.schema()->num_categorical(), 1u);
+  EXPECT_EQ(dm.schema()->num_numeric(), 2u);
+  EXPECT_TRUE(dm.Validate().ok());
+}
+
+TEST(SyntheticGeneratorsTest, DuplicationKnobRaisesMultiplicity) {
+  SyntheticNumericOptions base;
+  base.d = 2;
+  base.n = 2000;
+  base.value_range = 100000;
+  base.seed = 3;
+  Dataset without = GenerateSyntheticNumeric(base);
+
+  SyntheticNumericOptions with = base;
+  with.duplicate_prob = 0.5;
+  with.duplicate_pool = 2;
+  Dataset with_dupes = GenerateSyntheticNumeric(with);
+
+  EXPECT_LE(without.MaxPointMultiplicity(), 2u);
+  EXPECT_GT(with_dupes.MaxPointMultiplicity(), 100u);
+}
+
+}  // namespace
+}  // namespace hdc

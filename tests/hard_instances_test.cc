@@ -1,0 +1,140 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Theorem 3 / Theorem 4 constructions: structural checks, and the
+// lower-bound sandwich — any correct algorithm must spend at least the
+// proven bound on them, while Theorem 1 caps the optimal algorithms from
+// above.
+#include "gen/hard_instances.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "core/rank_shrink.h"
+#include "core/slice_cover.h"
+#include "server/local_server.h"
+
+namespace hdc {
+namespace {
+
+TEST(HardNumericTest, StructureMatchesFigure7) {
+  const uint64_t k = 4, m = 3;
+  const size_t d = 2;
+  HardInstance inst = MakeHardNumericInstance(k, d, m);
+  EXPECT_EQ(inst.dataset.size(), m * (k + d));
+  EXPECT_EQ(inst.lower_bound, d * m);
+  EXPECT_TRUE(inst.dataset.Validate().ok());
+
+  // Group i: k diagonal tuples at (i, i) plus one bump per attribute.
+  size_t diag = 0, bumps = 0;
+  for (const Tuple& t : inst.dataset.tuples()) {
+    if (t[0] == t[1]) {
+      ++diag;
+    } else {
+      EXPECT_EQ(std::abs(t[0] - t[1]), 1);
+      ++bumps;
+    }
+  }
+  EXPECT_EQ(diag, k * m);
+  EXPECT_EQ(bumps, d * m);
+}
+
+TEST(HardNumericTest, SolvableExactlyAtK) {
+  HardInstance inst = MakeHardNumericInstance(5, 3, 2);
+  EXPECT_EQ(inst.dataset.MaxPointMultiplicity(), 5u);
+}
+
+TEST(HardNumericTest, RankShrinkCostSandwichedByTheory) {
+  // Lower bound (Theorem 3): >= d*m queries. Upper bound (Lemma 2):
+  // <= alpha * d * n / k with n/k = m(k+d)/k <= 2m when d <= k, i.e.
+  // O(d*m) — the sandwich shows constant-factor optimality.
+  const uint64_t k = 8, m = 40;
+  const size_t d = 3;
+  HardInstance inst = MakeHardNumericInstance(k, d, m);
+  auto data = std::make_shared<Dataset>(inst.dataset);
+  LocalServer server(data, k);
+  RankShrink crawler;
+  CrawlResult result = crawler.Crawl(&server);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(Dataset::MultisetEquals(result.extracted, inst.dataset));
+
+  EXPECT_GE(result.queries_issued, inst.lower_bound)
+      << "no correct algorithm can beat Theorem 3's bound";
+  const double upper = 20.0 * static_cast<double>(d) *
+                           static_cast<double>(inst.dataset.size()) /
+                           static_cast<double>(k) +
+                       8.0 * d + 8.0;
+  EXPECT_LE(static_cast<double>(result.queries_issued), upper);
+}
+
+TEST(HardCategoricalTest, StructureMatchesFigure8) {
+  const uint64_t k = 3, U = 4;
+  HardInstance inst = MakeHardCategoricalInstance(k, U);
+  const size_t d = 2 * k;
+  EXPECT_EQ(inst.dataset.schema()->num_attributes(), d);
+  EXPECT_EQ(inst.dataset.size(), d * U);
+  EXPECT_TRUE(inst.dataset.Validate().ok());
+
+  // Every tuple has exactly one attribute differing from the group value.
+  for (const Tuple& t : inst.dataset.tuples()) {
+    // The group value is the majority coordinate.
+    std::vector<int> counts(U + 2, 0);
+    for (size_t a = 0; a < d; ++a) ++counts[t[a]];
+    int majority = 0, outliers = 0;
+    for (Value v = 1; v <= static_cast<Value>(U); ++v) {
+      if (counts[v] == static_cast<int>(d) - 1) ++majority;
+      if (counts[v] == 1) ++outliers;
+    }
+    EXPECT_EQ(majority, 1) << t.ToString();
+    EXPECT_EQ(outliers, 1) << t.ToString();
+  }
+}
+
+TEST(HardCategoricalTest, BoundRegimeCheck) {
+  // k=20 => d=40, 2^(d/4)=1024: U=5 fits (40*25=1000), U=6 does not
+  // (40*36=1440).
+  EXPECT_TRUE(HardCategoricalBoundApplies(20, 5));
+  EXPECT_FALSE(HardCategoricalBoundApplies(20, 6));
+  // Huge d: always applies.
+  EXPECT_TRUE(HardCategoricalBoundApplies(200, 100));
+}
+
+TEST(HardCategoricalTest, SliceCoverCostWithinLemma4OnHardInstance) {
+  // In the Theorem 4 regime, n/k = dU/k = 2U, so Lemma 4 caps slice-cover
+  // at dU + 2U * d * min(U, 2U) = dU + 2dU^2.
+  const uint64_t k = 20, U = 4;  // d=40, dU^2=640 <= 1024
+  ASSERT_TRUE(HardCategoricalBoundApplies(k, U));
+  HardInstance inst = MakeHardCategoricalInstance(k, U);
+  auto data = std::make_shared<Dataset>(inst.dataset);
+  LocalServer server(data, k);
+  SliceCoverCrawler crawler(/*lazy=*/false);
+  CrawlResult result = crawler.Crawl(&server);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(Dataset::MultisetEquals(result.extracted, inst.dataset));
+
+  const uint64_t d = 2 * k;
+  EXPECT_LE(result.queries_issued, d * U + 2 * d * U * U);
+  // Every slice overflows on this construction (each slice holds d = 2k
+  // tuples), so the cost is at least the preprocessing Sigma U_i = d*U.
+  EXPECT_GE(result.queries_issued, d * U);
+}
+
+TEST(HardCategoricalTest, EverySliceOverflows) {
+  const uint64_t k = 3, U = 5;
+  HardInstance inst = MakeHardCategoricalInstance(k, U);
+  auto data = std::make_shared<Dataset>(inst.dataset);
+  LocalServer server(data, k);
+  const SchemaPtr& schema = data->schema();
+  for (size_t a = 0; a < schema->num_attributes(); ++a) {
+    for (Value c = 1; c <= static_cast<Value>(U); ++c) {
+      Query slice = Query::FullSpace(schema).WithCategoricalEquals(a, c);
+      // Each value appears in d-1 tuples of its own group plus 1 from the
+      // previous group = d = 2k > k.
+      EXPECT_EQ(server.CountMatches(slice), 2 * k) << slice.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hdc

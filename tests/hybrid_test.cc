@@ -1,0 +1,178 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/rank_shrink.h"
+#include "core/slice_cover.h"
+#include "gen/synthetic.h"
+#include "server/local_server.h"
+#include "test_util.h"
+
+namespace hdc {
+namespace {
+
+using testing_util::ExpectExactExtraction;
+
+TEST(HybridTest, AcceptsEverySchemaKind) {
+  HybridCrawler crawler;
+  EXPECT_TRUE(crawler.ValidateSchema(*Schema::Numeric(2)).ok());
+  EXPECT_TRUE(crawler.ValidateSchema(*Schema::Categorical({3})).ok());
+  EXPECT_TRUE(crawler
+                  .ValidateSchema(*Schema::Make(
+                      {AttributeSpec::Categorical("C", 2),
+                       AttributeSpec::Numeric("N")}))
+                  .ok());
+}
+
+TEST(HybridTest, MixedSpaceExactExtraction) {
+  SyntheticMixedOptions gen;
+  gen.domain_sizes = {4, 6};
+  gen.num_numeric = 2;
+  gen.n = 1500;
+  gen.value_range = 200;
+  gen.zipf_s = 0.9;
+  gen.seed = 12;
+  Dataset data = GenerateSyntheticMixed(gen);
+  const uint64_t k = 16;
+  ASSERT_LE(data.MaxPointMultiplicity(), k);
+  HybridCrawler crawler;
+  ExpectExactExtraction(&crawler, data, k);
+}
+
+TEST(HybridTest, DegeneratesToRankShrinkOnNumericSpace) {
+  SyntheticNumericOptions gen;
+  gen.d = 2;
+  gen.n = 600;
+  gen.value_range = 300;
+  gen.seed = 8;
+  Dataset data = GenerateSyntheticNumeric(gen);
+  const uint64_t k = 8;
+  ASSERT_LE(data.MaxPointMultiplicity(), k);
+
+  HybridCrawler hybrid;
+  RankShrink rank_shrink;
+  CrawlResult hybrid_result = ExpectExactExtraction(&hybrid, data, k);
+  CrawlResult rank_result = ExpectExactExtraction(&rank_shrink, data, k);
+  // With no categorical attributes the hybrid *is* rank-shrink: identical
+  // query counts, not merely similar.
+  EXPECT_EQ(hybrid_result.queries_issued, rank_result.queries_issued);
+}
+
+TEST(HybridTest, DegeneratesToLazySliceCoverOnCategoricalSpace) {
+  SyntheticCategoricalOptions gen;
+  gen.domain_sizes = {5, 6, 4};
+  gen.n = 800;
+  gen.zipf_s = 1.0;
+  gen.seed = 15;
+  Dataset data = GenerateSyntheticCategorical(gen);
+  const uint64_t k = 128;
+  ASSERT_LE(data.MaxPointMultiplicity(), k);
+
+  HybridCrawler hybrid;  // lazy by default
+  SliceCoverCrawler lazy(/*lazy=*/true);
+  CrawlResult hybrid_result = ExpectExactExtraction(&hybrid, data, k);
+  CrawlResult lazy_result = ExpectExactExtraction(&lazy, data, k);
+  EXPECT_EQ(hybrid_result.queries_issued, lazy_result.queries_issued);
+}
+
+TEST(HybridTest, SingleCategoricalAttributeCost) {
+  // Lemma 9 (cat = 1): cost U1 + O(d*n/k). With every tuple under one
+  // categorical value, the crawl pays U1 slice queries plus one rank-shrink
+  // instance.
+  SchemaPtr schema = Schema::Make({
+      AttributeSpec::Categorical("C", 10),
+      AttributeSpec::NumericBounded("N", 0, 10000),
+  });
+  auto data = std::make_shared<Dataset>(schema);
+  Rng rng(4);
+  const size_t n = 2000;
+  for (size_t i = 0; i < n; ++i) {
+    data->Add(Tuple({1, rng.UniformInt(0, 10000)}));
+  }
+  const uint64_t k = 64;
+  ASSERT_LE(data->MaxPointMultiplicity(), k);
+
+  LocalServer server(data, k);
+  HybridCrawler crawler;
+  CrawlResult result = crawler.Crawl(&server);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(Dataset::MultisetEquals(result.extracted, *data));
+  // U1 = 10 slices + one numeric crawl bounded by 20 * 1 * n/k + slack.
+  const double bound = 10.0 + 20.0 * (static_cast<double>(n) / k) + 16.0;
+  EXPECT_LE(static_cast<double>(result.queries_issued), bound);
+}
+
+TEST(HybridTest, EagerModeAlsoExact) {
+  SyntheticMixedOptions gen;
+  gen.domain_sizes = {3, 5};
+  gen.num_numeric = 1;
+  gen.n = 900;
+  gen.value_range = 150;
+  gen.seed = 44;
+  Dataset data = GenerateSyntheticMixed(gen);
+  const uint64_t k = 8;
+  ASSERT_LE(data.MaxPointMultiplicity(), k);
+
+  HybridOptions options;
+  options.lazy = false;
+  HybridCrawler eager(options);
+  CrawlResult eager_result = ExpectExactExtraction(&eager, data, k);
+
+  HybridCrawler lazy;
+  CrawlResult lazy_result = ExpectExactExtraction(&lazy, data, k);
+  EXPECT_LE(lazy_result.queries_issued, eager_result.queries_issued);
+}
+
+TEST(HybridTest, HeavyDuplicatePointJustAtK) {
+  SchemaPtr schema = Schema::Make({
+      AttributeSpec::Categorical("C", 3),
+      AttributeSpec::NumericBounded("N", 0, 100),
+  });
+  auto data = std::make_shared<Dataset>(schema);
+  for (int i = 0; i < 16; ++i) data->Add(Tuple({2, 50}));  // multiplicity k
+  for (Value v = 0; v < 40; ++v) data->Add(Tuple({1 + v % 3, v}));
+  const uint64_t k = 16;
+  ASSERT_LE(data->MaxPointMultiplicity(), k);
+  HybridCrawler crawler;
+  ExpectExactExtraction(&crawler, *data, k);
+}
+
+TEST(HybridTest, DetectsUnsolvableInstance) {
+  SchemaPtr schema = Schema::Make({
+      AttributeSpec::Categorical("C", 3),
+      AttributeSpec::NumericBounded("N", 0, 100),
+  });
+  auto data = std::make_shared<Dataset>(schema);
+  for (int i = 0; i < 9; ++i) data->Add(Tuple({2, 50}));
+  LocalServer server(data, /*k=*/8);
+  HybridCrawler crawler;
+  CrawlResult result = crawler.Crawl(&server);
+  EXPECT_TRUE(result.status.IsUnsolvable());
+}
+
+TEST(HybridTest, InterleavedAttributeKinds) {
+  // The schema need not put categorical attributes first: the data-space
+  // tree uses categorical attributes in schema order wherever they sit.
+  SchemaPtr schema = Schema::Make({
+      AttributeSpec::NumericBounded("N1", 0, 50),
+      AttributeSpec::Categorical("C1", 4),
+      AttributeSpec::NumericBounded("N2", 0, 50),
+      AttributeSpec::Categorical("C2", 3),
+  });
+  auto data = std::make_shared<Dataset>(schema);
+  Rng rng(9);
+  for (int i = 0; i < 700; ++i) {
+    data->Add(Tuple({rng.UniformInt(0, 50), rng.UniformInt(1, 4),
+                     rng.UniformInt(0, 50), rng.UniformInt(1, 3)}));
+  }
+  const uint64_t k = 8;
+  ASSERT_LE(data->MaxPointMultiplicity(), k);
+  HybridCrawler crawler;
+  ExpectExactExtraction(&crawler, *data, k);
+}
+
+}  // namespace
+}  // namespace hdc

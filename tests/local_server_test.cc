@@ -1,0 +1,181 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "server/local_server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "gen/synthetic.h"
+#include "util/random.h"
+
+namespace hdc {
+namespace {
+
+std::shared_ptr<Dataset> OneDimData() {
+  SchemaPtr schema = Schema::NumericBounded({{0, 100}});
+  auto d = std::make_shared<Dataset>(schema);
+  for (Value v : {10, 20, 30, 35, 45, 55, 55, 55}) d->Add(Tuple({v}));
+  return d;
+}
+
+TEST(LocalServerTest, ResolvedReturnsEntireBag) {
+  LocalServer server(OneDimData(), /*k=*/4);
+  Query q = Query::FullSpace(server.schema()).WithNumericRange(0, 0, 30);
+  Response r;
+  ASSERT_TRUE(server.Issue(q, &r).ok());
+  EXPECT_FALSE(r.overflow);
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(LocalServerTest, OverflowReturnsExactlyK) {
+  LocalServer server(OneDimData(), /*k=*/4);
+  Query q = Query::FullSpace(server.schema());
+  Response r;
+  ASSERT_TRUE(server.Issue(q, &r).ok());
+  EXPECT_TRUE(r.overflow);
+  EXPECT_EQ(r.size(), 4u);
+}
+
+TEST(LocalServerTest, BoundaryExactlyKResolves) {
+  LocalServer server(OneDimData(), /*k=*/8);
+  Query q = Query::FullSpace(server.schema());
+  Response r;
+  ASSERT_TRUE(server.Issue(q, &r).ok());
+  EXPECT_FALSE(r.overflow) << "|q(D)| == k must resolve, not overflow";
+  EXPECT_EQ(r.size(), 8u);
+}
+
+TEST(LocalServerTest, RepeatedQueryReturnsSameTuples) {
+  LocalServer server(OneDimData(), /*k=*/4);
+  Query q = Query::FullSpace(server.schema());
+  Response r1, r2;
+  ASSERT_TRUE(server.Issue(q, &r1).ok());
+  ASSERT_TRUE(server.Issue(q, &r2).ok());
+  ASSERT_EQ(r1.size(), r2.size());
+  for (size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1.tuples[i].hidden_id, r2.tuples[i].hidden_id);
+  }
+}
+
+TEST(LocalServerTest, OverflowKeepsHighestPriorityTuples) {
+  auto data = OneDimData();
+  // Priorities by id descending: ids 0..3 have highest priorities.
+  LocalServer server(data, /*k=*/3, MakeIdOrderPolicy(/*ascending=*/true));
+  Query q = Query::FullSpace(server.schema());
+  Response r;
+  ASSERT_TRUE(server.Issue(q, &r).ok());
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.tuples[0].hidden_id, 0u);
+  EXPECT_EQ(r.tuples[1].hidden_id, 1u);
+  EXPECT_EQ(r.tuples[2].hidden_id, 2u);
+}
+
+TEST(LocalServerTest, EmptyRegionResolvesEmpty) {
+  LocalServer server(OneDimData(), /*k=*/4);
+  Query q = Query::FullSpace(server.schema()).WithNumericRange(0, 90, 100);
+  Response r;
+  ASSERT_TRUE(server.Issue(q, &r).ok());
+  EXPECT_FALSE(r.overflow);
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(LocalServerTest, StatsAccumulate) {
+  LocalServer server(OneDimData(), /*k=*/4);
+  Response r;
+  Query full = Query::FullSpace(server.schema());
+  ASSERT_TRUE(server.Issue(full, &r).ok());
+  ASSERT_TRUE(
+      server.Issue(full.WithNumericRange(0, 0, 30), &r).ok());
+  EXPECT_EQ(server.queries_served(), 2u);
+  EXPECT_EQ(server.overflow_count(), 1u);
+  EXPECT_EQ(server.tuples_returned(), 7u);
+  server.ResetStats();
+  EXPECT_EQ(server.queries_served(), 0u);
+}
+
+TEST(LocalServerTest, CountMatchesIsExact) {
+  LocalServer server(OneDimData(), /*k=*/2);
+  Query q = Query::FullSpace(server.schema()).WithNumericRange(0, 55, 55);
+  EXPECT_EQ(server.CountMatches(q), 3u);
+}
+
+TEST(LocalServerTest, IsCrawlableComparesMultiplicityToK) {
+  auto data = OneDimData();  // max multiplicity 3 (value 55)
+  EXPECT_TRUE(LocalServer(data, 3).IsCrawlable());
+  EXPECT_FALSE(LocalServer(data, 2).IsCrawlable());
+}
+
+TEST(LocalServerTest, CategoricalPredicates) {
+  SchemaPtr schema = Schema::Categorical({3, 2});
+  auto d = std::make_shared<Dataset>(schema);
+  d->Add(Tuple({1, 1}));
+  d->Add(Tuple({1, 2}));
+  d->Add(Tuple({2, 1}));
+  LocalServer server(d, /*k=*/10);
+  Response r;
+  Query q = Query::FullSpace(schema).WithCategoricalEquals(0, 1);
+  ASSERT_TRUE(server.Issue(q, &r).ok());
+  EXPECT_EQ(r.size(), 2u);
+  q = q.WithCategoricalEquals(1, 2);
+  ASSERT_TRUE(server.Issue(q, &r).ok());
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.tuples[0].tuple, Tuple({1, 2}));
+}
+
+// Property: the indexed evaluator agrees exactly with the naive scan
+// evaluator on random queries over random mixed data.
+TEST(LocalServerTest, IndexedMatchesScanOnRandomQueries) {
+  SyntheticMixedOptions gen;
+  gen.domain_sizes = {5, 9};
+  gen.num_numeric = 2;
+  gen.n = 3000;
+  gen.value_range = 50;
+  gen.zipf_s = 0.7;
+  gen.seed = 77;
+  auto data = std::make_shared<Dataset>(GenerateSyntheticMixed(gen));
+
+  LocalServerOptions scan_opts;
+  scan_opts.use_index = false;
+  LocalServer indexed(data, /*k=*/16, MakeRandomPriorityPolicy(5));
+  LocalServer scan(data, /*k=*/16, MakeRandomPriorityPolicy(5), scan_opts);
+
+  Rng rng(123);
+  SchemaPtr schema = data->schema();
+  for (int trial = 0; trial < 300; ++trial) {
+    Query q = Query::FullSpace(schema);
+    if (rng.Bernoulli(0.5)) {
+      q = q.WithCategoricalEquals(0, rng.UniformInt(1, 5));
+    }
+    if (rng.Bernoulli(0.5)) {
+      q = q.WithCategoricalEquals(1, rng.UniformInt(1, 9));
+    }
+    if (rng.Bernoulli(0.7)) {
+      Value lo = rng.UniformInt(0, 49);
+      q = q.WithNumericRange(2, lo, rng.UniformInt(lo, 49));
+    }
+    if (rng.Bernoulli(0.7)) {
+      Value lo = rng.UniformInt(0, 49);
+      q = q.WithNumericRange(3, lo, rng.UniformInt(lo, 49));
+    }
+    Response ri, rs;
+    ASSERT_TRUE(indexed.Issue(q, &ri).ok());
+    ASSERT_TRUE(scan.Issue(q, &rs).ok());
+    ASSERT_EQ(ri.overflow, rs.overflow) << q.ToString();
+    ASSERT_EQ(ri.size(), rs.size()) << q.ToString();
+    for (size_t i = 0; i < ri.size(); ++i) {
+      ASSERT_EQ(ri.tuples[i].hidden_id, rs.tuples[i].hidden_id)
+          << q.ToString();
+    }
+  }
+}
+
+TEST(LocalServerTest, SchemaAccessor) {
+  auto data = OneDimData();
+  LocalServer server(data, 4);
+  EXPECT_EQ(server.k(), 4u);
+  EXPECT_TRUE(*server.schema() == *data->schema());
+}
+
+}  // namespace
+}  // namespace hdc

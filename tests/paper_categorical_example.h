@@ -1,0 +1,36 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// The categorical worked example of the paper's Figures 5 and 6: a 4x4
+// two-attribute space with 10 tuples, k = 3. The slice-query lookup table
+// (Figure 6) is:
+//   A1=1: overflow   A1=2: {t5}   A1=3: overflow   A1=4: {t10}
+//   A2=1: {t1,t6}    A2=2: {t2,t7,t10}   A2=3: {t3,t8,t9}   A2=4: {t4,t5}
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.h"
+
+namespace hdc {
+namespace testing_util {
+
+inline std::shared_ptr<Dataset> PaperFigure5Dataset() {
+  SchemaPtr schema = Schema::Categorical({4, 4});
+  auto d = std::make_shared<Dataset>(schema);
+  d->Add(Tuple({1, 1}));  // t1
+  d->Add(Tuple({1, 2}));  // t2
+  d->Add(Tuple({1, 3}));  // t3
+  d->Add(Tuple({1, 4}));  // t4
+  d->Add(Tuple({2, 4}));  // t5
+  d->Add(Tuple({3, 1}));  // t6
+  d->Add(Tuple({3, 2}));  // t7
+  d->Add(Tuple({3, 3}));  // t8
+  d->Add(Tuple({3, 3}));  // t9 (duplicate point with t8)
+  d->Add(Tuple({4, 2}));  // t10
+  return d;
+}
+
+inline constexpr uint64_t kPaperFigure5K = 3;
+
+}  // namespace testing_util
+}  // namespace hdc

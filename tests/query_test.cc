@@ -1,0 +1,196 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace hdc {
+namespace {
+
+SchemaPtr MixedSchema() {
+  return Schema::Make({
+      AttributeSpec::Categorical("C1", 4),
+      AttributeSpec::NumericBounded("N1", 0, 100),
+      AttributeSpec::Categorical("C2", 3),
+  });
+}
+
+TEST(QueryTest, FullSpaceIsAllWildcards) {
+  Query q = Query::FullSpace(MixedSchema());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(q.IsWildcard(i)) << i;
+    EXPECT_FALSE(q.IsPinned(i));
+  }
+  EXPECT_FALSE(q.IsPoint());
+  EXPECT_EQ(q.NumPinned(), 0u);
+}
+
+TEST(QueryTest, FullSpaceUnboundedNumericUsesSentinels) {
+  Query q = Query::FullSpace(Schema::Numeric(1));
+  EXPECT_EQ(q.lo(0), kNumericMin);
+  EXPECT_EQ(q.hi(0), kNumericMax);
+}
+
+TEST(QueryTest, CategoricalEqualsPins) {
+  Query q = Query::FullSpace(MixedSchema()).WithCategoricalEquals(0, 3);
+  EXPECT_TRUE(q.IsPinned(0));
+  EXPECT_FALSE(q.IsWildcard(0));
+  EXPECT_EQ(q.lo(0), 3);
+  EXPECT_EQ(q.hi(0), 3);
+}
+
+TEST(QueryTest, CategoricalWildcardResets) {
+  Query q = Query::FullSpace(MixedSchema())
+                .WithCategoricalEquals(0, 3)
+                .WithCategoricalWildcard(0);
+  EXPECT_TRUE(q.IsWildcard(0));
+}
+
+TEST(QueryTest, NumericRangeRestricts) {
+  Query q = Query::FullSpace(MixedSchema()).WithNumericRange(1, 10, 20);
+  EXPECT_FALSE(q.IsWildcard(1));
+  EXPECT_EQ(q.lo(1), 10);
+  EXPECT_EQ(q.hi(1), 20);
+  EXPECT_FALSE(q.IsPinned(1));
+  EXPECT_TRUE(q.WithNumericRange(1, 15, 15).IsPinned(1));
+}
+
+TEST(QueryTest, MatchesRespectsAllPredicates) {
+  Query q = Query::FullSpace(MixedSchema())
+                .WithCategoricalEquals(0, 2)
+                .WithNumericRange(1, 10, 20);
+  EXPECT_TRUE(q.Matches(Tuple({2, 10, 1})));
+  EXPECT_TRUE(q.Matches(Tuple({2, 20, 3})));
+  EXPECT_FALSE(q.Matches(Tuple({1, 15, 1})));  // wrong categorical
+  EXPECT_FALSE(q.Matches(Tuple({2, 9, 1})));   // below range
+  EXPECT_FALSE(q.Matches(Tuple({2, 21, 1})));  // above range
+}
+
+TEST(QueryTest, IsPointWhenAllPinned) {
+  Query q = Query::FullSpace(MixedSchema())
+                .WithCategoricalEquals(0, 1)
+                .WithNumericRange(1, 5, 5)
+                .WithCategoricalEquals(2, 2);
+  EXPECT_TRUE(q.IsPoint());
+  EXPECT_EQ(q.FirstNonPinnedAttribute(), std::nullopt);
+}
+
+TEST(QueryTest, FirstNonPinnedAttribute) {
+  Query q = Query::FullSpace(MixedSchema()).WithCategoricalEquals(0, 1);
+  EXPECT_EQ(q.FirstNonPinnedAttribute(), std::optional<size_t>(1));
+}
+
+TEST(QueryTest, ContainsAndIntersects) {
+  Query full = Query::FullSpace(MixedSchema());
+  Query narrow = full.WithNumericRange(1, 10, 20);
+  Query narrower = full.WithNumericRange(1, 12, 18);
+  Query disjoint = full.WithNumericRange(1, 30, 40);
+  EXPECT_TRUE(full.Contains(narrow));
+  EXPECT_TRUE(narrow.Contains(narrower));
+  EXPECT_FALSE(narrower.Contains(narrow));
+  EXPECT_TRUE(narrow.Intersects(narrower));
+  EXPECT_FALSE(narrow.Intersects(disjoint));
+  EXPECT_TRUE(full.Intersects(disjoint));
+}
+
+TEST(QueryTest, SliceQueryDetection) {
+  SchemaPtr schema = MixedSchema();
+  Query full = Query::FullSpace(schema);
+  EXPECT_EQ(full.AsSliceQuery(), std::nullopt);
+
+  Query slice = full.WithCategoricalEquals(2, 3);
+  auto parsed = slice.AsSliceQuery();
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->first, 2u);
+  EXPECT_EQ(parsed->second, 3);
+
+  // Two pinned categoricals: not a slice.
+  EXPECT_EQ(slice.WithCategoricalEquals(0, 1).AsSliceQuery(), std::nullopt);
+  // A narrowed numeric alongside: not a slice.
+  EXPECT_EQ(slice.WithNumericRange(1, 0, 5).AsSliceQuery(), std::nullopt);
+}
+
+TEST(QueryTest, ToStringShowsPredicates) {
+  Query q = Query::FullSpace(MixedSchema())
+                .WithCategoricalEquals(0, 2)
+                .WithNumericRange(1, 10, 20);
+  std::string s = q.ToString();
+  EXPECT_NE(s.find("C1=2"), std::string::npos);
+  EXPECT_NE(s.find("N1 in [10, 20]"), std::string::npos);
+  EXPECT_NE(s.find("C2=*"), std::string::npos);
+}
+
+TEST(QueryTest, ToStringInfinityRendering) {
+  Query q = Query::FullSpace(Schema::Numeric(1));
+  EXPECT_NE(q.ToString().find("-inf"), std::string::npos);
+  EXPECT_NE(q.ToString().find("+inf"), std::string::npos);
+}
+
+TEST(QueryTest, HashAndEquality) {
+  SchemaPtr schema = MixedSchema();
+  Query a = Query::FullSpace(schema).WithCategoricalEquals(0, 2);
+  Query b = Query::FullSpace(schema).WithCategoricalEquals(0, 2);
+  Query c = Query::FullSpace(schema).WithCategoricalEquals(0, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, c);
+
+  std::unordered_set<Query, QueryHasher> set;
+  set.insert(a);
+  set.insert(b);
+  set.insert(c);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(SplitTest, TwoWaySplitPartitionsExtent) {
+  SchemaPtr schema = Schema::NumericBounded({{0, 10}});
+  Query q = Query::FullSpace(schema);
+  TwoWaySplitResult halves = TwoWaySplit(q, 0, 4);
+  EXPECT_EQ(halves.left.lo(0), 0);
+  EXPECT_EQ(halves.left.hi(0), 3);
+  EXPECT_EQ(halves.right.lo(0), 4);
+  EXPECT_EQ(halves.right.hi(0), 10);
+}
+
+TEST(SplitTest, ThreeWaySplitInterior) {
+  SchemaPtr schema = Schema::NumericBounded({{0, 10}});
+  Query q = Query::FullSpace(schema);
+  ThreeWaySplitResult parts = ThreeWaySplit(q, 0, 4);
+  ASSERT_TRUE(parts.left.has_value());
+  ASSERT_TRUE(parts.right.has_value());
+  EXPECT_EQ(parts.left->hi(0), 3);
+  EXPECT_EQ(parts.mid.lo(0), 4);
+  EXPECT_EQ(parts.mid.hi(0), 4);
+  EXPECT_TRUE(parts.mid.IsPinned(0));
+  EXPECT_EQ(parts.right->lo(0), 5);
+}
+
+TEST(SplitTest, ThreeWaySplitAtBoundsDropsEmptySides) {
+  SchemaPtr schema = Schema::NumericBounded({{0, 10}});
+  Query q = Query::FullSpace(schema);
+  ThreeWaySplitResult at_lo = ThreeWaySplit(q, 0, 0);
+  EXPECT_FALSE(at_lo.left.has_value());
+  ASSERT_TRUE(at_lo.right.has_value());
+  EXPECT_EQ(at_lo.right->lo(0), 1);
+
+  ThreeWaySplitResult at_hi = ThreeWaySplit(q, 0, 10);
+  EXPECT_FALSE(at_hi.right.has_value());
+  ASSERT_TRUE(at_hi.left.has_value());
+  EXPECT_EQ(at_hi.left->hi(0), 9);
+}
+
+TEST(SplitTest, SplitsPreserveOtherAttributes) {
+  SchemaPtr schema = Schema::Make({
+      AttributeSpec::Categorical("C", 4),
+      AttributeSpec::NumericBounded("N", 0, 10),
+  });
+  Query q = Query::FullSpace(schema).WithCategoricalEquals(0, 2);
+  TwoWaySplitResult halves = TwoWaySplit(q, 1, 5);
+  EXPECT_TRUE(halves.left.IsPinned(0));
+  EXPECT_EQ(halves.left.lo(0), 2);
+  EXPECT_TRUE(halves.right.IsPinned(0));
+}
+
+}  // namespace
+}  // namespace hdc

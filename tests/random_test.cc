@@ -1,0 +1,175 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace hdc {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformU64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformU64HitsAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformU64(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughRate) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalIntClampsToRange) {
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.NormalInt(50.0, 30.0, 40, 60);
+    EXPECT_GE(v, 40);
+    EXPECT_LE(v, 60);
+  }
+}
+
+TEST(RngTest, NormalIntMeanApproximation) {
+  Rng rng(19);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    sum += static_cast<double>(rng.NormalInt(100.0, 10.0, 0, 200));
+  }
+  EXPECT_NEAR(sum / 20000.0, 100.0, 1.0);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  Rng rng(1);
+  ZipfDistribution zipf(10, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = zipf.Sample(&rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 10u);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsSmallValues) {
+  Rng rng(2);
+  ZipfDistribution zipf(100, 1.2);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[1], 10 * counts[50]);
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  Rng rng(3);
+  ZipfDistribution zipf(4, 0.0);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[zipf.Sample(&rng)];
+  for (int v = 1; v <= 4; ++v) {
+    EXPECT_NEAR(counts[v] / 40000.0, 0.25, 0.02);
+  }
+}
+
+TEST(ZipfTest, SingletonDomain) {
+  Rng rng(4);
+  ZipfDistribution zipf(1, 1.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(&rng), 1u);
+}
+
+TEST(DiscreteDistributionTest, RespectsWeights) {
+  Rng rng(5);
+  DiscreteDistribution dist({0.5, 0.0, 0.5});
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[dist.Sample(&rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / 10000.0, 0.5, 0.03);
+  EXPECT_NEAR(counts[2] / 10000.0, 0.5, 0.03);
+}
+
+TEST(DiscreteDistributionTest, SingleBucket) {
+  Rng rng(6);
+  DiscreteDistribution dist({3.0});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(dist.Sample(&rng), 0u);
+}
+
+}  // namespace
+}  // namespace hdc

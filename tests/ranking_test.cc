@@ -1,0 +1,80 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "server/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "server/local_server.h"
+
+namespace hdc {
+namespace {
+
+std::shared_ptr<Dataset> PriceData() {
+  SchemaPtr schema = Schema::NumericBounded({{0, 1000}});
+  auto d = std::make_shared<Dataset>(schema);
+  for (Value price : {500, 100, 900, 300, 700}) d->Add(Tuple({price}));
+  return d;
+}
+
+TEST(RankingTest, RandomPriorityIsDeterministicPerSeed) {
+  auto data = PriceData();
+  RandomPriorityPolicy p1(42), p2(42), p3(43);
+  EXPECT_EQ(p1.AssignPriorities(*data), p2.AssignPriorities(*data));
+  EXPECT_NE(p1.AssignPriorities(*data), p3.AssignPriorities(*data));
+}
+
+TEST(RankingTest, IdOrderAscendingFavorsOldRows) {
+  auto data = PriceData();
+  auto pri = IdOrderPolicy(/*ascending=*/true).AssignPriorities(*data);
+  EXPECT_GT(pri[0], pri[1]);
+  EXPECT_GT(pri[3], pri[4]);
+}
+
+TEST(RankingTest, IdOrderDescendingFavorsNewRows) {
+  auto data = PriceData();
+  auto pri = IdOrderPolicy(/*ascending=*/false).AssignPriorities(*data);
+  EXPECT_LT(pri[0], pri[1]);
+}
+
+TEST(RankingTest, ByAttributeAscendingReturnsCheapestFirst) {
+  auto data = PriceData();
+  LocalServer server(data, /*k=*/2, MakeByAttributePolicy(0, true));
+  Response r;
+  ASSERT_TRUE(server.Issue(Query::FullSpace(server.schema()), &r).ok());
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.tuples[0].tuple[0], 100);
+  EXPECT_EQ(r.tuples[1].tuple[0], 300);
+}
+
+TEST(RankingTest, ByAttributeDescendingReturnsPriciestFirst) {
+  auto data = PriceData();
+  LocalServer server(data, /*k=*/2, MakeByAttributePolicy(0, false));
+  Response r;
+  ASSERT_TRUE(server.Issue(Query::FullSpace(server.schema()), &r).ok());
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.tuples[0].tuple[0], 900);
+  EXPECT_EQ(r.tuples[1].tuple[0], 700);
+}
+
+TEST(RankingTest, ByAttributeHandlesNegativeValues) {
+  SchemaPtr schema = Schema::NumericBounded({{-100, 100}});
+  auto d = std::make_shared<Dataset>(schema);
+  for (Value v : {-50, 0, 50, -100, 100}) d->Add(Tuple({v}));
+  LocalServer server(d, /*k=*/2, MakeByAttributePolicy(0, true));
+  Response r;
+  ASSERT_TRUE(server.Issue(Query::FullSpace(schema), &r).ok());
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.tuples[0].tuple[0], -100);
+  EXPECT_EQ(r.tuples[1].tuple[0], -50);
+}
+
+TEST(RankingTest, PolicyNames) {
+  EXPECT_EQ(RandomPriorityPolicy(1).name(), "random-priority");
+  EXPECT_EQ(IdOrderPolicy(true).name(), "oldest-first");
+  EXPECT_EQ(IdOrderPolicy(false).name(), "newest-first");
+  EXPECT_EQ(ByAttributePolicy(2, true).name(), "by-attr-2-asc");
+}
+
+}  // namespace
+}  // namespace hdc

@@ -1,0 +1,216 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Budget interruption and resumption. Crawls are deterministic (static
+// priorities, explicit work stacks), so an interrupted-and-resumed crawl
+// must issue exactly the same total number of queries as an uninterrupted
+// one and extract the same multiset.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/crawlers.h"
+#include "gen/synthetic.h"
+#include "server/decorators.h"
+#include "server/local_server.h"
+#include "test_util.h"
+
+namespace hdc {
+namespace {
+
+using testing_util::CrawlWithResumes;
+
+struct ResumeCase {
+  std::string label;
+  std::function<std::unique_ptr<Crawler>()> make_crawler;
+  std::function<Dataset()> make_data;
+  uint64_t k;
+};
+
+std::vector<ResumeCase> MakeCases() {
+  std::vector<ResumeCase> cases;
+  cases.push_back(
+      {"rank_shrink", [] { return std::make_unique<RankShrink>(); },
+       [] {
+         SyntheticNumericOptions gen;
+         gen.d = 2;
+         gen.n = 800;
+         gen.value_range = 400;
+         gen.seed = 5;
+         return GenerateSyntheticNumeric(gen);
+       },
+       8});
+  cases.push_back(
+      {"binary_shrink", [] { return std::make_unique<BinaryShrink>(); },
+       [] {
+         SyntheticNumericOptions gen;
+         gen.d = 2;
+         gen.n = 400;
+         gen.value_range = 128;
+         gen.seed = 6;
+         return GenerateSyntheticNumeric(gen);
+       },
+       8});
+  cases.push_back(
+      {"dfs", [] { return std::make_unique<DfsCrawler>(); },
+       [] {
+         SyntheticCategoricalOptions gen;
+         gen.domain_sizes = {5, 6, 4};
+         gen.n = 600;
+         gen.seed = 7;
+         return GenerateSyntheticCategorical(gen);
+       },
+       8});
+  cases.push_back(
+      {"slice_cover",
+       [] { return std::make_unique<SliceCoverCrawler>(false); },
+       [] {
+         SyntheticCategoricalOptions gen;
+         gen.domain_sizes = {5, 6, 4};
+         gen.n = 600;
+         gen.seed = 8;
+         return GenerateSyntheticCategorical(gen);
+       },
+       8});
+  cases.push_back(
+      {"lazy_slice_cover",
+       [] { return std::make_unique<SliceCoverCrawler>(true); },
+       [] {
+         SyntheticCategoricalOptions gen;
+         gen.domain_sizes = {5, 6, 4};
+         gen.n = 600;
+         gen.seed = 9;
+         return GenerateSyntheticCategorical(gen);
+       },
+       8});
+  cases.push_back(
+      {"hybrid", [] { return std::make_unique<HybridCrawler>(); },
+       [] {
+         SyntheticMixedOptions gen;
+         gen.domain_sizes = {4, 5};
+         gen.num_numeric = 1;
+         gen.n = 700;
+         gen.value_range = 100;
+         gen.seed = 10;
+         return GenerateSyntheticMixed(gen);
+       },
+       8});
+  return cases;
+}
+
+class ResumeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ResumeTest, InterruptedCrawlMatchesUninterrupted) {
+  ResumeCase test_case = MakeCases()[GetParam()];
+  Dataset data = test_case.make_data();
+  const uint64_t k = std::max(test_case.k, data.MaxPointMultiplicity());
+
+  // Reference: uninterrupted crawl.
+  auto shared = std::make_shared<Dataset>(data);
+  LocalServer ref_server(shared, k);
+  auto ref_crawler = test_case.make_crawler();
+  CrawlResult reference = ref_crawler->Crawl(&ref_server);
+  ASSERT_TRUE(reference.status.ok()) << reference.status.ToString();
+  ASSERT_GT(reference.queries_issued, 10u)
+      << "test needs a crawl long enough to interrupt";
+
+  // Interrupted every 7 queries.
+  LocalServer server(shared, k);
+  auto crawler = test_case.make_crawler();
+  auto [result, runs] = CrawlWithResumes(crawler.get(), &server, 7);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_GT(runs, 2);
+  EXPECT_TRUE(Dataset::MultisetEquals(result.extracted, data))
+      << test_case.label;
+  EXPECT_EQ(result.queries_issued, reference.queries_issued)
+      << test_case.label
+      << ": interruption must not waste or save queries";
+}
+
+TEST_P(ResumeTest, ExternalBudgetServerInterruption) {
+  ResumeCase test_case = MakeCases()[GetParam()];
+  Dataset data = test_case.make_data();
+  const uint64_t k = std::max(test_case.k, data.MaxPointMultiplicity());
+
+  auto shared = std::make_shared<Dataset>(data);
+  LocalServer base(shared, k);
+  BudgetServer budget(&base, 11);
+  auto crawler = test_case.make_crawler();
+
+  CrawlResult result = crawler->Crawl(&budget);
+  int rounds = 1;
+  while (result.status.IsResourceExhausted() && rounds < 10000) {
+    ASSERT_NE(result.resume_state, nullptr);
+    budget.Refill(11);  // the next day's quota
+    result = crawler->Resume(&budget, result.resume_state);
+    ++rounds;
+  }
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_GT(rounds, 1);
+  EXPECT_TRUE(Dataset::MultisetEquals(result.extracted, data))
+      << test_case.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ResumeTest,
+                         ::testing::Range<size_t>(0, 6),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return MakeCases()[info.param].label;
+                         });
+
+TEST(ResumeTest, ResumingWithWrongAlgorithmFails) {
+  SyntheticNumericOptions gen;
+  gen.d = 1;
+  gen.n = 200;
+  gen.value_range = 100;
+  gen.seed = 11;
+  auto data = std::make_shared<Dataset>(GenerateSyntheticNumeric(gen));
+  LocalServer server(data, 4);
+
+  RankShrink rank_shrink;
+  CrawlOptions options;
+  options.max_queries = 3;
+  CrawlResult partial = rank_shrink.Crawl(&server, options);
+  ASSERT_TRUE(partial.status.IsResourceExhausted());
+
+  BinaryShrink binary_shrink;
+  CrawlResult mismatch =
+      binary_shrink.Resume(&server, partial.resume_state);
+  EXPECT_TRUE(mismatch.status.IsInvalidArgument());
+}
+
+TEST(ResumeTest, ResumeWithoutStateFails) {
+  SyntheticNumericOptions gen;
+  gen.d = 1;
+  gen.n = 50;
+  gen.seed = 12;
+  auto data = std::make_shared<Dataset>(GenerateSyntheticNumeric(gen));
+  LocalServer server(data, 4);
+  RankShrink crawler;
+  CrawlResult result = crawler.Resume(&server, nullptr);
+  EXPECT_TRUE(result.status.IsInvalidArgument());
+}
+
+TEST(ResumeTest, ZeroBudgetMakesNoProgressButRemainsResumable) {
+  SyntheticNumericOptions gen;
+  gen.d = 1;
+  gen.n = 300;
+  gen.value_range = 100;
+  gen.seed = 13;
+  Dataset data = GenerateSyntheticNumeric(gen);
+  const uint64_t k = std::max<uint64_t>(4, data.MaxPointMultiplicity());
+  auto shared = std::make_shared<Dataset>(data);
+  LocalServer server(shared, k);
+
+  RankShrink crawler;
+  CrawlOptions zero;
+  zero.max_queries = 0;
+  CrawlResult result = crawler.Crawl(&server, zero);
+  ASSERT_TRUE(result.status.IsResourceExhausted());
+  EXPECT_EQ(result.queries_issued, 0u);
+
+  CrawlResult done = crawler.Resume(&server, result.resume_state);
+  ASSERT_TRUE(done.status.ok());
+  EXPECT_TRUE(Dataset::MultisetEquals(done.extracted, data));
+}
+
+}  // namespace
+}  // namespace hdc

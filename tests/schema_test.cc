@@ -1,0 +1,95 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace hdc {
+namespace {
+
+TEST(AttributeSpecTest, NumericDomainMembership) {
+  AttributeSpec spec = AttributeSpec::NumericBounded("Age", 17, 90);
+  EXPECT_TRUE(spec.is_numeric());
+  EXPECT_FALSE(spec.is_categorical());
+  EXPECT_TRUE(spec.ValueInDomain(17));
+  EXPECT_TRUE(spec.ValueInDomain(90));
+  EXPECT_FALSE(spec.ValueInDomain(16));
+  EXPECT_FALSE(spec.ValueInDomain(91));
+}
+
+TEST(AttributeSpecTest, UnboundedNumericAcceptsSentinelRange) {
+  AttributeSpec spec = AttributeSpec::Numeric("X");
+  EXPECT_TRUE(spec.ValueInDomain(0));
+  EXPECT_TRUE(spec.ValueInDomain(kNumericMin));
+  EXPECT_TRUE(spec.ValueInDomain(kNumericMax));
+}
+
+TEST(AttributeSpecTest, CategoricalDomainMembership) {
+  AttributeSpec spec = AttributeSpec::Categorical("Make", 85);
+  EXPECT_TRUE(spec.is_categorical());
+  EXPECT_TRUE(spec.ValueInDomain(1));
+  EXPECT_TRUE(spec.ValueInDomain(85));
+  EXPECT_FALSE(spec.ValueInDomain(0));
+  EXPECT_FALSE(spec.ValueInDomain(86));
+}
+
+TEST(SchemaTest, NumericFactory) {
+  SchemaPtr schema = Schema::Numeric(3);
+  EXPECT_EQ(schema->num_attributes(), 3u);
+  EXPECT_TRUE(schema->all_numeric());
+  EXPECT_FALSE(schema->all_categorical());
+  EXPECT_EQ(schema->num_numeric(), 3u);
+  EXPECT_EQ(schema->num_categorical(), 0u);
+}
+
+TEST(SchemaTest, CategoricalFactory) {
+  SchemaPtr schema = Schema::Categorical({4, 7, 2});
+  EXPECT_TRUE(schema->all_categorical());
+  EXPECT_EQ(schema->domain_size(0), 4u);
+  EXPECT_EQ(schema->domain_size(1), 7u);
+  EXPECT_EQ(schema->domain_size(2), 2u);
+  EXPECT_EQ(schema->TotalCategoricalDomain(), 13u);
+}
+
+TEST(SchemaTest, MixedIndices) {
+  SchemaPtr schema = Schema::Make({
+      AttributeSpec::Categorical("C1", 3),
+      AttributeSpec::NumericBounded("N1", 0, 9),
+      AttributeSpec::Categorical("C2", 5),
+      AttributeSpec::Numeric("N2"),
+  });
+  EXPECT_EQ(schema->categorical_indices(), (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(schema->numeric_indices(), (std::vector<size_t>{1, 3}));
+  EXPECT_FALSE(schema->all_numeric());
+  EXPECT_FALSE(schema->all_categorical());
+  EXPECT_EQ(schema->TotalCategoricalDomain(), 8u);
+}
+
+TEST(SchemaTest, NumericBoundedFactoryKeepsBounds) {
+  SchemaPtr schema = Schema::NumericBounded({{0, 10}, {-5, 5}});
+  EXPECT_EQ(schema->attribute(0).lo, 0);
+  EXPECT_EQ(schema->attribute(0).hi, 10);
+  EXPECT_EQ(schema->attribute(1).lo, -5);
+  EXPECT_EQ(schema->attribute(1).hi, 5);
+}
+
+TEST(SchemaTest, ToStringMentionsKindsAndDomains) {
+  SchemaPtr schema = Schema::Make({
+      AttributeSpec::Categorical("Make", 85),
+      AttributeSpec::NumericBounded("Price", 200, 200000),
+  });
+  std::string s = schema->ToString();
+  EXPECT_NE(s.find("Make:cat(85)"), std::string::npos);
+  EXPECT_NE(s.find("Price:num"), std::string::npos);
+}
+
+TEST(SchemaTest, EqualityIsStructural) {
+  SchemaPtr a = Schema::Categorical({2, 3});
+  SchemaPtr b = Schema::Categorical({2, 3});
+  SchemaPtr c = Schema::Categorical({3, 2});
+  EXPECT_TRUE(*a == *b);
+  EXPECT_FALSE(*a == *c);
+  EXPECT_FALSE(*a == *Schema::Numeric(2));
+}
+
+}  // namespace
+}  // namespace hdc

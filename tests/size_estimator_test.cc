@@ -1,0 +1,97 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/size_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gen/synthetic.h"
+#include "server/local_server.h"
+
+namespace hdc {
+namespace {
+
+TEST(SizeEstimatorTest, ExactWhenRootResolves) {
+  SchemaPtr schema = Schema::Categorical({4, 4});
+  auto data = std::make_shared<Dataset>(schema);
+  for (Value v = 1; v <= 4; ++v) data->Add(Tuple({v, v}));
+  LocalServer server(data, /*k=*/10);
+  SizeEstimate estimate;
+  ASSERT_TRUE(EstimateDatabaseSize(&server, 100, 7, &estimate).ok());
+  EXPECT_TRUE(estimate.exact);
+  EXPECT_DOUBLE_EQ(estimate.estimate, 4.0);
+  EXPECT_EQ(estimate.queries, 1u);
+}
+
+TEST(SizeEstimatorTest, RejectsNumericSpaces) {
+  auto data = std::make_shared<Dataset>(Schema::Numeric(1));
+  data->Add(Tuple({1}));
+  LocalServer server(data, 4);
+  SizeEstimate estimate;
+  Status s = EstimateDatabaseSize(&server, 10, 7, &estimate);
+  EXPECT_EQ(s.code(), Status::Code::kNotSupported);
+}
+
+TEST(SizeEstimatorTest, RejectsZeroWalks) {
+  auto data = std::make_shared<Dataset>(Schema::Categorical({2}));
+  data->Add(Tuple({1}));
+  LocalServer server(data, 4);
+  SizeEstimate estimate;
+  EXPECT_TRUE(
+      EstimateDatabaseSize(&server, 0, 7, &estimate).IsInvalidArgument());
+}
+
+TEST(SizeEstimatorTest, EstimateConvergesToTrueSize) {
+  SyntheticCategoricalOptions gen;
+  gen.domain_sizes = {6, 8, 10};
+  gen.n = 5000;
+  gen.zipf_s = 0.5;
+  gen.seed = 95;
+  auto data = std::make_shared<Dataset>(GenerateSyntheticCategorical(gen));
+  const uint64_t k = std::max<uint64_t>(64, data->MaxPointMultiplicity());
+  LocalServer server(data, k);
+
+  SizeEstimate estimate;
+  ASSERT_TRUE(EstimateDatabaseSize(&server, 800, 11, &estimate).ok());
+  EXPECT_FALSE(estimate.exact);
+  EXPECT_EQ(estimate.walks, 800u);
+  EXPECT_GT(estimate.standard_error, 0.0);
+  // Unbiased estimator, 800 walks: expect within ~4 standard errors.
+  const double n = static_cast<double>(data->size());
+  EXPECT_NEAR(estimate.estimate, n, 4.0 * estimate.standard_error + 0.05 * n)
+      << "stderr=" << estimate.standard_error;
+}
+
+TEST(SizeEstimatorTest, CostsAtMostDQueriesPerWalk) {
+  SyntheticCategoricalOptions gen;
+  gen.domain_sizes = {5, 5, 5};
+  gen.n = 2000;
+  gen.seed = 96;
+  auto data = std::make_shared<Dataset>(GenerateSyntheticCategorical(gen));
+  const uint64_t k = std::max<uint64_t>(16, data->MaxPointMultiplicity());
+  LocalServer server(data, k);
+
+  SizeEstimate estimate;
+  const uint64_t walks = 50;
+  ASSERT_TRUE(EstimateDatabaseSize(&server, walks, 12, &estimate).ok());
+  EXPECT_LE(estimate.queries, 1 + walks * 3);
+  EXPECT_EQ(estimate.queries, server.queries_served());
+}
+
+TEST(SizeEstimatorTest, DeterministicPerSeed) {
+  SyntheticCategoricalOptions gen;
+  gen.domain_sizes = {4, 6};
+  gen.n = 1500;
+  gen.seed = 97;
+  auto data = std::make_shared<Dataset>(GenerateSyntheticCategorical(gen));
+  const uint64_t k = std::max<uint64_t>(32, data->MaxPointMultiplicity());
+  LocalServer server(data, k);
+
+  SizeEstimate a, b;
+  ASSERT_TRUE(EstimateDatabaseSize(&server, 100, 13, &a).ok());
+  ASSERT_TRUE(EstimateDatabaseSize(&server, 100, 13, &b).ok());
+  EXPECT_DOUBLE_EQ(a.estimate, b.estimate);
+}
+
+}  // namespace
+}  // namespace hdc

@@ -1,0 +1,180 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/slice_cover.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "gen/synthetic.h"
+#include "paper_categorical_example.h"
+#include "server/local_server.h"
+#include "test_util.h"
+
+namespace hdc {
+namespace {
+
+using testing_util::ExpectExactExtraction;
+using testing_util::PaperFigure5Dataset;
+
+TEST(SliceCoverTest, RejectsNonCategoricalSchemas) {
+  SliceCoverCrawler eager(false), lazy(true);
+  EXPECT_FALSE(eager.ValidateSchema(*Schema::Numeric(1)).ok());
+  EXPECT_FALSE(lazy.ValidateSchema(*Schema::Numeric(1)).ok());
+  EXPECT_TRUE(eager.ValidateSchema(*Schema::Categorical({4, 4})).ok());
+}
+
+TEST(SliceCoverTest, Names) {
+  EXPECT_EQ(SliceCoverCrawler(false).name(), "slice-cover");
+  EXPECT_EQ(SliceCoverCrawler(true).name(), "lazy-slice-cover");
+}
+
+// Section 3.2's walk of Figures 5-6: the preprocessing phase issues all 8
+// slice queries; extended-DFS then answers everything from the lookup table
+// ("No query is ever issued to the server in the entire process").
+TEST(SliceCoverTest, PaperFigure6EightQueriesTotal) {
+  auto data = PaperFigure5Dataset();
+  LocalServer server(data, testing_util::kPaperFigure5K);
+  SliceCoverCrawler crawler(/*lazy=*/false);
+  CrawlResult result = crawler.Crawl(&server);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(Dataset::MultisetEquals(result.extracted, *data));
+  EXPECT_EQ(result.queries_issued, 8u);  // Sigma U_i = 4 + 4
+}
+
+TEST(SliceCoverTest, PaperFigure6LazyAlsoEightQueries) {
+  // On this example every slice of both attributes is eventually needed, so
+  // lazy costs the same 8 queries.
+  auto data = PaperFigure5Dataset();
+  LocalServer server(data, testing_util::kPaperFigure5K);
+  SliceCoverCrawler crawler(/*lazy=*/true);
+  CrawlResult result = crawler.Crawl(&server);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(Dataset::MultisetEquals(result.extracted, *data));
+  EXPECT_EQ(result.queries_issued, 8u);
+}
+
+TEST(SliceCoverTest, LazySkipsUnneededSlices) {
+  // No A1-slice overflows, so lazy never touches A2's slices: U1 = 3
+  // queries versus the eager U1 + U2 = 53.
+  SchemaPtr schema = Schema::Categorical({3, 50});
+  auto data = std::make_shared<Dataset>(schema);
+  for (Value v = 1; v <= 6; ++v) data->Add(Tuple({1 + v % 3, v}));
+  const uint64_t k = 5;
+
+  LocalServer eager_server(data, k);
+  SliceCoverCrawler eager(/*lazy=*/false);
+  CrawlResult eager_result = eager.Crawl(&eager_server);
+  ASSERT_TRUE(eager_result.status.ok());
+  EXPECT_EQ(eager_result.queries_issued, 53u);
+
+  LocalServer lazy_server(data, k);
+  SliceCoverCrawler lazy(/*lazy=*/true);
+  CrawlResult lazy_result = lazy.Crawl(&lazy_server);
+  ASSERT_TRUE(lazy_result.status.ok());
+  EXPECT_EQ(lazy_result.queries_issued, 3u);
+
+  EXPECT_TRUE(Dataset::MultisetEquals(eager_result.extracted, *data));
+  EXPECT_TRUE(Dataset::MultisetEquals(lazy_result.extracted, *data));
+}
+
+TEST(SliceCoverTest, SingleAttributeCostsExactlyU1) {
+  // Lemma 4 (d = 1): slice-cover terminates right after preprocessing with
+  // U1 queries.
+  SchemaPtr schema = Schema::Categorical({12});
+  auto data = std::make_shared<Dataset>(schema);
+  for (Value v = 1; v <= 12; ++v) {
+    for (Value c = 0; c < (v % 4); ++c) data->Add(Tuple({v}));
+  }
+  LocalServer server(data, /*k=*/3);
+  SliceCoverCrawler crawler(/*lazy=*/false);
+  CrawlResult result = crawler.Crawl(&server);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(Dataset::MultisetEquals(result.extracted, *data));
+  EXPECT_EQ(result.queries_issued, 12u);
+}
+
+TEST(SliceCoverTest, CostWithinLemma4Bound) {
+  SyntheticCategoricalOptions gen;
+  gen.domain_sizes = {8, 12, 20};
+  gen.n = 2500;
+  gen.zipf_s = 0.9;
+  gen.seed = 31;
+  Dataset data = GenerateSyntheticCategorical(gen);
+  const uint64_t k = 64;
+  ASSERT_LE(data.MaxPointMultiplicity(), k);
+
+  SliceCoverCrawler crawler(/*lazy=*/false);
+  CrawlResult result = ExpectExactExtraction(&crawler, data, k);
+
+  const double n_over_k =
+      std::ceil(static_cast<double>(gen.n) / static_cast<double>(k));
+  double sigma_u = 0, sigma_min = 0;
+  for (uint64_t u : gen.domain_sizes) {
+    sigma_u += static_cast<double>(u);
+    sigma_min += std::min(static_cast<double>(u), n_over_k);
+  }
+  EXPECT_LE(static_cast<double>(result.queries_issued),
+            sigma_u + n_over_k * sigma_min);
+}
+
+TEST(SliceCoverTest, LazyNeverCostsMoreThanEager) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    SyntheticCategoricalOptions gen;
+    gen.domain_sizes = {5, 7, 9};
+    gen.n = 800;
+    gen.zipf_s = 1.1;
+    gen.seed = seed;
+    Dataset data = GenerateSyntheticCategorical(gen);
+    const uint64_t k = 8;
+    if (data.MaxPointMultiplicity() > k) continue;
+
+    SliceCoverCrawler eager(false), lazy(true);
+    CrawlResult eager_result = ExpectExactExtraction(&eager, data, k);
+    CrawlResult lazy_result = ExpectExactExtraction(&lazy, data, k);
+    EXPECT_LE(lazy_result.queries_issued, eager_result.queries_issued)
+        << "seed " << seed;
+  }
+}
+
+TEST(SliceCoverTest, DetectsUnsolvableInstance) {
+  SchemaPtr schema = Schema::Categorical({2, 2});
+  auto data = std::make_shared<Dataset>(schema);
+  for (int i = 0; i < 4; ++i) data->Add(Tuple({2, 2}));
+  LocalServer server(data, /*k=*/3);
+  for (bool lazy : {false, true}) {
+    SliceCoverCrawler crawler(lazy);
+    CrawlResult result = crawler.Crawl(&server);
+    EXPECT_TRUE(result.status.IsUnsolvable()) << "lazy=" << lazy;
+  }
+}
+
+TEST(SliceCoverTest, EmptyDataset) {
+  SchemaPtr schema = Schema::Categorical({4, 4});
+  auto data = std::make_shared<Dataset>(schema);
+  LocalServer server(data, /*k=*/3);
+  SliceCoverCrawler lazy(/*lazy=*/true);
+  CrawlResult result = lazy.Crawl(&server);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.extracted.size(), 0u);
+  EXPECT_EQ(result.queries_issued, 4u);  // the A1 slices; none overflow
+}
+
+TEST(SliceCoverTest, DeepSchemaExactExtraction) {
+  SyntheticCategoricalOptions gen;
+  gen.domain_sizes = {3, 3, 3, 3, 3};
+  gen.n = 700;
+  gen.zipf_s = 0.6;
+  gen.seed = 77;
+  Dataset data = GenerateSyntheticCategorical(gen);
+  const uint64_t k = 16;
+  ASSERT_LE(data.MaxPointMultiplicity(), k);
+  for (bool lazy : {false, true}) {
+    SliceCoverCrawler crawler(lazy);
+    ExpectExactExtraction(&crawler, data, k);
+  }
+}
+
+}  // namespace
+}  // namespace hdc

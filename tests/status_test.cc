@@ -1,0 +1,64 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace hdc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, ResourceExhaustedPredicate) {
+  EXPECT_TRUE(Status::ResourceExhausted("budget").IsResourceExhausted());
+  EXPECT_FALSE(Status::OK().IsResourceExhausted());
+  EXPECT_FALSE(Status::Internal("x").IsResourceExhausted());
+}
+
+TEST(StatusTest, UnsolvablePredicate) {
+  Status s = Status::Unsolvable("point has k+1 duplicates");
+  EXPECT_TRUE(s.IsUnsolvable());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.ToString(), "Unsolvable: point has k+1 duplicates");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(Status::Code::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(Status::Code::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(Status::Code::kNotSupported), "NotSupported");
+  EXPECT_STREQ(StatusCodeName(Status::Code::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(Status::Code::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(Status::Code::kUnsolvable), "Unsolvable");
+  EXPECT_STREQ(StatusCodeName(Status::Code::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(Status::Code::kInternal), "Internal");
+}
+
+}  // namespace
+}  // namespace hdc

@@ -1,0 +1,90 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// The streaming tuple sink: progressive delivery of confirmed tuples.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/hybrid.h"
+#include "core/rank_shrink.h"
+#include "core/slice_cover.h"
+#include "gen/synthetic.h"
+#include "server/local_server.h"
+
+namespace hdc {
+namespace {
+
+TEST(TupleSinkTest, ReceivesExactlyTheExtraction) {
+  SyntheticNumericOptions gen;
+  gen.d = 2;
+  gen.n = 800;
+  gen.value_range = 300;
+  gen.seed = 61;
+  auto data = std::make_shared<Dataset>(GenerateSyntheticNumeric(gen));
+  LocalServer server(data, 8);
+
+  Dataset streamed(data->schema());
+  CrawlOptions options;
+  options.tuple_sink = [&streamed](const Tuple& t) { streamed.Add(t); };
+
+  RankShrink crawler;
+  CrawlResult result = crawler.Crawl(&server, options);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(Dataset::MultisetEquals(streamed, *data));
+  EXPECT_TRUE(Dataset::MultisetEquals(streamed, result.extracted));
+}
+
+TEST(TupleSinkTest, DeliveryIsProgressive) {
+  SyntheticMixedOptions gen;
+  gen.domain_sizes = {5, 6};
+  gen.num_numeric = 1;
+  gen.n = 900;
+  gen.value_range = 150;
+  gen.seed = 62;
+  auto data = std::make_shared<Dataset>(GenerateSyntheticMixed(gen));
+  const uint64_t k = std::max<uint64_t>(8, data->MaxPointMultiplicity());
+  LocalServer server(data, k);
+
+  // Sample the stream size at every server response.
+  size_t delivered = 0;
+  std::vector<size_t> samples;
+  CrawlOptions options;
+  options.tuple_sink = [&delivered](const Tuple&) { ++delivered; };
+
+  HybridCrawler crawler;
+  // Use the trace to know how many queries ran; sample via a second crawl
+  // would race — instead assert the sink fired before the crawl ended by
+  // bounding with a mid-crawl budget.
+  options.max_queries = 10;
+  CrawlResult partial = crawler.Crawl(&server, options);
+  ASSERT_TRUE(partial.status.IsResourceExhausted());
+  EXPECT_GT(delivered, 0u) << "tuples must stream before completion";
+  EXPECT_EQ(delivered, partial.extracted.size());
+
+  options.max_queries = UINT64_MAX;
+  CrawlResult done = crawler.Resume(&server, partial.resume_state, options);
+  ASSERT_TRUE(done.status.ok());
+  EXPECT_EQ(delivered, done.extracted.size());
+  EXPECT_TRUE(Dataset::MultisetEquals(done.extracted, *data));
+}
+
+TEST(TupleSinkTest, SliceCoverLocalAnswersAlsoStream) {
+  SyntheticCategoricalOptions gen;
+  gen.domain_sizes = {6, 9};
+  gen.n = 600;
+  gen.seed = 63;
+  auto data = std::make_shared<Dataset>(GenerateSyntheticCategorical(gen));
+  const uint64_t k = std::max<uint64_t>(8, data->MaxPointMultiplicity());
+  LocalServer server(data, k);
+
+  size_t delivered = 0;
+  CrawlOptions options;
+  options.tuple_sink = [&delivered](const Tuple&) { ++delivered; };
+  SliceCoverCrawler crawler(/*lazy=*/true);
+  CrawlResult result = crawler.Crawl(&server, options);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(delivered, data->size());
+}
+
+}  // namespace
+}  // namespace hdc

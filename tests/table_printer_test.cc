@@ -1,0 +1,74 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/csv_writer.h"
+
+namespace hdc {
+namespace {
+
+TEST(TablePrinterTest, RendersAlignedColumns) {
+  TablePrinter table("Demo", {"k", "queries"});
+  table.AddRow({"64", "1234"});
+  table.AddRow({"1024", "9"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("k     queries"), std::string::npos);
+  EXPECT_NE(out.find("64    1234"), std::string::npos);
+  EXPECT_NE(out.find("1024  9"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RuleMatchesWidths) {
+  TablePrinter table("", {"ab", "c"});
+  table.AddRow({"x", "yyyy"});
+  std::string out = table.ToString();
+  // Widths: max("ab","x")=2, max("c","yyyy")=4.
+  EXPECT_NE(out.find("--  ----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CellFormatting) {
+  EXPECT_EQ(TablePrinter::Cell(static_cast<int64_t>(-5)), "-5");
+  EXPECT_EQ(TablePrinter::Cell(static_cast<uint64_t>(7)), "7");
+  EXPECT_EQ(TablePrinter::Cell(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Cell(2.0, 0), "2");
+}
+
+TEST(TablePrinterTest, CountsRows) {
+  TablePrinter table("t", {"a"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"1"});
+  table.AddRow({"2"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(CsvWriterTest, EscapesSpecialCells) {
+  EXPECT_EQ(CsvWriter::Escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::Escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::Escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::Escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, WritesFile) {
+  std::string path = ::testing::TempDir() + "/hdc_csv_test.csv";
+  CsvWriter writer(path);
+  ASSERT_TRUE(writer.status().ok());
+  writer.WriteRow({"k", "cost"});
+  writer.WriteRow({"64", "10,5"});
+  ASSERT_TRUE(writer.Close().ok());
+
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "k,cost");
+  EXPECT_EQ(line2, "64,\"10,5\"");
+}
+
+TEST(CsvWriterTest, BadPathReportsError) {
+  CsvWriter writer("/nonexistent-dir-xyz/file.csv");
+  EXPECT_FALSE(writer.status().ok());
+}
+
+}  // namespace
+}  // namespace hdc

@@ -1,0 +1,60 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Shared helpers for the hdc test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "core/crawler.h"
+#include "data/dataset.h"
+#include "server/local_server.h"
+#include "server/ranking.h"
+
+namespace hdc {
+namespace testing_util {
+
+/// Runs a complete crawl of `dataset` with `crawler` and returns
+/// {result, queries issued}. Fails the current test if the crawl does not
+/// complete or does not extract the exact multiset.
+inline CrawlResult ExpectExactExtraction(
+    Crawler* crawler, const Dataset& dataset, uint64_t k,
+    std::unique_ptr<RankingPolicy> policy = nullptr,
+    const CrawlOptions& options = {}) {
+  auto shared = std::make_shared<Dataset>(dataset);
+  LocalServer server(shared, k, std::move(policy));
+  EXPECT_LE(dataset.MaxPointMultiplicity(), k)
+      << "test bug: dataset is not crawlable at this k";
+  CrawlResult result = crawler->Crawl(&server, options);
+  EXPECT_TRUE(result.status.ok())
+      << crawler->name() << ": " << result.status.ToString();
+  EXPECT_TRUE(Dataset::MultisetEquals(result.extracted, dataset))
+      << crawler->name() << " extracted " << result.extracted.size()
+      << " tuples, expected " << dataset.size() << " (multiset distance "
+      << Dataset::MultisetDistance(result.extracted, dataset) << ")";
+  EXPECT_EQ(result.queries_issued, server.queries_served());
+  return result;
+}
+
+/// Crawls with a per-run budget, resuming until complete; returns the final
+/// result and the number of runs. Every run must make progress.
+inline std::pair<CrawlResult, int> CrawlWithResumes(Crawler* crawler,
+                                                    HiddenDbServer* server,
+                                                    uint64_t budget_per_run,
+                                                    int max_runs = 10000) {
+  CrawlOptions options;
+  options.max_queries = budget_per_run;
+  CrawlResult result = crawler->Crawl(server, options);
+  int runs = 1;
+  while (result.status.IsResourceExhausted() && runs < max_runs) {
+    EXPECT_NE(result.resume_state, nullptr);
+    result = crawler->Resume(server, result.resume_state, options);
+    ++runs;
+  }
+  return {std::move(result), runs};
+}
+
+}  // namespace testing_util
+}  // namespace hdc

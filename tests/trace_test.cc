@@ -1,0 +1,116 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// The per-query trace drives the progressiveness reproduction (Figure 13);
+// it must be complete, monotone and consistent with the final result.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/crawlers.h"
+#include "gen/synthetic.h"
+#include "server/local_server.h"
+
+namespace hdc {
+namespace {
+
+CrawlResult TracedCrawl(Crawler* crawler, std::shared_ptr<Dataset> data,
+                        uint64_t k) {
+  LocalServer server(std::move(data), k);
+  CrawlOptions options;
+  options.record_trace = true;
+  CrawlResult result = crawler->Crawl(&server, options);
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  return result;
+}
+
+void CheckTraceInvariants(const CrawlResult& result, size_t n) {
+  ASSERT_EQ(result.trace.size(), result.queries_issued);
+  uint64_t prev_seen = 0, prev_collected = 0;
+  for (size_t i = 0; i < result.trace.size(); ++i) {
+    const TraceEntry& e = result.trace[i];
+    EXPECT_EQ(e.query_index, i + 1);
+    EXPECT_GE(e.rows_seen, prev_seen) << "rows_seen must be monotone";
+    EXPECT_GE(e.tuples_collected, prev_collected)
+        << "tuples_collected must be monotone";
+    prev_seen = e.rows_seen;
+    prev_collected = e.tuples_collected;
+  }
+  EXPECT_EQ(result.trace.back().tuples_collected, n);
+  EXPECT_EQ(result.rows_seen, n)
+      << "a complete crawl has seen every physical row";
+}
+
+TEST(TraceTest, RankShrinkTraceInvariants) {
+  SyntheticNumericOptions gen;
+  gen.d = 2;
+  gen.n = 900;
+  gen.value_range = 300;
+  gen.seed = 42;
+  auto data = std::make_shared<Dataset>(GenerateSyntheticNumeric(gen));
+  RankShrink crawler;
+  CrawlResult result = TracedCrawl(&crawler, data, 8);
+  CheckTraceInvariants(result, gen.n);
+}
+
+TEST(TraceTest, LazySliceCoverTraceInvariants) {
+  SyntheticCategoricalOptions gen;
+  gen.domain_sizes = {6, 8, 10};
+  gen.n = 900;
+  gen.seed = 43;
+  auto data = std::make_shared<Dataset>(GenerateSyntheticCategorical(gen));
+  SliceCoverCrawler crawler(/*lazy=*/true);
+  CrawlResult result = TracedCrawl(&crawler, data, 64);
+  CheckTraceInvariants(result, gen.n);
+}
+
+TEST(TraceTest, HybridTraceInvariants) {
+  SyntheticMixedOptions gen;
+  gen.domain_sizes = {4, 4};
+  gen.num_numeric = 2;
+  gen.n = 900;
+  gen.value_range = 200;
+  gen.seed = 44;
+  auto data = std::make_shared<Dataset>(GenerateSyntheticMixed(gen));
+  HybridCrawler crawler;
+  CrawlResult result = TracedCrawl(&crawler, data, 8);
+  CheckTraceInvariants(result, gen.n);
+}
+
+TEST(TraceTest, TraceOffByDefault) {
+  SyntheticNumericOptions gen;
+  gen.d = 1;
+  gen.n = 200;
+  gen.value_range = 100;
+  gen.seed = 45;
+  auto data = std::make_shared<Dataset>(GenerateSyntheticNumeric(gen));
+  LocalServer server(data, 8);
+  RankShrink crawler;
+  CrawlResult result = crawler.Crawl(&server);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_GT(result.queries_issued, 0u);
+}
+
+TEST(TraceTest, TraceSurvivesResume) {
+  SyntheticNumericOptions gen;
+  gen.d = 1;
+  gen.n = 500;
+  gen.value_range = 300;
+  gen.seed = 46;
+  auto data = std::make_shared<Dataset>(GenerateSyntheticNumeric(gen));
+  LocalServer server(data, 8);
+  RankShrink crawler;
+  CrawlOptions options;
+  options.record_trace = true;
+  options.max_queries = 5;
+  CrawlResult result = crawler.Crawl(&server, options);
+  int guard = 0;
+  while (result.status.IsResourceExhausted() && ++guard < 1000) {
+    result = crawler.Resume(&server, result.resume_state, options);
+  }
+  ASSERT_TRUE(result.status.ok());
+  CheckTraceInvariants(result, gen.n);
+}
+
+}  // namespace
+}  // namespace hdc

@@ -1,0 +1,68 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "data/tuple.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace hdc {
+namespace {
+
+TEST(TupleTest, ConstructionAndAccess) {
+  Tuple t{3, 1, 55};
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], 3);
+  EXPECT_EQ(t[1], 1);
+  EXPECT_EQ(t[2], 55);
+}
+
+TEST(TupleTest, MutableAccess) {
+  Tuple t{1, 2};
+  t[0] = 9;
+  EXPECT_EQ(t[0], 9);
+}
+
+TEST(TupleTest, Equality) {
+  EXPECT_EQ(Tuple({1, 2}), Tuple({1, 2}));
+  EXPECT_NE(Tuple({1, 2}), Tuple({2, 1}));
+  EXPECT_NE(Tuple({1}), Tuple({1, 0}));
+}
+
+TEST(TupleTest, LexicographicOrder) {
+  EXPECT_LT(Tuple({1, 2}), Tuple({1, 3}));
+  EXPECT_LT(Tuple({1, 9}), Tuple({2, 0}));
+  EXPECT_FALSE(Tuple({2, 0}) < Tuple({1, 9}));
+}
+
+TEST(TupleTest, HashEqualTuplesAgree) {
+  EXPECT_EQ(Tuple({5, 5, 5}).Hash(), Tuple({5, 5, 5}).Hash());
+}
+
+TEST(TupleTest, HashNearbyValuesDiffer) {
+  // Regression guard against weak mixing: consecutive integers must spread.
+  std::unordered_set<size_t> hashes;
+  for (Value v = 0; v < 1000; ++v) hashes.insert(Tuple({v}).Hash());
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(TupleTest, HashPositionSensitive) {
+  EXPECT_NE(Tuple({1, 2}).Hash(), Tuple({2, 1}).Hash());
+}
+
+TEST(TupleTest, ToString) {
+  EXPECT_EQ(Tuple({3, 1, 55}).ToString(), "(3, 1, 55)");
+  EXPECT_EQ(Tuple({-7}).ToString(), "(-7)");
+  EXPECT_EQ(Tuple().ToString(), "()");
+}
+
+TEST(TupleTest, WorksInUnorderedSet) {
+  std::unordered_set<Tuple, TupleHasher> set;
+  set.insert(Tuple({1, 2}));
+  set.insert(Tuple({1, 2}));
+  set.insert(Tuple({2, 1}));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(Tuple({1, 2})));
+}
+
+}  // namespace
+}  // namespace hdc
