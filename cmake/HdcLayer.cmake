@@ -1,0 +1,77 @@
+# Defines hdc_add_layer(), the single way a layer library is declared, and
+# enforces the one-direction dependency DAG at configure time: a layer may
+# link only layers that appear strictly before it in HDC_LAYER_ORDER, and
+# its sources may #include only from itself and its declared DEPS. Either
+# violation is a FATAL_ERROR, so an upward edge cannot survive
+# `cmake -B build` — even one introduced by a lone #include, which a static
+# archive would otherwise absorb silently (symbols only resolve at
+# executable link time, where all layers are present anyway).
+
+set(HDC_LAYER_ORDER
+    hdc_util
+    hdc_data
+    hdc_query
+    hdc_server
+    hdc_gen
+    hdc_core
+    hdc_analytics)
+
+# hdc_add_layer(<name> SOURCES <src>... [DEPS <lower layer>...])
+#
+# Declares src/<layer>/ as a STATIC library with the src/ tree as its PUBLIC
+# include root, linked PUBLIC against the named lower layers only.
+function(hdc_add_layer name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+
+  list(FIND HDC_LAYER_ORDER ${name} layer_index)
+  if(layer_index EQUAL -1)
+    message(FATAL_ERROR
+      "hdc_add_layer: '${name}' is not a known layer; add it to "
+      "HDC_LAYER_ORDER in cmake/HdcLayer.cmake at its DAG position")
+  endif()
+
+  foreach(dep IN LISTS ARG_DEPS)
+    list(FIND HDC_LAYER_ORDER ${dep} dep_index)
+    if(dep_index EQUAL -1)
+      message(FATAL_ERROR
+        "hdc_add_layer: '${name}' links '${dep}', which is not a layer")
+    endif()
+    if(dep_index GREATER_EQUAL layer_index)
+      message(FATAL_ERROR
+        "hdc_add_layer: DAG violation — '${name}' may only link layers "
+        "strictly below it, but links '${dep}' "
+        "(${dep_index} >= ${layer_index} in HDC_LAYER_ORDER)")
+    endif()
+  endforeach()
+
+  # Usage-level check: every project include in this layer's headers and
+  # sources must resolve to the layer itself or a declared (lower) DEP. The
+  # shared src/ include root would otherwise let an upward #include compile
+  # unnoticed.
+  file(GLOB_RECURSE layer_files CONFIGURE_DEPENDS
+       ${CMAKE_CURRENT_SOURCE_DIR}/*.h ${CMAKE_CURRENT_SOURCE_DIR}/*.hpp
+       ${CMAKE_CURRENT_SOURCE_DIR}/*.cc ${CMAKE_CURRENT_SOURCE_DIR}/*.cpp)
+  foreach(src_file IN LISTS layer_files)
+    file(STRINGS ${src_file} include_lines REGEX "^#include \"")
+    foreach(line IN LISTS include_lines)
+      string(REGEX REPLACE "^#include \"([^/\"]+)/.*$" "\\1" inc_dir "${line}")
+      if(inc_dir STREQUAL "${line}")
+        continue()  # no directory component, e.g. #include "harness.h"
+      endif()
+      set(inc_layer hdc_${inc_dir})
+      if(NOT inc_layer STREQUAL name AND NOT inc_layer IN_LIST ARG_DEPS)
+        message(FATAL_ERROR
+          "hdc_add_layer: DAG violation — ${src_file} includes "
+          "\"${inc_dir}/...\" but '${name}' does not declare '${inc_layer}' "
+          "in DEPS (and may not, unless it is strictly lower)")
+      endif()
+    endforeach()
+  endforeach()
+
+  add_library(${name} STATIC ${ARG_SOURCES})
+  target_include_directories(${name} PUBLIC ${PROJECT_SOURCE_DIR}/src)
+  target_compile_features(${name} PUBLIC cxx_std_17)
+  if(ARG_DEPS)
+    target_link_libraries(${name} PUBLIC ${ARG_DEPS})
+  endif()
+endfunction()
