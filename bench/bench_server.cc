@@ -87,6 +87,33 @@ void BM_NsfSliceQuery(benchmark::State& state) {
 // thin slices).
 BENCHMARK(BM_NsfSliceQuery)->Arg(0)->Arg(5)->Arg(8);
 
+/// Batched-throughput benchmark: one IssueBatch call per iteration,
+/// batch size = range(0), LocalServer worker pool = range(1). The
+/// {B, 1} rows are the sequential baseline; {B, P > 1} rows show the
+/// wall-time win the batched contract unlocks on the same workload.
+void BM_YahooBatchedIssue(benchmark::State& state) {
+  auto data = YahooData();
+  LocalServerOptions options;
+  options.max_parallelism = static_cast<unsigned>(state.range(1));
+  LocalServer server(data, 1000, nullptr, options);
+  Rng rng(7);
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  std::vector<Query> batch;
+  batch.reserve(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    batch.push_back(RandomYahooQuery(&rng, data->schema()));
+  }
+  std::vector<Response> responses;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.IssueBatch(batch, &responses));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * batch_size));
+}
+BENCHMARK(BM_YahooBatchedIssue)
+    ->ArgsProduct({{16, 64, 256}, {1, 2, 4, 8}})
+    ->UseRealTime();
+
 void BM_ServerConstruction(benchmark::State& state) {
   auto data = YahooData();
   for (auto _ : state) {

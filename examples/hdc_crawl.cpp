@@ -46,6 +46,8 @@ struct Flags {
   uint64_t k = 256;
   uint64_t budget = UINT64_MAX;
   uint64_t seed = 0x5eed;
+  uint64_t batch = 1;
+  uint64_t parallel = 1;
   bool help = false;
 };
 
@@ -57,7 +59,12 @@ void PrintUsage() {
       "                         slice-cover|lazy-slice-cover|hybrid]\n"
       "                 [--k=N] [--budget=N] [--checkpoint=PATH]\n"
       "                 [--out=PATH] [--seed=N]\n"
+      "                 [--batch=N] [--parallel=N]\n"
       "\n"
+      "--batch issues up to N independent frontier items per server round\n"
+      "trip (1 = the paper's sequential conversation; the query count is\n"
+      "identical either way). --parallel lets the simulated server answer\n"
+      "a batch with up to N worker threads.\n"
       "SPEC example: \"Make:cat:85, Price:num:200:200000, Mileage:num\"\n"
       "exit codes: 0 = crawl complete, 2 = budget exhausted (resumable),\n"
       "            1 = error\n");
@@ -89,6 +96,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->budget = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "seed", &value)) {
       flags->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "batch", &value)) {
+      flags->batch = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "parallel", &value)) {
+      flags->parallel = std::strtoull(value.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -149,7 +160,11 @@ int Run(const Flags& flags) {
   std::printf("hidden database: n = %zu over [%s]\n", dataset->size(),
               dataset->schema()->ToString().c_str());
 
-  LocalServer server(dataset, flags.k, MakeRandomPriorityPolicy(flags.seed));
+  LocalServerOptions server_options;
+  server_options.max_parallelism =
+      static_cast<unsigned>(flags.parallel > 0 ? flags.parallel : 1);
+  LocalServer server(dataset, flags.k, MakeRandomPriorityPolicy(flags.seed),
+                     server_options);
   if (!server.IsCrawlable()) {
     std::fprintf(stderr,
                  "error: a point holds more than k = %llu tuples; Problem 1 "
@@ -169,6 +184,13 @@ int Run(const Flags& flags) {
 
   CrawlOptions options;
   options.max_queries = flags.budget;
+  options.batch_size =
+      static_cast<uint32_t>(flags.batch > 0 ? flags.batch : 1);
+  if (options.batch_size > 1) {
+    std::printf("batched conversation: up to %u queries per round trip, "
+                "server parallelism %u\n",
+                options.batch_size, server_options.max_parallelism);
+  }
 
   CrawlResult result(dataset->schema());
   const bool have_checkpoint =

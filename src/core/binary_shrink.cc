@@ -34,37 +34,53 @@ std::shared_ptr<CrawlState> BinaryShrink::MakeInitialState(
 
 void BinaryShrink::Run(CrawlContext* ctx, CrawlState* state) const {
   auto* st = static_cast<BinaryShrinkState*>(state);
+  const size_t batch = ctx->batch_size();
+  std::vector<Query> round;
+  std::vector<Response> responses;
   while (!st->frontier.empty()) {
-    Query q = st->frontier.back();
-    st->frontier.pop_back();
+    // Sibling rectangles on the frontier are independent: drain up to
+    // `batch` of them into one server round trip.
+    round.clear();
+    while (!st->frontier.empty() && round.size() < batch) {
+      round.push_back(std::move(st->frontier.back()));
+      st->frontier.pop_back();
+    }
+    const std::vector<CrawlContext::Outcome> outcomes =
+        ctx->IssueBatch(round, &responses);
 
-    Response response;
-    switch (ctx->Issue(q, &response)) {
-      case CrawlContext::Outcome::kStop:
-        st->frontier.push_back(std::move(q));
+    for (size_t i = 0; i < round.size(); ++i) {
+      switch (outcomes[i]) {
+        case CrawlContext::Outcome::kStop:
+          // Unanswered members go back in reverse so the stack order is
+          // exactly as if they had never been popped.
+          for (size_t j = round.size(); j-- > i;) {
+            st->frontier.push_back(std::move(round[j]));
+          }
+          return;
+        case CrawlContext::Outcome::kPrunedEmpty:
+          continue;
+        case CrawlContext::Outcome::kResolved:
+          ctx->CollectResponse(responses[i]);
+          continue;
+        case CrawlContext::Outcome::kOverflow:
+          break;
+      }
+
+      const Query& q = round[i];
+      auto attr = q.FirstNonPinnedAttribute();
+      if (!attr.has_value()) {
+        ctx->SetFatal(Status::Unsolvable("point " + q.ToString() +
+                                         " holds more than k tuples"));
         return;
-      case CrawlContext::Outcome::kPrunedEmpty:
-        continue;
-      case CrawlContext::Outcome::kResolved:
-        ctx->CollectResponse(response);
-        continue;
-      case CrawlContext::Outcome::kOverflow:
-        break;
+      }
+      const AttrInterval& ext = q.extent(*attr);
+      // Midpoint split: x = ceil((lo + hi) / 2); lo < x <= hi always holds
+      // for a non-pinned extent, so both halves are non-empty.
+      const Value x = ext.lo + (ext.hi - ext.lo + 1) / 2;
+      TwoWaySplitResult halves = TwoWaySplit(q, *attr, x);
+      st->frontier.push_back(std::move(halves.right));
+      st->frontier.push_back(std::move(halves.left));
     }
-
-    auto attr = q.FirstNonPinnedAttribute();
-    if (!attr.has_value()) {
-      ctx->SetFatal(Status::Unsolvable("point " + q.ToString() +
-                                       " holds more than k tuples"));
-      return;
-    }
-    const AttrInterval& ext = q.extent(*attr);
-    // Midpoint split: x = ceil((lo + hi) / 2); lo < x <= hi always holds
-    // for a non-pinned extent, so both halves are non-empty.
-    const Value x = ext.lo + (ext.hi - ext.lo + 1) / 2;
-    TwoWaySplitResult halves = TwoWaySplit(q, *attr, x);
-    st->frontier.push_back(std::move(halves.right));
-    st->frontier.push_back(std::move(halves.left));
   }
 }
 

@@ -39,18 +39,81 @@ CrawlContext::Outcome CrawlContext::Issue(const Query& query,
     return Outcome::kStop;
   }
 
+  RecordAnswered(*response);
+  return response->overflow ? Outcome::kOverflow : Outcome::kResolved;
+}
+
+void CrawlContext::RecordAnswered(const Response& response) {
   ++run_queries_;
   ++state_->queries_issued;
-  for (const ReturnedTuple& rt : response->tuples) {
+  for (const ReturnedTuple& rt : response.tuples) {
     state_->seen_rows.insert(rt.hidden_id);
   }
   if (options_.record_trace) {
     state_->trace.push_back(TraceEntry{
-        state_->queries_issued, response->resolved(),
-        static_cast<uint32_t>(response->size()), state_->seen_rows.size(),
+        state_->queries_issued, response.resolved(),
+        static_cast<uint32_t>(response.size()), state_->seen_rows.size(),
         state_->extracted.size()});
   }
-  return response->overflow ? Outcome::kOverflow : Outcome::kResolved;
+}
+
+std::vector<CrawlContext::Outcome> CrawlContext::IssueBatch(
+    const std::vector<Query>& queries, std::vector<Response>* responses) {
+  HDC_CHECK(responses != nullptr);
+  const size_t n = queries.size();
+  std::vector<Outcome> outcomes(n, Outcome::kStop);
+  responses->assign(n, Response{});
+
+  // Plan: apply budget and oracle member by member, exactly as sequential
+  // Issue() calls would — planned members count against the budget check of
+  // every later member, pruned members cost nothing.
+  std::vector<size_t> to_issue;
+  to_issue.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (stopped_) continue;  // stays kStop
+    if (run_queries_ + to_issue.size() >= options_.max_queries) {
+      stopped_ = true;
+      continue;
+    }
+    if (options_.oracle != nullptr &&
+        !options_.oracle->MayContainTuples(queries[i])) {
+      outcomes[i] = Outcome::kPrunedEmpty;
+      continue;
+    }
+    to_issue.push_back(i);
+  }
+  if (to_issue.empty()) return outcomes;
+
+  // Common case: nothing pruned or refused — forward the caller's vector
+  // without copying the queries.
+  std::vector<Query> filtered;
+  const std::vector<Query>* batch = &queries;
+  if (to_issue.size() != n) {
+    filtered.reserve(to_issue.size());
+    for (size_t i : to_issue) filtered.push_back(queries[i]);
+    batch = &filtered;
+  }
+  std::vector<Response> answered;
+  Status s = server_->IssueBatch(*batch, &answered);
+  HDC_CHECK_MSG(answered.size() <= batch->size(),
+                "server answered more members than submitted");
+  HDC_CHECK_MSG(s.ok() == (answered.size() == batch->size()),
+                "server batch status inconsistent with answered prefix");
+
+  // The answered prefix, in issue order.
+  for (size_t j = 0; j < answered.size(); ++j) {
+    const size_t i = to_issue[j];
+    (*responses)[i] = std::move(answered[j]);
+    RecordAnswered((*responses)[i]);
+    outcomes[i] = (*responses)[i].overflow ? Outcome::kOverflow
+                                           : Outcome::kResolved;
+  }
+  if (!s.ok()) {
+    // Members past the failure stay kStop; the caller re-pushes them.
+    interrupt_ = std::move(s);
+    stopped_ = true;
+  }
+  return outcomes;
 }
 
 void CrawlContext::CollectResponse(const Response& response) {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/crawler.h"
 #include "query/query.h"
@@ -35,6 +36,21 @@ class CrawlContext {
   /// Unsolvable) ends a crawl for good.
   Outcome Issue(const Query& query, Response* response);
 
+  /// Batched variant: issues the *independent* members of `queries` through
+  /// one HiddenDbServer::IssueBatch call and returns one Outcome per member,
+  /// in order. Budget and oracle are applied per member exactly as repeated
+  /// Issue() calls would: pruned members cost nothing, members past the
+  /// budget boundary (or past a server failure) come back kStop and must be
+  /// re-pushed by the caller. Trace entries and seen-row accounting are
+  /// appended in issue order. A one-element batch is exactly Issue().
+  std::vector<Outcome> IssueBatch(const std::vector<Query>& queries,
+                                  std::vector<Response>* responses);
+
+  /// The batch size crawler drain loops should use (>= 1).
+  uint32_t batch_size() const {
+    return options_.batch_size > 0 ? options_.batch_size : 1;
+  }
+
   /// The server/budget status that interrupted the run, if any.
   const Status& interrupt() const { return interrupt_; }
 
@@ -60,6 +76,9 @@ class CrawlContext {
   uint64_t run_queries() const { return run_queries_; }
 
  private:
+  /// Budget/seen-rows/trace bookkeeping for one answered query.
+  void RecordAnswered(const Response& response);
+
   HiddenDbServer* server_;
   CrawlState* state_;
   CrawlOptions options_;

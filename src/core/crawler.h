@@ -42,6 +42,15 @@ struct CrawlOptions {
   /// resumable state.
   uint64_t max_queries = UINT64_MAX;
 
+  /// How many independent frontier items a crawler may pop and issue as one
+  /// server batch (HiddenDbServer::IssueBatch). 1 (default) reproduces the
+  /// strictly sequential conversation query-for-query — the paper-figure
+  /// setting. Larger batches never change the query *count* of the six
+  /// crawlers (each work item is issued exactly once and split decisions
+  /// depend only on the item's own response), only the conversation order
+  /// and, against a parallel or remote server, the wall-clock time.
+  uint32_t batch_size = 1;
+
   /// Record a TraceEntry per query (costs memory; off by default).
   bool record_trace = false;
 

@@ -31,39 +31,56 @@ void DfsCrawler::Run(CrawlContext* ctx, CrawlState* state) const {
   auto* st = static_cast<DfsState*>(state);
   const Schema& schema = *st->extracted.schema();
   const uint32_t d = static_cast<uint32_t>(schema.num_attributes());
+  const size_t batch = ctx->batch_size();
 
+  std::vector<DfsState::Node> round;
+  std::vector<Query> queries;
+  std::vector<Response> responses;
   while (!st->frontier.empty()) {
-    DfsState::Node node = st->frontier.back();
-    st->frontier.pop_back();
+    // Tree nodes on the frontier cover disjoint regions — batch up to
+    // `batch` sibling probes per server round trip.
+    round.clear();
+    queries.clear();
+    while (!st->frontier.empty() && round.size() < batch) {
+      round.push_back(std::move(st->frontier.back()));
+      st->frontier.pop_back();
+      queries.push_back(round.back().q);
+    }
+    const std::vector<CrawlContext::Outcome> outcomes =
+        ctx->IssueBatch(queries, &responses);
 
-    Response response;
-    switch (ctx->Issue(node.q, &response)) {
-      case CrawlContext::Outcome::kStop:
-        st->frontier.push_back(std::move(node));
+    for (size_t i = 0; i < round.size(); ++i) {
+      DfsState::Node& node = round[i];
+      switch (outcomes[i]) {
+        case CrawlContext::Outcome::kStop:
+          for (size_t j = round.size(); j-- > i;) {
+            st->frontier.push_back(std::move(round[j]));
+          }
+          return;
+        case CrawlContext::Outcome::kPrunedEmpty:
+          continue;
+        case CrawlContext::Outcome::kResolved:
+          // Pruning rule: the whole subtree of node is covered by this
+          // response.
+          ctx->CollectResponse(responses[i]);
+          continue;
+        case CrawlContext::Outcome::kOverflow:
+          break;
+      }
+
+      if (node.level == d) {
+        ctx->SetFatal(Status::Unsolvable("point " + node.q.ToString() +
+                                         " holds more than k tuples"));
         return;
-      case CrawlContext::Outcome::kPrunedEmpty:
-        continue;
-      case CrawlContext::Outcome::kResolved:
-        // Pruning rule: the whole subtree of node is covered by this
-        // response.
-        ctx->CollectResponse(response);
-        continue;
-      case CrawlContext::Outcome::kOverflow:
-        break;
-    }
-
-    if (node.level == d) {
-      ctx->SetFatal(Status::Unsolvable("point " + node.q.ToString() +
-                                       " holds more than k tuples"));
-      return;
-    }
-    const size_t attr = node.level;
-    const Value domain = static_cast<Value>(schema.domain_size(attr));
-    // Push in descending value order so children pop in 1..U order.
-    for (Value c = domain; c >= 1; --c) {
-      st->frontier.push_back(
-          DfsState::Node{node.q.WithCategoricalEquals(attr, c),
-                         node.level + 1});
+      }
+      const size_t attr = node.level;
+      const Value domain = static_cast<Value>(schema.domain_size(attr));
+      // Push in descending value order so children pop in 1..U order.
+      for (Value c = domain; c >= 1; --c) {
+        st->frontier.push_back(
+            DfsState::Node{node.q.WithCategoricalEquals(attr, c),
+                           node.level + 1});
+      }
     }
   }
 }

@@ -114,32 +114,46 @@ std::shared_ptr<CrawlState> RankShrink::MakeInitialState(
 
 void RankShrink::Run(CrawlContext* ctx, CrawlState* state) const {
   auto* st = static_cast<RankShrinkState*>(state);
+  const size_t batch = ctx->batch_size();
+  std::vector<Query> round;
+  std::vector<Response> responses;
   while (!st->frontier.empty()) {
-    Query q = st->frontier.back();
-    st->frontier.pop_back();
+    // Child rectangles of distinct splits are pairwise disjoint, so up to
+    // `batch` of them ride one server round trip.
+    round.clear();
+    while (!st->frontier.empty() && round.size() < batch) {
+      round.push_back(std::move(st->frontier.back()));
+      st->frontier.pop_back();
+    }
+    const std::vector<CrawlContext::Outcome> outcomes =
+        ctx->IssueBatch(round, &responses);
 
-    Response response;
-    switch (ctx->Issue(q, &response)) {
-      case CrawlContext::Outcome::kStop:
-        st->frontier.push_back(std::move(q));
+    for (size_t i = 0; i < round.size(); ++i) {
+      switch (outcomes[i]) {
+        case CrawlContext::Outcome::kStop:
+          for (size_t j = round.size(); j-- > i;) {
+            st->frontier.push_back(std::move(round[j]));
+          }
+          return;
+        case CrawlContext::Outcome::kPrunedEmpty:
+          continue;
+        case CrawlContext::Outcome::kResolved:
+          ctx->CollectResponse(responses[i]);
+          continue;
+        case CrawlContext::Outcome::kOverflow:
+          break;
+      }
+
+      const Query& q = round[i];
+      auto attr = ChooseSplitAttribute(q, responses[i].tuples, options_);
+      if (!attr.has_value()) {
+        ctx->SetFatal(Status::Unsolvable("point " + q.ToString() +
+                                         " holds more than k tuples"));
         return;
-      case CrawlContext::Outcome::kPrunedEmpty:
-        continue;
-      case CrawlContext::Outcome::kResolved:
-        ctx->CollectResponse(response);
-        continue;
-      case CrawlContext::Outcome::kOverflow:
-        break;
+      }
+      RankShrinkExpand(q, *attr, responses[i].tuples, ctx->k(), options_,
+                       &st->frontier);
     }
-
-    auto attr = ChooseSplitAttribute(q, response.tuples, options_);
-    if (!attr.has_value()) {
-      ctx->SetFatal(Status::Unsolvable("point " + q.ToString() +
-                                       " holds more than k tuples"));
-      return;
-    }
-    RankShrinkExpand(q, *attr, response.tuples, ctx->k(), options_,
-                     &st->frontier);
   }
 }
 

@@ -13,56 +13,87 @@
 namespace hdc {
 namespace {
 
-/// Fetches (and on first need, issues) the slice entry for categorical
-/// position `cat_pos`, value `v`. Returns nullptr when the run must stop
-/// before the slice could be obtained (caller re-pushes its work item).
-SliceEntry* EnsureSlice(CrawlContext* ctx, SliceEngineState* st,
-                        size_t cat_pos, Value v) {
+/// The slice query pinning attribute cat_order[cat_pos] to value v.
+Query MakeSliceQuery(const SliceEngineState& st, size_t cat_pos, Value v) {
+  const SchemaPtr& schema = st.extracted.schema();
+  return Query::FullSpace(schema).WithCategoricalEquals(st.cat_order[cat_pos],
+                                                        v);
+}
+
+/// Records an answered slice query into the lookup table.
+void RecordSlice(SliceEngineState* st, size_t cat_pos, Value v,
+                 CrawlContext::Outcome outcome, Response* response) {
   SliceEntry& entry = st->slices[cat_pos][static_cast<size_t>(v)];
-  if (entry.state != SliceEntry::State::kUnknown) return &entry;
-
-  const SchemaPtr& schema = st->extracted.schema();
-  const size_t attr = st->cat_order[cat_pos];
-  Query slice_query = Query::FullSpace(schema).WithCategoricalEquals(attr, v);
-
-  Response response;
-  switch (ctx->Issue(slice_query, &response)) {
-    case CrawlContext::Outcome::kStop:
-      return nullptr;
+  switch (outcome) {
     case CrawlContext::Outcome::kPrunedEmpty:
       entry.state = SliceEntry::State::kResolved;
-      return &entry;
+      break;
     case CrawlContext::Outcome::kResolved:
       entry.state = SliceEntry::State::kResolved;
-      entry.bag = std::move(response.tuples);
-      return &entry;
+      entry.bag = std::move(response->tuples);
+      break;
     case CrawlContext::Outcome::kOverflow:
       // Remember nothing but a bit (Section 3.2).
       entry.state = SliceEntry::State::kOverflow;
-      return &entry;
+      break;
+    case CrawlContext::Outcome::kStop:
+      break;  // entry stays unknown; the work item is re-pushed
   }
-  return nullptr;
 }
 
 /// Eager preprocessing: issue every slice query of every categorical
-/// attribute. Returns false when interrupted.
-bool RunPreprocessing(CrawlContext* ctx, SliceEngineState* st) {
+/// attribute, up to `batch` per server round trip. Returns false when
+/// interrupted (the cursor stays at the first unanswered slice).
+bool RunPreprocessing(CrawlContext* ctx, SliceEngineState* st, size_t batch) {
   const SchemaPtr& schema = st->extracted.schema();
   const auto& cat = st->cat_order;
-  while (st->pre_cat_pos < cat.size()) {
-    const Value domain =
-        static_cast<Value>(schema->domain_size(cat[st->pre_cat_pos]));
-    while (st->pre_value <= domain) {
-      if (EnsureSlice(ctx, st, st->pre_cat_pos, st->pre_value) == nullptr) {
-        return false;
+  struct PlannedSlice {
+    size_t pos;
+    Value value;
+  };
+  std::vector<PlannedSlice> planned;
+  std::vector<Query> queries;
+  std::vector<Response> responses;
+  while (true) {
+    // Walk the cursor forward, collecting up to `batch` unknown slices
+    // (already-known entries — e.g. restored from a checkpoint — cost
+    // nothing, exactly as in the sequential conversation).
+    planned.clear();
+    queries.clear();
+    size_t pos = st->pre_cat_pos;
+    Value v = st->pre_value;
+    while (pos < cat.size() && planned.size() < batch) {
+      const Value domain = static_cast<Value>(schema->domain_size(cat[pos]));
+      if (v > domain) {
+        ++pos;
+        v = 1;
+        continue;
       }
-      ++st->pre_value;
+      if (st->slices[pos][static_cast<size_t>(v)].state ==
+          SliceEntry::State::kUnknown) {
+        planned.push_back(PlannedSlice{pos, v});
+        queries.push_back(MakeSliceQuery(*st, pos, v));
+      }
+      ++v;
     }
-    ++st->pre_cat_pos;
-    st->pre_value = 1;
+    if (planned.empty()) {
+      st->pre_cat_pos = cat.size();
+      st->pre_value = 1;
+      st->preprocessing_done = true;
+      return true;
+    }
+
+    const std::vector<CrawlContext::Outcome> outcomes =
+        ctx->IssueBatch(queries, &responses);
+    for (size_t i = 0; i < planned.size(); ++i) {
+      if (outcomes[i] == CrawlContext::Outcome::kStop) return false;
+      RecordSlice(st, planned[i].pos, planned[i].value, outcomes[i],
+                  &responses[i]);
+      // Advance the resume cursor past the answered slice.
+      st->pre_cat_pos = planned[i].pos;
+      st->pre_value = planned[i].value + 1;
+    }
   }
-  st->preprocessing_done = true;
-  return true;
 }
 
 }  // namespace
@@ -119,117 +150,196 @@ void SliceEngineRun(CrawlContext* ctx, SliceEngineState* st,
   const SchemaPtr& schema = st->extracted.schema();
   const auto& cat = st->cat_order;
   const uint32_t cat_count = static_cast<uint32_t>(cat.size());
+  const size_t batch = ctx->batch_size();
 
   if (st->eager && !st->preprocessing_done) {
-    if (!RunPreprocessing(ctx, st)) return;
+    if (!RunPreprocessing(ctx, st, batch)) return;
   }
 
-  while (!st->frontier.empty()) {
-    SliceEngineState::Item item = st->frontier.back();
-    st->frontier.pop_back();
+  // Every frontier step needs at most one query; a node whose slice lookup
+  // was just issued re-enters the frontier and continues next round. That
+  // keeps rounds batchable while the batch == 1 conversation stays exactly
+  // the sequential one.
+  struct Pending {
+    enum class Kind : uint8_t { kSliceLookup, kNodeProbe, kRankProbe };
+    SliceEngineState::Item item;
+    Kind kind;
+    size_t slice_pos = 0;  // kSliceLookup only
+    Value slice_value = 0;
+  };
 
-    if (item.kind == SliceEngineState::Item::Kind::kRank) {
-      // Numeric sub-problem under a fully-pinned categorical point (or the
-      // whole space when cat_count == 0). With no numeric attributes the
-      // rectangle is a point: resolved collects it, overflow is fatal.
-      Response response;
-      switch (ctx->Issue(item.q, &response)) {
-        case CrawlContext::Outcome::kStop:
-          st->frontier.push_back(std::move(item));
-          return;
-        case CrawlContext::Outcome::kPrunedEmpty:
-          continue;
-        case CrawlContext::Outcome::kResolved:
-          ctx->CollectResponse(response);
-          continue;
-        case CrawlContext::Outcome::kOverflow:
-          break;
-      }
-      auto attr = ChooseSplitAttribute(item.q, response.tuples, options.rank);
-      if (!attr.has_value()) {
-        HDC_CHECK_MSG(item.q.IsPoint(),
-                      "free categorical attribute at the rank-shrink phase");
-        ctx->SetFatal(Status::Unsolvable("point " + item.q.ToString() +
-                                         " holds more than k tuples"));
-        return;
-      }
-      std::vector<Query> expanded;
-      RankShrinkExpand(item.q, *attr, response.tuples, ctx->k(), options.rank,
-                       &expanded);
-      for (auto& q : expanded) {
-        st->frontier.push_back(SliceEngineState::Item{
-            SliceEngineState::Item::Kind::kRank, std::move(q), 0});
-      }
-      continue;
-    }
-
-    // --- kNode: a data-space-tree node over the categorical attributes ---
-    const uint32_t level = item.level;
-
-    if (level == 0) {
-      // The root query is never issued: enumerate its children directly
-      // (their slice lookups decide everything the root's status could).
-      const Value domain = static_cast<Value>(schema->domain_size(cat[0]));
-      for (Value c = domain; c >= 1; --c) {
-        st->frontier.push_back(SliceEngineState::Item{
-            SliceEngineState::Item::Kind::kNode,
-            item.q.WithCategoricalEquals(cat[0], c), 1});
-      }
-      continue;
-    }
-
-    // The node was created by refining its parent with the slice
-    // (cat[level-1] = v); that slice decides whether it can be answered
-    // locally.
-    const Value v = item.q.lo(cat[level - 1]);
-    SliceEntry* slice = EnsureSlice(ctx, st, level - 1, v);
-    if (slice == nullptr) {
-      st->frontier.push_back(std::move(item));
-      return;
-    }
-    if (slice->state == SliceEntry::State::kResolved) {
-      // Local answer: the slice's bag is authoritative for this node's
-      // region; filter it by the node query. No server query spent.
-      ctx->CollectFiltered(slice->bag, item.q);
-      continue;
-    }
-
-    if (level == cat_count) {
-      // Every categorical attribute is pinned: hand the numeric subspace to
-      // rank-shrink (which will issue this very rectangle as its first
-      // query).
-      st->frontier.push_back(SliceEngineState::Item{
-          SliceEngineState::Item::Kind::kRank, std::move(item.q), 0});
-      continue;
-    }
-
-    // Determine this node's own status. At level 1 the node query *is* the
-    // slice query, which we just saw overflow — do not spend a query.
-    bool overflow = true;
-    if (level >= 2) {
-      Response response;
-      switch (ctx->Issue(item.q, &response)) {
-        case CrawlContext::Outcome::kStop:
-          st->frontier.push_back(std::move(item));
-          return;
-        case CrawlContext::Outcome::kPrunedEmpty:
-          continue;
-        case CrawlContext::Outcome::kResolved:
-          ctx->CollectResponse(response);
-          continue;
-        case CrawlContext::Outcome::kOverflow:
-          overflow = true;
-          break;
-      }
-    }
-    HDC_CHECK(overflow);
-
-    const size_t next_attr = cat[level];
+  // Expands `item` (a node whose region overflowed) one categorical level.
+  auto expand_node = [&](const SliceEngineState::Item& item) {
+    const size_t next_attr = cat[item.level];
     const Value domain = static_cast<Value>(schema->domain_size(next_attr));
     for (Value c = domain; c >= 1; --c) {
       st->frontier.push_back(SliceEngineState::Item{
           SliceEngineState::Item::Kind::kNode,
-          item.q.WithCategoricalEquals(next_attr, c), level + 1});
+          item.q.WithCategoricalEquals(next_attr, c), item.level + 1});
+    }
+  };
+
+  std::vector<Pending> pendings;
+  std::vector<SliceEngineState::Item> parked;
+  std::vector<Query> queries;
+  std::vector<Response> responses;
+  while (!st->frontier.empty()) {
+    // --- Plan a round: pop items, act on the query-free ones immediately,
+    // gather up to `batch` single-query steps. -------------------------
+    pendings.clear();
+    parked.clear();
+    while (!st->frontier.empty() && pendings.size() < batch) {
+      SliceEngineState::Item item = std::move(st->frontier.back());
+      st->frontier.pop_back();
+
+      if (item.kind == SliceEngineState::Item::Kind::kRank) {
+        pendings.push_back(
+            Pending{std::move(item), Pending::Kind::kRankProbe, 0, 0});
+        continue;
+      }
+
+      const uint32_t level = item.level;
+      if (level == 0) {
+        // The root query is never issued: enumerate its children directly
+        // (their slice lookups decide everything the root's status could).
+        expand_node(item);
+        continue;
+      }
+
+      // The node was created by refining its parent with the slice
+      // (cat[level-1] = v); that slice decides whether it can be answered
+      // locally.
+      const size_t pos = level - 1;
+      const Value v = item.q.lo(cat[pos]);
+      const SliceEntry& slice = st->slices[pos][static_cast<size_t>(v)];
+      if (slice.state == SliceEntry::State::kUnknown) {
+        const bool already_planned =
+            std::any_of(pendings.begin(), pendings.end(),
+                        [&](const Pending& p) {
+                          return p.kind == Pending::Kind::kSliceLookup &&
+                                 p.slice_pos == pos && p.slice_value == v;
+                        });
+        if (already_planned) {
+          // A sibling branch in this very round already asks for the same
+          // slice: don't spend a duplicate query — park the item until the
+          // round is planned; it finds the recorded entry next round.
+          parked.push_back(std::move(item));
+          continue;
+        }
+        pendings.push_back(
+            Pending{std::move(item), Pending::Kind::kSliceLookup, pos, v});
+        continue;
+      }
+      if (slice.state == SliceEntry::State::kResolved) {
+        // Local answer: the slice's bag is authoritative for this node's
+        // region; filter it by the node query. No server query spent.
+        ctx->CollectFiltered(slice.bag, item.q);
+        continue;
+      }
+
+      // Slice overflowed.
+      if (level == cat_count) {
+        // Every categorical attribute is pinned: hand the numeric subspace
+        // to rank-shrink (which will issue this very rectangle as its first
+        // query).
+        st->frontier.push_back(SliceEngineState::Item{
+            SliceEngineState::Item::Kind::kRank, std::move(item.q), 0});
+        continue;
+      }
+      if (level == 1) {
+        // The node query *is* the slice query, which overflowed — expand
+        // without spending a query.
+        expand_node(item);
+        continue;
+      }
+      pendings.push_back(
+          Pending{std::move(item), Pending::Kind::kNodeProbe, 0, 0});
+    }
+    // Parked items re-enter the frontier now that the round is fixed (a
+    // park implies a same-slice lookup is pending, so the round is never
+    // empty because of parking).
+    for (size_t j = parked.size(); j-- > 0;) {
+      st->frontier.push_back(std::move(parked[j]));
+    }
+    if (pendings.empty()) continue;
+
+    // --- Issue the round as one batch. --------------------------------
+    queries.clear();
+    queries.reserve(pendings.size());
+    for (const Pending& p : pendings) {
+      queries.push_back(p.kind == Pending::Kind::kSliceLookup
+                            ? MakeSliceQuery(*st, p.slice_pos, p.slice_value)
+                            : p.item.q);
+    }
+    const std::vector<CrawlContext::Outcome> outcomes =
+        ctx->IssueBatch(queries, &responses);
+
+    // --- Apply responses in issue order. ------------------------------
+    for (size_t i = 0; i < pendings.size(); ++i) {
+      Pending& p = pendings[i];
+      if (outcomes[i] == CrawlContext::Outcome::kStop) {
+        // Unanswered members go back in reverse so the stack order is as
+        // if they had never been popped.
+        for (size_t j = pendings.size(); j-- > i;) {
+          st->frontier.push_back(std::move(pendings[j].item));
+        }
+        return;
+      }
+
+      switch (p.kind) {
+        case Pending::Kind::kSliceLookup:
+          RecordSlice(st, p.slice_pos, p.slice_value, outcomes[i],
+                      &responses[i]);
+          // The node continues against the now-known slice next round.
+          st->frontier.push_back(std::move(p.item));
+          break;
+
+        case Pending::Kind::kNodeProbe:
+          switch (outcomes[i]) {
+            case CrawlContext::Outcome::kPrunedEmpty:
+              break;
+            case CrawlContext::Outcome::kResolved:
+              ctx->CollectResponse(responses[i]);
+              break;
+            case CrawlContext::Outcome::kOverflow:
+              expand_node(p.item);
+              break;
+            case CrawlContext::Outcome::kStop:
+              break;  // handled above
+          }
+          break;
+
+        case Pending::Kind::kRankProbe: {
+          // Numeric sub-problem under a fully-pinned categorical point (or
+          // the whole space when cat_count == 0). With no numeric
+          // attributes the rectangle is a point: resolved collects it,
+          // overflow is fatal.
+          if (outcomes[i] == CrawlContext::Outcome::kPrunedEmpty) break;
+          if (outcomes[i] == CrawlContext::Outcome::kResolved) {
+            ctx->CollectResponse(responses[i]);
+            break;
+          }
+          auto attr =
+              ChooseSplitAttribute(p.item.q, responses[i].tuples,
+                                   options.rank);
+          if (!attr.has_value()) {
+            HDC_CHECK_MSG(
+                p.item.q.IsPoint(),
+                "free categorical attribute at the rank-shrink phase");
+            ctx->SetFatal(Status::Unsolvable("point " + p.item.q.ToString() +
+                                             " holds more than k tuples"));
+            return;
+          }
+          std::vector<Query> expanded;
+          RankShrinkExpand(p.item.q, *attr, responses[i].tuples, ctx->k(),
+                           options.rank, &expanded);
+          for (auto& q : expanded) {
+            st->frontier.push_back(SliceEngineState::Item{
+                SliceEngineState::Item::Kind::kRank, std::move(q), 0});
+          }
+          break;
+        }
+      }
     }
   }
 }

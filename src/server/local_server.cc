@@ -2,6 +2,7 @@
 #include "server/local_server.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "util/macros.h"
 
@@ -79,7 +80,7 @@ bool LocalServer::VerifyRow(const Query& query, uint32_t id,
 }
 
 void LocalServer::CollectMatchesScan(const Query& query,
-                                     std::vector<uint32_t>* out) {
+                                     std::vector<uint32_t>* out) const {
   const size_t n = dataset_->size();
   for (size_t i = 0; i < n; ++i) {
     if (query.Matches(dataset_->tuple(i))) {
@@ -89,7 +90,7 @@ void LocalServer::CollectMatchesScan(const Query& query,
 }
 
 void LocalServer::CollectMatchesIndexed(const Query& query,
-                                        std::vector<uint32_t>* out) {
+                                        std::vector<uint32_t>* out) const {
   const Schema& schema = *dataset_->schema();
   const size_t d = schema.num_attributes();
   const size_t n = dataset_->size();
@@ -146,7 +147,7 @@ void LocalServer::CollectMatchesIndexed(const Query& query,
 }
 
 void LocalServer::CollectMatches(const Query& query,
-                                 std::vector<uint32_t>* out) {
+                                 std::vector<uint32_t>* out) const {
   out->clear();
   if (options_.use_index) {
     CollectMatchesIndexed(query, out);
@@ -160,20 +161,22 @@ uint64_t LocalServer::CountMatches(const Query& query) {
   return scratch_.size();
 }
 
-Status LocalServer::Issue(const Query& query, Response* response) {
+void LocalServer::AnswerQuery(const Query& query, Response* response,
+                              std::vector<uint32_t>* scratch,
+                              StatsDelta* stats) const {
   HDC_CHECK(response != nullptr);
   HDC_CHECK_MSG(query.schema() != nullptr &&
                     query.schema()->CompatibleWith(*dataset_->schema()),
                 "query schema does not match the server's data space");
-  ++queries_served_;
+  ++stats->queries;
 
-  CollectMatches(query, &scratch_);
+  CollectMatches(query, scratch);
   response->tuples.clear();
 
-  const size_t count = scratch_.size();
+  const size_t count = scratch->size();
   response->overflow = count > k_;
   if (response->overflow) {
-    ++overflow_count_;
+    ++stats->overflows;
     // Keep the k highest-priority rows (ties by id ascending) — the fixed
     // ranking a real site would apply.
     auto better = [this](uint32_t x, uint32_t y) {
@@ -181,17 +184,66 @@ Status LocalServer::Issue(const Query& query, Response* response) {
                  ? priorities_[x] > priorities_[y]
                  : x < y;
     };
-    std::nth_element(scratch_.begin(), scratch_.begin() + k_, scratch_.end(),
+    std::nth_element(scratch->begin(), scratch->begin() + k_, scratch->end(),
                      better);
-    scratch_.resize(k_);
-    std::sort(scratch_.begin(), scratch_.end(), better);
+    scratch->resize(k_);
+    std::sort(scratch->begin(), scratch->end(), better);
   }
 
-  response->tuples.reserve(scratch_.size());
-  for (uint32_t id : scratch_) {
+  response->tuples.reserve(scratch->size());
+  for (uint32_t id : *scratch) {
     response->tuples.push_back(ReturnedTuple{dataset_->tuple(id), id});
   }
-  tuples_returned_ += response->tuples.size();
+  stats->tuples += response->tuples.size();
+}
+
+Status LocalServer::Issue(const Query& query, Response* response) {
+  StatsDelta stats;
+  AnswerQuery(query, response, &scratch_, &stats);
+  queries_served_ += stats.queries;
+  tuples_returned_ += stats.tuples;
+  overflow_count_ += stats.overflows;
+  return Status::OK();
+}
+
+Status LocalServer::IssueBatch(const std::vector<Query>& queries,
+                               std::vector<Response>* responses) {
+  HDC_CHECK(responses != nullptr);
+  const size_t n = queries.size();
+  const size_t workers =
+      std::min<size_t>(options_.max_parallelism > 0 ? options_.max_parallelism
+                                                    : 1,
+                       n);
+  if (workers <= 1) {
+    responses->clear();
+    responses->reserve(n);
+    for (const Query& query : queries) {
+      Response response;
+      Status s = Issue(query, &response);
+      if (!s.ok()) return s;  // unreachable: LocalServer::Issue is total
+      responses->push_back(std::move(response));
+    }
+    return Status::OK();
+  }
+
+  responses->assign(n, Response{});
+  std::vector<StatsDelta> deltas(workers);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([this, w, workers, &queries, responses, &deltas] {
+      std::vector<uint32_t> scratch;
+      for (size_t i = w; i < queries.size(); i += workers) {
+        AnswerQuery(queries[i], &(*responses)[i], &scratch, &deltas[w]);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const StatsDelta& d : deltas) {
+    queries_served_ += d.queries;
+    tuples_returned_ += d.tuples;
+    overflow_count_ += d.overflows;
+  }
   return Status::OK();
 }
 

@@ -26,6 +26,13 @@ struct LocalServerOptions {
   /// verified column-at-a-time. When false, every query is a full scan —
   /// slow, but an independent oracle used to cross-check the indexed path.
   bool use_index = true;
+
+  /// Upper bound on worker threads an IssueBatch call may use. 1 (default)
+  /// evaluates batches sequentially on the calling thread; higher values
+  /// fan batch members out across a per-call worker pool. Responses and
+  /// server statistics are identical either way — evaluation is pure given
+  /// the dataset and the fixed ranking.
+  unsigned max_parallelism = 1;
 };
 
 /// Serves a Dataset through the top-k interface.
@@ -38,6 +45,13 @@ class LocalServer : public HiddenDbServer {
               LocalServerOptions options = {});
 
   Status Issue(const Query& query, Response* response) override;
+
+  /// Native batch execution: members are hash-free independent lookups, so
+  /// they are simply sharded across up to `max_parallelism` worker threads.
+  /// Responses and statistics match the sequential conversation exactly.
+  Status IssueBatch(const std::vector<Query>& queries,
+                    std::vector<Response>* responses) override;
+
   uint64_t k() const override { return k_; }
   const SchemaPtr& schema() const override { return dataset_->schema(); }
 
@@ -61,10 +75,26 @@ class LocalServer : public HiddenDbServer {
   uint64_t CountMatches(const Query& query);
 
  private:
+  /// Per-call statistic deltas, accumulated thread-locally during a batch
+  /// and folded into the server counters after the workers join.
+  struct StatsDelta {
+    uint64_t queries = 0;
+    uint64_t tuples = 0;
+    uint64_t overflows = 0;
+  };
+
+  /// Pure evaluation of one query: fills `response`, accumulates into
+  /// `stats`, touches no server state beyond the read-only indexes. Safe to
+  /// call concurrently with distinct `scratch`/`stats`.
+  void AnswerQuery(const Query& query, Response* response,
+                   std::vector<uint32_t>* scratch, StatsDelta* stats) const;
+
   /// Appends all row ids matching `query` to `out`.
-  void CollectMatches(const Query& query, std::vector<uint32_t>* out);
-  void CollectMatchesScan(const Query& query, std::vector<uint32_t>* out);
-  void CollectMatchesIndexed(const Query& query, std::vector<uint32_t>* out);
+  void CollectMatches(const Query& query, std::vector<uint32_t>* out) const;
+  void CollectMatchesScan(const Query& query,
+                          std::vector<uint32_t>* out) const;
+  void CollectMatchesIndexed(const Query& query,
+                             std::vector<uint32_t>* out) const;
 
   /// Returns true if row `id` satisfies every predicate except (optionally)
   /// the one on `skip_attr` (pass num_attributes() to skip none).

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "data/schema.h"
 #include "query/query.h"
@@ -15,7 +16,12 @@ namespace hdc {
 /// LocalServer (in-memory evaluation, the paper's Section 6 methodology) and
 /// the decorators in server/decorators.h (counting, budgets, tracing).
 ///
-/// Servers are not thread-safe; a crawl is a sequential conversation.
+/// Two entry points share one cost model (the paper counts queries, not
+/// round-trips): Issue() runs a single query, IssueBatch() submits several
+/// *independent* queries in one call so an implementation may pipeline or
+/// parallelize them. Callers must not call either concurrently on the same
+/// server object; IssueBatch members may be evaluated concurrently *inside*
+/// an implementation (e.g. LocalServer's worker pool).
 class HiddenDbServer {
  public:
   virtual ~HiddenDbServer() = default;
@@ -23,6 +29,40 @@ class HiddenDbServer {
   /// Executes `query`. Returns non-OK only for environmental reasons (e.g.
   /// a BudgetServer's budget is exhausted) — never because of the data.
   virtual Status Issue(const Query& query, Response* response) = 0;
+
+  /// Executes the members of `queries` in order, as if by repeated Issue()
+  /// calls. The batched contract:
+  ///
+  ///  - *Ordering.* `responses` is parallel to `queries`: responses[i]
+  ///    answers queries[i]. Implementations may evaluate members in any
+  ///    order (or concurrently) but must produce the same responses the
+  ///    sequential conversation would.
+  ///  - *Partial failure (prefix semantics).* On return, `responses` holds
+  ///    the longest prefix of answered members: responses->size() == m with
+  ///    m <= queries.size(). The call returns OK iff m == queries.size();
+  ///    otherwise it returns the status of member m — the first member that
+  ///    failed — and members past m were not attempted (they consumed no
+  ///    quota). The caller re-submits queries[m..] after recovering.
+  ///  - *Budget truncation.* A metering wrapper (BudgetServer) answers as
+  ///    many members as its budget allows, then fails the batch with
+  ///    ResourceExhausted; the answered prefix is still valid and paid-for.
+  ///  - *Equivalence.* A one-element batch is exactly Issue(): same
+  ///    responses, same side effects, same failure behaviour.
+  ///
+  /// The default implementation is the sequential fallback: Issue() per
+  /// member, stopping at the first failure.
+  virtual Status IssueBatch(const std::vector<Query>& queries,
+                            std::vector<Response>* responses) {
+    responses->clear();
+    responses->reserve(queries.size());
+    for (const Query& query : queries) {
+      Response response;
+      Status s = Issue(query, &response);
+      if (!s.ok()) return s;
+      responses->push_back(std::move(response));
+    }
+    return Status::OK();
+  }
 
   /// The server's result-size limit k (e.g. 1000 for Yahoo! Autos).
   virtual uint64_t k() const = 0;

@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "core/rank_shrink.h"
+#include "server/decorators.h"
 #include "server/local_server.h"
 
 namespace hdc {
@@ -146,6 +148,97 @@ TEST_F(ContextFixture, ExternalFailureBecomesInterrupt) {
   EXPECT_EQ(ctx.interrupt().code(), Status::Code::kInternal);
   // Not fatal: the state stays clean for a resume.
   EXPECT_TRUE(state_->fatal.ok());
+}
+
+TEST_F(ContextFixture, BatchAppliesBudgetPerMember) {
+  CrawlOptions options;
+  options.max_queries = 2;
+  CrawlContext ctx(server_.get(), state_.get(), options);
+  std::vector<Query> queries = {Full().WithNumericRange(0, 0, 10),
+                                Full().WithNumericRange(0, 11, 20),
+                                Full().WithNumericRange(0, 21, 30)};
+  std::vector<Response> responses;
+  auto outcomes = ctx.IssueBatch(queries, &responses);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0], CrawlContext::Outcome::kResolved);
+  EXPECT_EQ(outcomes[1], CrawlContext::Outcome::kResolved);
+  // The third member crosses the run budget: refused before the server.
+  EXPECT_EQ(outcomes[2], CrawlContext::Outcome::kStop);
+  EXPECT_TRUE(ctx.stopped());
+  EXPECT_EQ(server_->queries_served(), 2u);
+  EXPECT_EQ(ctx.run_queries(), 2u);
+  EXPECT_EQ(state_->queries_issued, 2u);
+}
+
+TEST_F(ContextFixture, BatchPrunesPerMemberWithoutSpendingQueries) {
+  // Prune everything left of 50; pruned members must not consume budget.
+  FunctionOracle deny_low([](const Query& q) { return q.lo(0) >= 50; });
+  CrawlOptions options;
+  options.oracle = &deny_low;
+  CrawlContext ctx(server_.get(), state_.get(), options);
+  std::vector<Query> queries = {Full().WithNumericRange(0, 0, 40),
+                                Full().WithNumericRange(0, 50, 60),
+                                Full().WithNumericRange(0, 10, 20)};
+  std::vector<Response> responses;
+  auto outcomes = ctx.IssueBatch(queries, &responses);
+  EXPECT_EQ(outcomes[0], CrawlContext::Outcome::kPrunedEmpty);
+  EXPECT_EQ(outcomes[1], CrawlContext::Outcome::kResolved);
+  EXPECT_EQ(outcomes[2], CrawlContext::Outcome::kPrunedEmpty);
+  EXPECT_TRUE(responses[0].resolved());
+  EXPECT_EQ(responses[0].size(), 0u);
+  EXPECT_EQ(server_->queries_served(), 1u);
+  EXPECT_EQ(ctx.run_queries(), 1u);
+  EXPECT_FALSE(ctx.stopped());
+}
+
+TEST_F(ContextFixture, BatchTracesInIssueOrder) {
+  CrawlOptions options;
+  options.record_trace = true;
+  CrawlContext ctx(server_.get(), state_.get(), options);
+  std::vector<Query> queries = {Full(), Full().WithNumericRange(0, 0, 10)};
+  std::vector<Response> responses;
+  auto outcomes = ctx.IssueBatch(queries, &responses);
+  EXPECT_EQ(outcomes[0], CrawlContext::Outcome::kOverflow);
+  EXPECT_EQ(outcomes[1], CrawlContext::Outcome::kResolved);
+  ASSERT_EQ(state_->trace.size(), 2u);
+  EXPECT_EQ(state_->trace[0].query_index, 1u);
+  EXPECT_FALSE(state_->trace[0].resolved);
+  EXPECT_EQ(state_->trace[0].returned, 4u);
+  EXPECT_EQ(state_->trace[1].query_index, 2u);
+  EXPECT_TRUE(state_->trace[1].resolved);
+  EXPECT_EQ(state_->trace[1].returned, 3u);
+}
+
+TEST_F(ContextFixture, BatchStopsSuffixOnServerFailure) {
+  // A budget decorator that pays for one member then refuses the rest.
+  BudgetServer budget(server_.get(), 1);
+  CrawlContext ctx(&budget, state_.get(), {});
+  std::vector<Query> queries = {Full().WithNumericRange(0, 0, 10),
+                                Full().WithNumericRange(0, 11, 20),
+                                Full().WithNumericRange(0, 21, 30)};
+  std::vector<Response> responses;
+  auto outcomes = ctx.IssueBatch(queries, &responses);
+  EXPECT_EQ(outcomes[0], CrawlContext::Outcome::kResolved);
+  EXPECT_EQ(outcomes[1], CrawlContext::Outcome::kStop);
+  EXPECT_EQ(outcomes[2], CrawlContext::Outcome::kStop);
+  EXPECT_TRUE(ctx.stopped());
+  EXPECT_TRUE(ctx.interrupt().IsResourceExhausted());
+  // The answered prefix is recorded; the suffix cost nothing.
+  EXPECT_EQ(ctx.run_queries(), 1u);
+  EXPECT_EQ(server_->queries_served(), 1u);
+  // Not fatal: the state stays clean for a resume.
+  EXPECT_TRUE(state_->fatal.ok());
+}
+
+TEST_F(ContextFixture, SingleElementBatchMatchesIssue) {
+  CrawlContext ctx(server_.get(), state_.get(), {});
+  std::vector<Response> batch_responses;
+  auto outcomes =
+      ctx.IssueBatch({Full().WithNumericRange(0, 0, 10)}, &batch_responses);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0], CrawlContext::Outcome::kResolved);
+  EXPECT_EQ(batch_responses[0].size(), 3u);
+  EXPECT_EQ(ctx.run_queries(), 1u);
 }
 
 TEST_F(ContextFixture, TupleSinkFiresOnBothCollectPaths) {

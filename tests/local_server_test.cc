@@ -177,5 +177,101 @@ TEST(LocalServerTest, SchemaAccessor) {
   EXPECT_TRUE(*server.schema() == *data->schema());
 }
 
+// --- Batched execution -----------------------------------------------------
+
+std::vector<Query> RandomBatch(const SchemaPtr& schema, size_t count,
+                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Query q = Query::FullSpace(schema);
+    if (rng.Bernoulli(0.5)) {
+      q = q.WithCategoricalEquals(0, rng.UniformInt(1, 5));
+    }
+    if (rng.Bernoulli(0.7)) {
+      Value lo = rng.UniformInt(0, 49);
+      q = q.WithNumericRange(2, lo, rng.UniformInt(lo, 49));
+    }
+    batch.push_back(std::move(q));
+  }
+  return batch;
+}
+
+std::shared_ptr<Dataset> BatchTestData() {
+  SyntheticMixedOptions gen;
+  gen.domain_sizes = {5, 9};
+  gen.num_numeric = 2;
+  gen.n = 2000;
+  gen.value_range = 50;
+  gen.seed = 77;
+  return std::make_shared<Dataset>(GenerateSyntheticMixed(gen));
+}
+
+TEST(LocalServerTest, ParallelBatchMatchesSequentialResponsesAndStats) {
+  auto data = BatchTestData();
+  LocalServer sequential(data, 16);
+  LocalServerOptions parallel_options;
+  parallel_options.max_parallelism = 4;
+  LocalServer parallel(data, 16, nullptr, parallel_options);
+
+  const std::vector<Query> batch = RandomBatch(data->schema(), 64, 99);
+  std::vector<Response> seq_responses, par_responses;
+  ASSERT_TRUE(sequential.IssueBatch(batch, &seq_responses).ok());
+  ASSERT_TRUE(parallel.IssueBatch(batch, &par_responses).ok());
+
+  ASSERT_EQ(seq_responses.size(), batch.size());
+  ASSERT_EQ(par_responses.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_EQ(par_responses[i].overflow, seq_responses[i].overflow) << i;
+    ASSERT_EQ(par_responses[i].size(), seq_responses[i].size()) << i;
+    for (size_t j = 0; j < seq_responses[i].size(); ++j) {
+      ASSERT_EQ(par_responses[i].tuples[j].hidden_id,
+                seq_responses[i].tuples[j].hidden_id)
+          << "member " << i << ", tuple " << j;
+    }
+  }
+  // Statistics must be order-independent and loss-free.
+  EXPECT_EQ(parallel.queries_served(), sequential.queries_served());
+  EXPECT_EQ(parallel.tuples_returned(), sequential.tuples_returned());
+  EXPECT_EQ(parallel.overflow_count(), sequential.overflow_count());
+}
+
+TEST(LocalServerTest, ParallelBatchesBackToBackStayConsistent) {
+  // Repeated concurrent batches against one server: the stress shape the
+  // ThreadSanitizer CI job runs.
+  auto data = BatchTestData();
+  LocalServerOptions options;
+  options.max_parallelism = 8;
+  LocalServer server(data, 16, nullptr, options);
+  uint64_t expected_queries = 0;
+  for (int round = 0; round < 10; ++round) {
+    const std::vector<Query> batch =
+        RandomBatch(data->schema(), 32, 1000 + round);
+    std::vector<Response> responses;
+    ASSERT_TRUE(server.IssueBatch(batch, &responses).ok());
+    ASSERT_EQ(responses.size(), batch.size());
+    expected_queries += batch.size();
+  }
+  EXPECT_EQ(server.queries_served(), expected_queries);
+}
+
+TEST(LocalServerTest, ParallelismNeverExceedsBatchSize) {
+  // A parallel server answering a one-element batch must not spawn idle
+  // workers or change behaviour.
+  auto data = OneDimData();
+  LocalServerOptions options;
+  options.max_parallelism = 16;
+  LocalServer server(data, 4, nullptr, options);
+  std::vector<Response> responses;
+  ASSERT_TRUE(
+      server.IssueBatch({Query::FullSpace(server.schema())}, &responses)
+          .ok());
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(responses[0].overflow);
+  EXPECT_EQ(responses[0].size(), 4u);
+  EXPECT_EQ(server.queries_served(), 1u);
+}
+
 }  // namespace
 }  // namespace hdc

@@ -156,6 +156,50 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ResumeTest,
                            return MakeCases()[info.param].label;
                          });
 
+TEST_P(ResumeTest, MidBatchBudgetExhaustionLosesNoWork) {
+  // Regression for the batched server contract: when BudgetServer truncates
+  // a batch in the middle (some members answered, the rest refused), the
+  // interrupted crawl must resume after Refill() with no lost and no
+  // double-collected work items — the same extraction and the same total
+  // query count as an uninterrupted run.
+  ResumeCase test_case = MakeCases()[GetParam()];
+  Dataset data = test_case.make_data();
+  const uint64_t k = std::max(test_case.k, data.MaxPointMultiplicity());
+
+  auto shared = std::make_shared<Dataset>(data);
+  LocalServer ref_server(shared, k);
+  auto ref_crawler = test_case.make_crawler();
+  CrawlResult reference = ref_crawler->Crawl(&ref_server);
+  ASSERT_TRUE(reference.status.ok()) << reference.status.ToString();
+
+  // Budget 11 with batches of 4: every other refill period ends mid-batch.
+  LocalServer base(shared, k);
+  BudgetServer budget(&base, 11);
+  auto crawler = test_case.make_crawler();
+  CrawlOptions options;
+  options.batch_size = 4;
+
+  CrawlResult result = crawler->Crawl(&budget, options);
+  int rounds = 1;
+  while (result.status.IsResourceExhausted() && rounds < 10000) {
+    ASSERT_NE(result.resume_state, nullptr);
+    budget.Refill(11);  // the next day's quota
+    result = crawler->Resume(&budget, result.resume_state, options);
+    ++rounds;
+  }
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_GT(rounds, 2) << "test needs genuine mid-batch interruptions";
+  EXPECT_TRUE(Dataset::MultisetEquals(result.extracted, data))
+      << test_case.label << ": lost or double-collected work across "
+      << "mid-batch interruptions";
+  EXPECT_EQ(result.queries_issued, reference.queries_issued)
+      << test_case.label
+      << ": mid-batch interruption must not waste or save queries";
+  EXPECT_EQ(result.queries_issued, base.queries_served())
+      << test_case.label << ": refused batch members must not reach the "
+      << "base server";
+}
+
 TEST(ResumeTest, ResumingWithWrongAlgorithmFails) {
   SyntheticNumericOptions gen;
   gen.d = 1;
