@@ -1,0 +1,90 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Multi-crawl service: N crawls, one server process.
+//
+// The paper's setup is one crawler conversing with one server. A service
+// deployment inverts that: one process holds the read-only index and many
+// users crawl it concurrently, each with their own algorithm, query
+// budget, and audit log. This example stands up a CrawlService over a
+// numeric dataset, then runs four sessions at once — three algorithms, a
+// server-side quota, and a narrowed schema view — and shows that every
+// session's query bill is its own.
+//
+//   $ ./multi_crawl
+#include <cstdio>
+#include <sstream>
+
+#include "core/crawlers.h"
+#include "core/multi_crawl.h"
+#include "gen/synthetic.h"
+#include "server/crawl_service.h"
+
+int main() {
+  using namespace hdc;
+
+  // 1. A hidden database: 20,000 tuples over 3 bounded numeric attributes.
+  SyntheticNumericOptions gen;
+  gen.d = 3;
+  gen.n = 20000;
+  gen.value_range = 2000;
+  gen.seed = 11;
+  auto dataset =
+      std::make_shared<const Dataset>(GenerateSyntheticNumeric(gen));
+
+  // 2. One service: a shared immutable index (k = 100) plus a worker pool
+  //    all sessions draw from.
+  CrawlServiceOptions service_options;
+  service_options.max_parallelism = 4;
+  CrawlService service(dataset, /*k=*/100, nullptr, service_options);
+  std::printf("service: n = %zu over [%s], %u evaluation lanes\n\n",
+              dataset->size(), dataset->schema()->ToString().c_str(),
+              service.max_parallelism());
+
+  // 3. Four concurrent crawls: different algorithms, budgets, batch
+  //    shapes, and one narrowed view of the data space (attribute 0
+  //    restricted to the lower half — e.g. a tenant's slice).
+  std::ostringstream audit;
+  std::vector<AttributeSpec> narrowed_attrs;
+  for (size_t i = 0; i < dataset->schema()->num_attributes(); ++i) {
+    narrowed_attrs.push_back(dataset->schema()->attribute(i));
+  }
+  narrowed_attrs[0].hi = gen.value_range / 2;
+  SchemaPtr narrowed = Schema::Make(std::move(narrowed_attrs));
+
+  std::vector<MultiCrawlJob> jobs(4);
+  jobs[0].label = "analyst/rank-shrink";
+  jobs[0].crawler = std::make_shared<RankShrink>();
+  jobs[0].crawl.batch_size = 0;  // auto: frontier width x service lanes
+
+  jobs[1].label = "archiver/binary-shrink";
+  jobs[1].crawler = std::make_shared<BinaryShrink>();
+  jobs[1].crawl.batch_size = 8;
+  jobs[1].session.query_log = &audit;  // full audit transcript
+
+  jobs[2].label = "metered/hybrid";
+  jobs[2].crawler = std::make_shared<HybridCrawler>();
+  jobs[2].session.max_queries = 150;  // server-side quota: will interrupt
+
+  jobs[3].label = "tenant/rank-shrink-narrowed";
+  jobs[3].crawler = std::make_shared<RankShrink>();
+  jobs[3].session.schema_override = narrowed;
+
+  std::vector<MultiCrawlOutcome> outcomes = RunMultiCrawl(&service, jobs);
+
+  // 4. Per-session accounting: each crawl paid for exactly its own
+  //    conversation.
+  for (const MultiCrawlOutcome& out : outcomes) {
+    std::printf("%-30s %-50s queries=%-6llu extracted=%zu\n",
+                out.label.c_str(),
+                out.result.status.ok() ? "complete"
+                                       : out.result.status.ToString().c_str(),
+                static_cast<unsigned long long>(out.session_queries),
+                out.result.extracted.size());
+  }
+  std::printf("\naudit transcript of '%s': %llu lines\n",
+              outcomes[1].label.c_str(),
+              static_cast<unsigned long long>(outcomes[1].session_queries));
+  std::printf("sessions served: %llu\n",
+              static_cast<unsigned long long>(service.sessions_created()));
+  return 0;
+}

@@ -34,12 +34,12 @@ std::shared_ptr<CrawlState> BinaryShrink::MakeInitialState(
 
 void BinaryShrink::Run(CrawlContext* ctx, CrawlState* state) const {
   auto* st = static_cast<BinaryShrinkState*>(state);
-  const size_t batch = ctx->batch_size();
   std::vector<Query> round;
   std::vector<Response> responses;
   while (!st->frontier.empty()) {
     // Sibling rectangles on the frontier are independent: drain up to
     // `batch` of them into one server round trip.
+    const size_t batch = ctx->RoundSize(st->frontier.size());
     round.clear();
     while (!st->frontier.empty() && round.size() < batch) {
       round.push_back(std::move(st->frontier.back()));

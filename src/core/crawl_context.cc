@@ -1,6 +1,8 @@
 // Copyright (c) hdc authors. Apache-2.0 license.
 #include "core/crawl_context.h"
 
+#include <algorithm>
+
 #include "util/macros.h"
 
 namespace hdc {
@@ -11,6 +13,12 @@ CrawlContext::CrawlContext(HiddenDbServer* server, CrawlState* state,
   HDC_CHECK(server != nullptr);
   HDC_CHECK(state != nullptr);
   if (!state_->fatal.ok()) stopped_ = true;
+}
+
+size_t CrawlContext::RoundSize(size_t frontier_width) const {
+  if (options_.batch_size > 0) return options_.batch_size;
+  const size_t cap = std::max(1u, server_->batch_parallelism());
+  return std::clamp<size_t>(frontier_width, 1, cap);
 }
 
 CrawlContext::Outcome CrawlContext::Issue(const Query& query,

@@ -46,10 +46,14 @@ class CrawlContext {
   std::vector<Outcome> IssueBatch(const std::vector<Query>& queries,
                                   std::vector<Response>* responses);
 
-  /// The batch size crawler drain loops should use (>= 1).
-  uint32_t batch_size() const {
-    return options_.batch_size > 0 ? options_.batch_size : 1;
-  }
+  /// How many frontier items a crawler should drain into its next server
+  /// round: the fixed CrawlOptions::batch_size when one was given (>= 1),
+  /// otherwise (batch_size == 0, "auto") the current `frontier_width`
+  /// capped by the server's evaluation parallelism — wide frontiers fill
+  /// the server's lanes, narrow ones never pad the round. Against a
+  /// single-lane server, auto degenerates to 1 and reproduces the
+  /// sequential conversation exactly.
+  size_t RoundSize(size_t frontier_width) const;
 
   /// The server/budget status that interrupted the run, if any.
   const Status& interrupt() const { return interrupt_; }

@@ -45,7 +45,11 @@ struct CrawlOptions {
   /// How many independent frontier items a crawler may pop and issue as one
   /// server batch (HiddenDbServer::IssueBatch). 1 (default) reproduces the
   /// strictly sequential conversation query-for-query — the paper-figure
-  /// setting. Larger batches never change the query *count* of the six
+  /// setting. 0 means *auto*: each round is sized to the current frontier
+  /// width, capped by the server's declared evaluation parallelism
+  /// (HiddenDbServer::batch_parallelism) — against a single-lane server
+  /// auto degenerates to 1 and stays byte-identical to the sequential
+  /// conversation. Any setting never changes the query *count* of the six
   /// crawlers (each work item is issued exactly once and split decisions
   /// depend only on the item's own response), only the conversation order
   /// and, against a parallel or remote server, the wall-clock time.

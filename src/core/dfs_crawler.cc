@@ -31,7 +31,6 @@ void DfsCrawler::Run(CrawlContext* ctx, CrawlState* state) const {
   auto* st = static_cast<DfsState*>(state);
   const Schema& schema = *st->extracted.schema();
   const uint32_t d = static_cast<uint32_t>(schema.num_attributes());
-  const size_t batch = ctx->batch_size();
 
   std::vector<DfsState::Node> round;
   std::vector<Query> queries;
@@ -39,6 +38,7 @@ void DfsCrawler::Run(CrawlContext* ctx, CrawlState* state) const {
   while (!st->frontier.empty()) {
     // Tree nodes on the frontier cover disjoint regions — batch up to
     // `batch` sibling probes per server round trip.
+    const size_t batch = ctx->RoundSize(st->frontier.size());
     round.clear();
     queries.clear();
     while (!st->frontier.empty() && round.size() < batch) {

@@ -1,0 +1,61 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/multi_crawl.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "util/macros.h"
+
+namespace hdc {
+
+std::vector<MultiCrawlOutcome> RunMultiCrawl(
+    CrawlService* service, const std::vector<MultiCrawlJob>& jobs,
+    unsigned max_concurrent) {
+  HDC_CHECK(service != nullptr);
+  for (const MultiCrawlJob& job : jobs) {
+    HDC_CHECK_MSG(job.crawler != nullptr, "every job needs a crawler");
+  }
+
+  std::vector<MultiCrawlOutcome> outcomes;
+  outcomes.reserve(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    outcomes.emplace_back(service->schema());
+  }
+  if (jobs.empty()) return outcomes;
+
+  // Each lane claims jobs off the shared cursor until none remain. A lane
+  // owns one job at a time: session and crawl state are lane-local, and
+  // each lane writes only its claimed outcome slots — the only shared
+  // mutable state between lanes is the service's (thread-safe) pool.
+  std::atomic<size_t> cursor{0};
+  auto lane = [&] {
+    for (;;) {
+      const size_t i = cursor.fetch_add(1);
+      if (i >= jobs.size()) return;
+      const MultiCrawlJob& job = jobs[i];
+      std::unique_ptr<ServerSession> session =
+          service->CreateSession(job.session);
+      MultiCrawlOutcome& out = outcomes[i];
+      out.label = job.label.empty() ? job.crawler->name() : job.label;
+      out.result = job.crawler->Crawl(session.get(), job.crawl);
+      out.session_queries = session->queries_served();
+      out.session_tuples = session->tuples_returned();
+      out.session_overflows = session->overflow_count();
+    }
+  };
+
+  const size_t lanes = std::min<size_t>(
+      jobs.size(), max_concurrent > 0 ? max_concurrent : jobs.size());
+  if (lanes <= 1) {
+    lane();
+    return outcomes;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(lanes);
+  for (size_t t = 0; t < lanes; ++t) threads.emplace_back(lane);
+  for (std::thread& t : threads) t.join();
+  return outcomes;
+}
+
+}  // namespace hdc

@@ -1,0 +1,68 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Multi-crawl driver: runs N independent crawls — different algorithms,
+// budgets, batch shapes, and schema views — concurrently over one
+// CrawlService. Each job gets its own ServerSession (its own statistics,
+// budget, audit log) while all of them evaluate against the service's
+// shared immutable index and worker pool; the paper's query-cost
+// accounting therefore stays exact per crawl even when many run at once.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/crawler.h"
+#include "server/crawl_service.h"
+
+namespace hdc {
+
+/// One crawl to run: the algorithm, its run options, and the metering of
+/// the session it runs in.
+struct MultiCrawlJob {
+  /// Display name for the outcome; defaults to the crawler's name.
+  std::string label;
+
+  /// The algorithm. Jobs must not share one crawler instance with
+  /// different concurrent mutable state; give each job its own (Crawler
+  /// itself is stateless across Crawl calls, all run state lives in the
+  /// CrawlState).
+  std::shared_ptr<Crawler> crawler;
+
+  /// Per-run options (budget for this run, batch size, trace, oracle).
+  CrawlOptions crawl;
+
+  /// Per-session metering (server-side budget, audit log, schema view).
+  SessionOptions session;
+};
+
+/// What one job produced, plus the session's server-side view of the same
+/// conversation.
+struct MultiCrawlOutcome {
+  /// CrawlResult is not default-constructible (its Dataset needs a
+  /// schema); outcomes start from the service's schema.
+  explicit MultiCrawlOutcome(SchemaPtr schema)
+      : result(std::move(schema)) {}
+
+  std::string label;
+  CrawlResult result;
+
+  /// Session accounting: queries answered / tuples shipped / overflows for
+  /// this crawl alone.
+  uint64_t session_queries = 0;
+  uint64_t session_tuples = 0;
+  uint64_t session_overflows = 0;
+};
+
+/// Runs every job over `service`, up to `max_concurrent` at a time (0
+/// means all at once), each on its own thread with its own session.
+/// `outcomes[i]` corresponds to `jobs[i]`. Jobs must carry a non-null
+/// crawler. The call blocks until every job has finished (complete,
+/// fatal, or out of budget — an exhausted job's resume state is in its
+/// outcome as usual).
+std::vector<MultiCrawlOutcome> RunMultiCrawl(
+    CrawlService* service, const std::vector<MultiCrawlJob>& jobs,
+    unsigned max_concurrent = 0);
+
+}  // namespace hdc

@@ -114,12 +114,12 @@ std::shared_ptr<CrawlState> RankShrink::MakeInitialState(
 
 void RankShrink::Run(CrawlContext* ctx, CrawlState* state) const {
   auto* st = static_cast<RankShrinkState*>(state);
-  const size_t batch = ctx->batch_size();
   std::vector<Query> round;
   std::vector<Response> responses;
   while (!st->frontier.empty()) {
     // Child rectangles of distinct splits are pairwise disjoint, so up to
     // `batch` of them ride one server round trip.
+    const size_t batch = ctx->RoundSize(st->frontier.size());
     round.clear();
     while (!st->frontier.empty() && round.size() < batch) {
       round.push_back(std::move(st->frontier.back()));

@@ -2,6 +2,7 @@
 #include "core/slice_engine.h"
 
 #include <algorithm>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -44,7 +45,7 @@ void RecordSlice(SliceEngineState* st, size_t cat_pos, Value v,
 /// Eager preprocessing: issue every slice query of every categorical
 /// attribute, up to `batch` per server round trip. Returns false when
 /// interrupted (the cursor stays at the first unanswered slice).
-bool RunPreprocessing(CrawlContext* ctx, SliceEngineState* st, size_t batch) {
+bool RunPreprocessing(CrawlContext* ctx, SliceEngineState* st) {
   const SchemaPtr& schema = st->extracted.schema();
   const auto& cat = st->cat_order;
   struct PlannedSlice {
@@ -57,7 +58,10 @@ bool RunPreprocessing(CrawlContext* ctx, SliceEngineState* st, size_t batch) {
   while (true) {
     // Walk the cursor forward, collecting up to `batch` unknown slices
     // (already-known entries — e.g. restored from a checkpoint — cost
-    // nothing, exactly as in the sequential conversation).
+    // nothing, exactly as in the sequential conversation). Preprocessing
+    // has no frontier; auto sizing fills the server's lanes outright.
+    const size_t batch =
+        ctx->RoundSize(std::numeric_limits<size_t>::max());
     planned.clear();
     queries.clear();
     size_t pos = st->pre_cat_pos;
@@ -150,10 +154,9 @@ void SliceEngineRun(CrawlContext* ctx, SliceEngineState* st,
   const SchemaPtr& schema = st->extracted.schema();
   const auto& cat = st->cat_order;
   const uint32_t cat_count = static_cast<uint32_t>(cat.size());
-  const size_t batch = ctx->batch_size();
 
   if (st->eager && !st->preprocessing_done) {
-    if (!RunPreprocessing(ctx, st, batch)) return;
+    if (!RunPreprocessing(ctx, st)) return;
   }
 
   // Every frontier step needs at most one query; a node whose slice lookup
@@ -186,6 +189,7 @@ void SliceEngineRun(CrawlContext* ctx, SliceEngineState* st,
   while (!st->frontier.empty()) {
     // --- Plan a round: pop items, act on the query-free ones immediately,
     // gather up to `batch` single-query steps. -------------------------
+    const size_t batch = ctx->RoundSize(st->frontier.size());
     pendings.clear();
     parked.clear();
     while (!st->frontier.empty() && pendings.size() < batch) {

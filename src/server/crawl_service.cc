@@ -1,0 +1,127 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "server/crawl_service.h"
+
+#include <utility>
+
+#include "util/macros.h"
+
+namespace hdc {
+
+// --- ServerSession::Core ----------------------------------------------------
+
+Status ServerSession::Core::Issue(const Query& query, Response* response) {
+  QueryStats stats;
+  session_->index_->AnswerQuery(query, response, &session_->scratch_, &stats);
+  session_->Fold(stats);
+  return Status::OK();
+}
+
+Status ServerSession::Core::IssueBatch(const std::vector<Query>& queries,
+                                       std::vector<Response>* responses) {
+  HDC_CHECK(responses != nullptr);
+  QueryStats stats;
+  EvaluateBatch(*session_->index_, session_->pool_, queries, responses,
+                &stats);
+  session_->Fold(stats);
+  return Status::OK();
+}
+
+// --- ServerSession ----------------------------------------------------------
+
+ServerSession::ServerSession(std::shared_ptr<const LocalIndex> index,
+                             WorkerPool* pool, unsigned parallelism,
+                             uint64_t id, SessionOptions options)
+    : index_(std::move(index)),
+      pool_(pool),
+      parallelism_(parallelism),
+      id_(id),
+      label_(options.label.empty() ? "session-" + std::to_string(id)
+                                   : std::move(options.label)) {
+  // Compose the metering stack bottom-up. Order (bottom to top): evaluation
+  // core, observer, audit log, trace, budget, schema override — so a
+  // budget-refused query is neither logged nor traced (it never happened),
+  // matching the sequential BudgetServer(QueryLogServer(LocalServer))
+  // conversation.
+  std::unique_ptr<HiddenDbServer> stack = std::make_unique<Core>(this);
+  if (options.observer) {
+    stack = std::make_unique<ObservedServer>(std::move(stack),
+                                             std::move(options.observer));
+  }
+  if (options.query_log != nullptr) {
+    auto log =
+        std::make_unique<QueryLogServer>(std::move(stack), options.query_log);
+    log_ = log.get();
+    stack = std::move(log);
+  }
+  if (options.keep_trace) {
+    auto counting =
+        std::make_unique<CountingServer>(std::move(stack), /*keep_trace=*/true);
+    counting_ = counting.get();
+    stack = std::move(counting);
+  }
+  if (options.max_queries != kUnlimitedQueries) {
+    auto budget =
+        std::make_unique<BudgetServer>(std::move(stack), options.max_queries);
+    budget_ = budget.get();
+    stack = std::move(budget);
+  }
+  if (options.schema_override != nullptr) {
+    stack = std::make_unique<SchemaOverrideServer>(
+        std::move(stack), std::move(options.schema_override));
+  }
+  top_ = std::move(stack);
+}
+
+Status ServerSession::Issue(const Query& query, Response* response) {
+  return top_->Issue(query, response);
+}
+
+Status ServerSession::IssueBatch(const std::vector<Query>& queries,
+                                 std::vector<Response>* responses) {
+  return top_->IssueBatch(queries, responses);
+}
+
+const SchemaPtr& ServerSession::schema() const { return top_->schema(); }
+
+void ServerSession::RefillBudget(uint64_t max_queries) {
+  HDC_CHECK_MSG(budget_ != nullptr,
+                "RefillBudget on a session created without max_queries");
+  budget_->Refill(max_queries);
+}
+
+const std::vector<QueryRecord>& ServerSession::trace() const {
+  static const std::vector<QueryRecord> kEmpty;
+  return counting_ != nullptr ? counting_->trace() : kEmpty;
+}
+
+// --- CrawlService -----------------------------------------------------------
+
+CrawlService::CrawlService(std::shared_ptr<const LocalIndex> index,
+                           CrawlServiceOptions options)
+    : index_(std::move(index)), options_(options) {
+  HDC_CHECK(index_ != nullptr);
+  HDC_CHECK_MSG(options_.max_parallelism >= 1,
+                "CrawlServiceOptions::max_parallelism must be >= 1 (it "
+                "bounds the threads of a batch, calling thread included)");
+  if (options_.max_parallelism > 1) {
+    pool_ = std::make_unique<WorkerPool>(options_.max_parallelism - 1);
+  }
+}
+
+CrawlService::CrawlService(std::shared_ptr<const Dataset> dataset, uint64_t k,
+                           std::unique_ptr<RankingPolicy> policy,
+                           CrawlServiceOptions options)
+    : CrawlService(std::make_shared<const LocalIndex>(std::move(dataset), k,
+                                                      std::move(policy)),
+                   options) {}
+
+std::unique_ptr<ServerSession> CrawlService::CreateSession(
+    SessionOptions options) {
+  const uint64_t id = next_session_id_.fetch_add(1);
+  // Not make_unique: the constructor is private to keep minting here.
+  return std::unique_ptr<ServerSession>(
+      new ServerSession(index_, pool_.get(), options_.max_parallelism, id,
+                        std::move(options)));
+}
+
+}  // namespace hdc

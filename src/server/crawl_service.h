@@ -1,0 +1,214 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// The multi-crawl service: one immutable LocalIndex, many concurrent
+// conversations. The paper's methodology (Section 6) models one crawler
+// talking to one server; a production hidden-database service instead
+// answers many crawlers at once over the same read-only data. This layer
+// splits those concerns:
+//
+//   CrawlService                    ServerSession (one per crawl)
+//   ------------                    ----------------------------
+//   shared LocalIndex (const)       per-session statistics
+//   shared WorkerPool               per-session query budget
+//   session minting                 per-session audit log + trace
+//                                   per-session batch pipeline
+//
+// A session is a full HiddenDbServer, so every crawler, decorator, and
+// CrawlContext works against it unchanged, and a single-session service
+// reproduces the classic LocalServer conversation byte for byte. Because
+// the index is fully const and the pool is thread-safe, any number of
+// sessions may run on distinct threads with no synchronisation between
+// them; each session preserves the paper's query-cost accounting for its
+// own conversation (a query spent by one crawl is never billed to
+// another).
+//
+// Lifetime: the service must outlive the sessions it vends (sessions share
+// the service's worker pool). Each individual session is single-
+// conversation — the HiddenDbServer contract forbids concurrent calls on
+// one session — but different sessions are fully independent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/decorators.h"
+#include "server/local_index.h"
+#include "server/server.h"
+#include "util/worker_pool.h"
+
+namespace hdc {
+
+class CrawlService;
+
+/// "No budget" sentinel for SessionOptions::max_queries.
+inline constexpr uint64_t kUnlimitedQueries = UINT64_MAX;
+
+struct CrawlServiceOptions {
+  /// Total threads (pool workers plus the one calling thread of a batch)
+  /// the service may bring to bear on one IssueBatch call. Must be >= 1.
+  /// The pool is shared: concurrent sessions' batches interleave on it.
+  unsigned max_parallelism = 1;
+};
+
+/// Per-session metering, fixed at session-creation time. Every layer is
+/// owned by the session and scoped to its conversation — nothing here
+/// wraps or mutates service-wide state.
+struct SessionOptions {
+  /// Display/debug name; defaults to "session-<id>".
+  std::string label;
+
+  /// Hard per-session query budget (BudgetServer semantics: once spent,
+  /// calls fail with ResourceExhausted until RefillBudget). Unlimited by
+  /// default.
+  uint64_t max_queries = kUnlimitedQueries;
+
+  /// When set, streams the session's audit log — one line per answered
+  /// query, QueryLogServer format — to this stream (not owned; must
+  /// outlive the session).
+  std::ostream* query_log = nullptr;
+
+  /// When set, invoked after every answered query (ObservedServer).
+  ObservedServer::Callback observer;
+
+  /// When set, the session presents this (compatible) schema instead of
+  /// the index's — e.g. numeric bounds tightened by domain discovery.
+  SchemaPtr schema_override;
+
+  /// Keep a compact per-query trace (CountingServer records).
+  bool keep_trace = false;
+};
+
+/// One crawl's private handle onto a CrawlService: a HiddenDbServer whose
+/// conversation state (statistics, budget, log, trace) belongs to this
+/// session alone, while evaluation runs against the service's shared
+/// immutable index and worker pool.
+class ServerSession : public HiddenDbServer {
+ public:
+  ~ServerSession() override = default;
+  ServerSession(const ServerSession&) = delete;
+  ServerSession& operator=(const ServerSession&) = delete;
+
+  Status Issue(const Query& query, Response* response) override;
+  Status IssueBatch(const std::vector<Query>& queries,
+                    std::vector<Response>* responses) override;
+  uint64_t k() const override { return index_->k(); }
+  const SchemaPtr& schema() const override;
+  unsigned batch_parallelism() const override { return parallelism_; }
+
+  uint64_t id() const { return id_; }
+  const std::string& label() const { return label_; }
+
+  // --- Per-session accounting ------------------------------------------
+
+  /// Queries answered for this session.
+  uint64_t queries_served() const { return queries_served_; }
+  /// Tuples shipped to this session.
+  uint64_t tuples_returned() const { return tuples_returned_; }
+  /// Answered queries that overflowed.
+  uint64_t overflow_count() const { return overflow_count_; }
+
+  /// Budget left (kUnlimitedQueries when the session has no budget).
+  uint64_t budget_remaining() const {
+    return budget_ != nullptr ? budget_->remaining() : kUnlimitedQueries;
+  }
+  /// Grants a fresh allotment; only valid on a budgeted session.
+  void RefillBudget(uint64_t max_queries);
+
+  /// Per-query records (empty unless SessionOptions::keep_trace).
+  const std::vector<QueryRecord>& trace() const;
+
+  /// Lines written to the audit log so far (0 without a query_log).
+  uint64_t logged() const { return log_ != nullptr ? log_->logged() : 0; }
+
+ private:
+  friend class CrawlService;
+
+  /// Bottom of the per-session stack: pure evaluation against the shared
+  /// index, accumulating into the owning session's counters.
+  class Core : public HiddenDbServer {
+   public:
+    explicit Core(ServerSession* session) : session_(session) {}
+    Status Issue(const Query& query, Response* response) override;
+    Status IssueBatch(const std::vector<Query>& queries,
+                      std::vector<Response>* responses) override;
+    uint64_t k() const override { return session_->index_->k(); }
+    const SchemaPtr& schema() const override {
+      return session_->index_->schema();
+    }
+    unsigned batch_parallelism() const override {
+      return session_->parallelism_;
+    }
+
+   private:
+    ServerSession* session_;
+  };
+
+  ServerSession(std::shared_ptr<const LocalIndex> index, WorkerPool* pool,
+                unsigned parallelism, uint64_t id, SessionOptions options);
+
+  void Fold(const QueryStats& stats) {
+    queries_served_ += stats.queries;
+    tuples_returned_ += stats.tuples;
+    overflow_count_ += stats.overflows;
+  }
+
+  std::shared_ptr<const LocalIndex> index_;
+  WorkerPool* pool_;  // owned by the service; may be null (parallelism 1)
+  unsigned parallelism_;
+  uint64_t id_;
+  std::string label_;
+
+  /// The session's metering stack, bottom (Core) to top, composed from
+  /// SessionOptions at creation; `top_` is the entry point, the raw
+  /// pointers below alias layers inside the owned chain.
+  std::unique_ptr<HiddenDbServer> top_;
+  BudgetServer* budget_ = nullptr;
+  CountingServer* counting_ = nullptr;
+  QueryLogServer* log_ = nullptr;
+
+  std::vector<uint32_t> scratch_;
+  uint64_t queries_served_ = 0;
+  uint64_t tuples_returned_ = 0;
+  uint64_t overflow_count_ = 0;
+};
+
+/// Owns the shared halves — index and worker pool — and mints sessions.
+/// Thread-safe: CreateSession may be called from any thread, and the
+/// sessions it returns run concurrently with each other.
+class CrawlService {
+ public:
+  CrawlService(std::shared_ptr<const LocalIndex> index,
+               CrawlServiceOptions options = {});
+
+  /// Convenience: builds the index in place (random-priority ranking when
+  /// `policy` is null, as LocalServer).
+  CrawlService(std::shared_ptr<const Dataset> dataset, uint64_t k,
+               std::unique_ptr<RankingPolicy> policy = nullptr,
+               CrawlServiceOptions options = {});
+
+  CrawlService(const CrawlService&) = delete;
+  CrawlService& operator=(const CrawlService&) = delete;
+
+  /// Mints an independent session. The service must outlive it.
+  std::unique_ptr<ServerSession> CreateSession(SessionOptions options = {});
+
+  const std::shared_ptr<const LocalIndex>& index() const { return index_; }
+  uint64_t k() const { return index_->k(); }
+  const SchemaPtr& schema() const { return index_->schema(); }
+  unsigned max_parallelism() const { return options_.max_parallelism; }
+
+  /// Sessions minted so far (monotonic; sessions are not tracked after
+  /// creation).
+  uint64_t sessions_created() const { return next_session_id_.load(); }
+
+ private:
+  std::shared_ptr<const LocalIndex> index_;
+  CrawlServiceOptions options_;
+  std::unique_ptr<WorkerPool> pool_;  // max_parallelism - 1 workers
+  std::atomic<uint64_t> next_session_id_{0};
+};
+
+}  // namespace hdc

@@ -5,6 +5,19 @@
 //   BudgetServer( CountingServer( LocalServer ) )
 // so it can be metered and interrupted.
 //
+// Two composition styles share the same classes:
+//
+//  - *Borrowed* (the classic shape): each wrapper takes a HiddenDbServer*
+//    it does not own; the caller keeps every layer alive, usually on the
+//    stack around one crawl.
+//  - *Owned* (the session shape): each wrapper takes a
+//    std::unique_ptr<HiddenDbServer> and owns its base, so a whole metering
+//    stack — budget, audit log, trace — can be composed once at
+//    session-creation time and handed around as a single object. This is
+//    how CrawlService (server/crawl_service.h) builds the per-session
+//    stack over its shared index; the metering state is per session, never
+//    a wrapper around a process-wide singleton.
+//
 // Every decorator implements both entry points of the HiddenDbServer
 // contract. IssueBatch keeps the prefix semantics documented in
 // server/server.h: the wrapper answers (or forwards) an in-order prefix of
@@ -17,6 +30,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -27,11 +41,18 @@
 
 namespace hdc {
 
-/// Base decorator: forwards everything to a wrapped (non-owned) server.
-/// The wrapped server must outlive the decorator.
+/// Base decorator: forwards everything to the wrapped server. The borrowed
+/// form does not own its base (the caller keeps it alive); the owned form
+/// keeps the base alive itself.
 class ServerDecorator : public HiddenDbServer {
  public:
-  explicit ServerDecorator(HiddenDbServer* base) : base_(base) {}
+  explicit ServerDecorator(HiddenDbServer* base) : base_(base) {
+    HDC_CHECK(base != nullptr);
+  }
+  explicit ServerDecorator(std::unique_ptr<HiddenDbServer> base)
+      : base_(base.get()), owned_(std::move(base)) {
+    HDC_CHECK(base_ != nullptr);
+  }
 
   Status Issue(const Query& query, Response* response) override {
     return base_->Issue(query, response);
@@ -42,9 +63,15 @@ class ServerDecorator : public HiddenDbServer {
   }
   uint64_t k() const override { return base_->k(); }
   const SchemaPtr& schema() const override { return base_->schema(); }
+  unsigned batch_parallelism() const override {
+    return base_->batch_parallelism();
+  }
 
  protected:
   HiddenDbServer* base_;
+
+ private:
+  std::unique_ptr<HiddenDbServer> owned_;
 };
 
 /// Compact per-query record kept by CountingServer when tracing is on.
@@ -66,6 +93,9 @@ class CountingServer : public ServerDecorator {
  public:
   explicit CountingServer(HiddenDbServer* base, bool keep_trace = false)
       : ServerDecorator(base), keep_trace_(keep_trace) {}
+  explicit CountingServer(std::unique_ptr<HiddenDbServer> base,
+                          bool keep_trace = false)
+      : ServerDecorator(std::move(base)), keep_trace_(keep_trace) {}
 
   Status Issue(const Query& query, Response* response) override {
     Status s = base_->Issue(query, response);
@@ -116,6 +146,8 @@ class BudgetServer : public ServerDecorator {
  public:
   BudgetServer(HiddenDbServer* base, uint64_t max_queries)
       : ServerDecorator(base), remaining_(max_queries) {}
+  BudgetServer(std::unique_ptr<HiddenDbServer> base, uint64_t max_queries)
+      : ServerDecorator(std::move(base)), remaining_(max_queries) {}
 
   Status Issue(const Query& query, Response* response) override {
     if (remaining_ == 0) {
@@ -169,14 +201,22 @@ class SchemaOverrideServer : public ServerDecorator {
  public:
   SchemaOverrideServer(HiddenDbServer* base, SchemaPtr schema)
       : ServerDecorator(base), schema_(std::move(schema)) {
-    HDC_CHECK_MSG(schema_ != nullptr &&
-                      schema_->CompatibleWith(*base->schema()),
-                  "override schema must be structurally compatible");
+    CheckCompatible();
+  }
+  SchemaOverrideServer(std::unique_ptr<HiddenDbServer> base, SchemaPtr schema)
+      : ServerDecorator(std::move(base)), schema_(std::move(schema)) {
+    CheckCompatible();
   }
 
   const SchemaPtr& schema() const override { return schema_; }
 
  private:
+  void CheckCompatible() const {
+    HDC_CHECK_MSG(schema_ != nullptr &&
+                      schema_->CompatibleWith(*base_->schema()),
+                  "override schema must be structurally compatible");
+  }
+
   SchemaPtr schema_;
 };
 
@@ -193,6 +233,8 @@ class FlakyServer : public ServerDecorator {
  public:
   FlakyServer(HiddenDbServer* base, uint64_t period)
       : ServerDecorator(base), period_(period) {}
+  FlakyServer(std::unique_ptr<HiddenDbServer> base, uint64_t period)
+      : ServerDecorator(std::move(base)), period_(period) {}
 
   Status Issue(const Query& query, Response* response) override {
     ++attempts_;
@@ -267,6 +309,10 @@ class RetryingServer : public ServerDecorator {
   RetryingServer(HiddenDbServer* base, uint64_t max_retries,
                  bool keep_attempts_trace = false)
       : ServerDecorator(base), max_retries_(max_retries),
+        keep_attempts_trace_(keep_attempts_trace) {}
+  RetryingServer(std::unique_ptr<HiddenDbServer> base, uint64_t max_retries,
+                 bool keep_attempts_trace = false)
+      : ServerDecorator(std::move(base)), max_retries_(max_retries),
         keep_attempts_trace_(keep_attempts_trace) {}
 
   Status Issue(const Query& query, Response* response) override {
@@ -352,6 +398,8 @@ class ObservedServer : public ServerDecorator {
 
   ObservedServer(HiddenDbServer* base, Callback callback)
       : ServerDecorator(base), callback_(std::move(callback)) {}
+  ObservedServer(std::unique_ptr<HiddenDbServer> base, Callback callback)
+      : ServerDecorator(std::move(base)), callback_(std::move(callback)) {}
 
   Status Issue(const Query& query, Response* response) override {
     Status s = base_->Issue(query, response);
@@ -385,6 +433,10 @@ class QueryLogServer : public ServerDecorator {
  public:
   QueryLogServer(HiddenDbServer* base, std::ostream* out)
       : ServerDecorator(base), out_(out) {
+    HDC_CHECK(out != nullptr);
+  }
+  QueryLogServer(std::unique_ptr<HiddenDbServer> base, std::ostream* out)
+      : ServerDecorator(std::move(base)), out_(out) {
     HDC_CHECK(out != nullptr);
   }
 

@@ -1,0 +1,232 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "server/local_index.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+#include "util/worker_pool.h"
+
+namespace hdc {
+
+LocalIndex::LocalIndex(std::shared_ptr<const Dataset> dataset, uint64_t k,
+                       std::unique_ptr<RankingPolicy> policy,
+                       LocalIndexOptions options)
+    : dataset_(std::move(dataset)), k_(k), options_(options) {
+  HDC_CHECK(dataset_ != nullptr);
+  HDC_CHECK_MSG(k_ >= 1, "the result limit k must be positive");
+
+  if (policy == nullptr) policy = MakeRandomPriorityPolicy(0x5eedULL);
+  priorities_ = policy->AssignPriorities(*dataset_);
+  HDC_CHECK(priorities_.size() == dataset_->size());
+
+  const Schema& schema = *dataset_->schema();
+  const size_t d = schema.num_attributes();
+  const size_t n = dataset_->size();
+  HDC_CHECK_MSG(n <= UINT32_MAX, "row ids are 32-bit");
+
+  columns_.assign(d, {});
+  for (size_t a = 0; a < d; ++a) {
+    columns_[a].resize(n);
+    for (size_t i = 0; i < n; ++i) columns_[a][i] = dataset_->tuple(i)[a];
+  }
+
+  if (options_.use_index) {
+    postings_.assign(d, {});
+    sorted_ids_.assign(d, {});
+    sorted_values_.assign(d, {});
+    for (size_t a = 0; a < d; ++a) {
+      if (schema.IsCategorical(a)) {
+        postings_[a].assign(schema.domain_size(a) + 1, {});
+        for (size_t i = 0; i < n; ++i) {
+          postings_[a][static_cast<size_t>(columns_[a][i])].push_back(
+              static_cast<uint32_t>(i));
+        }
+      } else {
+        auto& ids = sorted_ids_[a];
+        ids.resize(n);
+        for (size_t i = 0; i < n; ++i) ids[i] = static_cast<uint32_t>(i);
+        const auto& col = columns_[a];
+        std::sort(ids.begin(), ids.end(), [&col](uint32_t x, uint32_t y) {
+          return col[x] != col[y] ? col[x] < col[y] : x < y;
+        });
+        auto& vals = sorted_values_[a];
+        vals.resize(n);
+        for (size_t i = 0; i < n; ++i) vals[i] = col[ids[i]];
+      }
+    }
+  }
+}
+
+bool LocalIndex::IsCrawlable() const {
+  return dataset_->MaxPointMultiplicity() <= k_;
+}
+
+bool LocalIndex::VerifyRow(const Query& query, uint32_t id,
+                           size_t skip_attr) const {
+  const size_t d = columns_.size();
+  for (size_t a = 0; a < d; ++a) {
+    if (a == skip_attr) continue;
+    const AttrInterval& ext = query.extent(a);
+    const Value v = columns_[a][id];
+    if (v < ext.lo || v > ext.hi) return false;
+  }
+  return true;
+}
+
+void LocalIndex::CollectMatchesScan(const Query& query,
+                                    std::vector<uint32_t>* out) const {
+  const size_t n = dataset_->size();
+  for (size_t i = 0; i < n; ++i) {
+    if (query.Matches(dataset_->tuple(i))) {
+      out->push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+bool LocalIndex::CoversDomain(const Query& query, size_t a) const {
+  const AttributeSpec& spec = dataset_->schema()->attribute(a);
+  const AttrInterval& ext = query.extent(a);
+  if (spec.is_categorical()) {
+    return ext.lo <= 1 && ext.hi >= static_cast<Value>(spec.domain_size);
+  }
+  return ext.lo <= spec.lo && ext.hi >= spec.hi;
+}
+
+void LocalIndex::CollectMatchesIndexed(const Query& query,
+                                       std::vector<uint32_t>* out) const {
+  const Schema& schema = *dataset_->schema();
+  const size_t d = schema.num_attributes();
+  const size_t n = dataset_->size();
+
+  // Pick the most selective constraining predicate as the candidate
+  // driver. Note Query::IsWildcard would be wrong here: it is relative to
+  // the *query's* schema, whose bounds a session's schema override may have
+  // narrowed below this dataset's — such a predicate still excludes rows.
+  size_t best_attr = d;
+  size_t best_size = n + 1;
+  for (size_t a = 0; a < d; ++a) {
+    if (CoversDomain(query, a)) continue;
+    const AttrInterval& ext = query.extent(a);
+    size_t size;
+    if (schema.IsCategorical(a)) {
+      // Categorical non-wildcard slots are always pinned.
+      size = postings_[a][static_cast<size_t>(ext.lo)].size();
+    } else {
+      const auto& vals = sorted_values_[a];
+      auto lo_it = std::lower_bound(vals.begin(), vals.end(), ext.lo);
+      auto hi_it = std::upper_bound(vals.begin(), vals.end(), ext.hi);
+      size = static_cast<size_t>(hi_it - lo_it);
+    }
+    if (size < best_size) {
+      best_size = size;
+      best_attr = a;
+    }
+  }
+
+  if (best_attr == d) {
+    // Every predicate covers the whole server-side domain: all rows
+    // qualify.
+    out->resize(n);
+    for (size_t i = 0; i < n; ++i) (*out)[i] = static_cast<uint32_t>(i);
+    return;
+  }
+
+  const AttrInterval& ext = query.extent(best_attr);
+  if (schema.IsCategorical(best_attr)) {
+    for (uint32_t id : postings_[best_attr][static_cast<size_t>(ext.lo)]) {
+      if (VerifyRow(query, id, best_attr)) out->push_back(id);
+    }
+  } else {
+    const auto& vals = sorted_values_[best_attr];
+    const auto& ids = sorted_ids_[best_attr];
+    size_t lo_idx = static_cast<size_t>(
+        std::lower_bound(vals.begin(), vals.end(), ext.lo) - vals.begin());
+    size_t hi_idx = static_cast<size_t>(
+        std::upper_bound(vals.begin(), vals.end(), ext.hi) - vals.begin());
+    for (size_t i = lo_idx; i < hi_idx; ++i) {
+      uint32_t id = ids[i];
+      if (VerifyRow(query, id, best_attr)) out->push_back(id);
+    }
+    // The driver range is ordered by value; restore id order so responses
+    // are independent of which index drove the query.
+    std::sort(out->begin(), out->end());
+  }
+}
+
+void LocalIndex::CollectMatches(const Query& query,
+                                std::vector<uint32_t>* out) const {
+  out->clear();
+  if (options_.use_index) {
+    CollectMatchesIndexed(query, out);
+  } else {
+    CollectMatchesScan(query, out);
+  }
+}
+
+uint64_t LocalIndex::CountMatches(const Query& query) const {
+  std::vector<uint32_t> matches;
+  CollectMatches(query, &matches);
+  return matches.size();
+}
+
+void LocalIndex::AnswerQuery(const Query& query, Response* response,
+                             std::vector<uint32_t>* scratch,
+                             QueryStats* stats) const {
+  HDC_CHECK(response != nullptr);
+  HDC_CHECK_MSG(query.schema() != nullptr &&
+                    query.schema()->CompatibleWith(*dataset_->schema()),
+                "query schema does not match the server's data space");
+  ++stats->queries;
+
+  CollectMatches(query, scratch);
+  response->tuples.clear();
+
+  const size_t count = scratch->size();
+  response->overflow = count > k_;
+  if (response->overflow) {
+    ++stats->overflows;
+    // Keep the k highest-priority rows (ties by id ascending) — the fixed
+    // ranking a real site would apply.
+    auto better = [this](uint32_t x, uint32_t y) {
+      return priorities_[x] != priorities_[y] ? priorities_[x] > priorities_[y]
+                                              : x < y;
+    };
+    std::nth_element(scratch->begin(), scratch->begin() + k_, scratch->end(),
+                     better);
+    scratch->resize(k_);
+    std::sort(scratch->begin(), scratch->end(), better);
+  }
+
+  response->tuples.reserve(scratch->size());
+  for (uint32_t id : *scratch) {
+    response->tuples.push_back(ReturnedTuple{dataset_->tuple(id), id});
+  }
+  stats->tuples += response->tuples.size();
+}
+
+void EvaluateBatch(const LocalIndex& index, WorkerPool* pool,
+                   const std::vector<Query>& queries,
+                   std::vector<Response>* responses, QueryStats* stats) {
+  HDC_CHECK(responses != nullptr);
+  HDC_CHECK(stats != nullptr);
+  const size_t n = queries.size();
+  responses->assign(n, Response{});
+  if (pool == nullptr || pool->threads() == 0 || n <= 1) {
+    std::vector<uint32_t> scratch;
+    for (size_t i = 0; i < n; ++i) {
+      index.AnswerQuery(queries[i], &(*responses)[i], &scratch, stats);
+    }
+    return;
+  }
+
+  // Per-member stat slots keep the workers write-disjoint; the per-thread
+  // scratch amortises allocations across members and batches.
+  std::vector<QueryStats> deltas(n);
+  pool->ParallelFor(n, [&](size_t i) {
+    static thread_local std::vector<uint32_t> scratch;
+    index.AnswerQuery(queries[i], &(*responses)[i], &scratch, &deltas[i]);
+  });
+  for (const QueryStats& delta : deltas) stats->Add(delta);
+}
+
+}  // namespace hdc

@@ -1,0 +1,127 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// The immutable half of the in-memory server: everything LocalServer used
+// to build once and never change — the column store, the per-attribute
+// indexes, and the fixed ranking priorities — extracted into a fully const,
+// freely shareable object. One LocalIndex can back any number of servers
+// or crawl sessions at once (see server/crawl_service.h): every method is
+// const and touches no mutable state, so concurrent evaluation from many
+// threads needs no synchronisation.
+//
+// The mutable half of a conversation (statistics, budgets, logs) lives in
+// whoever holds the index: LocalServer for the classic single-crawl setup,
+// ServerSession for the multi-crawl service.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "query/query.h"
+#include "server/ranking.h"
+#include "server/response.h"
+
+namespace hdc {
+
+class WorkerPool;
+
+struct LocalIndexOptions {
+  /// When true (default), queries are answered through per-attribute indexes
+  /// (postings lists for categorical values, value-sorted arrays for numeric
+  /// ranges): the most selective predicate supplies candidates, the rest are
+  /// verified column-at-a-time. When false, every query is a full scan —
+  /// slow, but an independent oracle used to cross-check the indexed path.
+  bool use_index = true;
+};
+
+/// Per-conversation statistic deltas produced by query evaluation; the
+/// owner folds them into its own counters.
+struct QueryStats {
+  uint64_t queries = 0;
+  uint64_t tuples = 0;
+  uint64_t overflows = 0;
+
+  void Add(const QueryStats& other) {
+    queries += other.queries;
+    tuples += other.tuples;
+    overflows += other.overflows;
+  }
+};
+
+/// Read-only evaluation engine over one Dataset with one fixed ranking.
+class LocalIndex {
+ public:
+  /// `policy` defaults to the paper's random-priority ranking (seeded for
+  /// reproducibility).
+  LocalIndex(std::shared_ptr<const Dataset> dataset, uint64_t k,
+             std::unique_ptr<RankingPolicy> policy = nullptr,
+             LocalIndexOptions options = {});
+
+  uint64_t k() const { return k_; }
+  const SchemaPtr& schema() const { return dataset_->schema(); }
+  const Dataset& dataset() const { return *dataset_; }
+
+  /// True iff Problem 1 is solvable against this index: no point of the
+  /// data space holds more than k tuples (Section 1.1).
+  bool IsCrawlable() const;
+
+  /// Exact |q(D)| (no k-truncation); used by tests as ground truth.
+  /// Scratch-free and thread-safe.
+  uint64_t CountMatches(const Query& query) const;
+
+  /// Evaluation of one query: fills `response`, accumulates into `stats`,
+  /// touches nothing but the read-only indexes. Safe to call concurrently
+  /// with distinct `scratch`/`stats`.
+  void AnswerQuery(const Query& query, Response* response,
+                   std::vector<uint32_t>* scratch, QueryStats* stats) const;
+
+ private:
+  /// Appends all row ids matching `query` to `out`.
+  void CollectMatches(const Query& query, std::vector<uint32_t>* out) const;
+  void CollectMatchesScan(const Query& query,
+                          std::vector<uint32_t>* out) const;
+  void CollectMatchesIndexed(const Query& query,
+                             std::vector<uint32_t>* out) const;
+
+  /// Returns true if row `id` satisfies every predicate except (optionally)
+  /// the one on `skip_attr` (pass num_attributes() to skip none).
+  bool VerifyRow(const Query& query, uint32_t id, size_t skip_attr) const;
+
+  /// True when the predicate on `a` cannot exclude any row: its extent
+  /// covers this dataset's attribute domain (not merely the query
+  /// schema's, which a session schema override may have narrowed).
+  bool CoversDomain(const Query& query, size_t a) const;
+
+  std::shared_ptr<const Dataset> dataset_;
+  uint64_t k_;
+  LocalIndexOptions options_;
+
+  /// priorities_[id]: higher is returned first; ties by id ascending.
+  std::vector<uint64_t> priorities_;
+
+  /// Column-major copy of the data: columns_[attr][id].
+  std::vector<std::vector<Value>> columns_;
+
+  /// Categorical attr -> (value -> sorted row ids). Indexed by value
+  /// (1..U); slot 0 unused.
+  std::vector<std::vector<std::vector<uint32_t>>> postings_;
+
+  /// Numeric attr -> row ids sorted by value, plus the aligned sorted
+  /// values for binary search.
+  std::vector<std::vector<uint32_t>> sorted_ids_;
+  std::vector<std::vector<Value>> sorted_values_;
+};
+
+/// Evaluates `queries` against `index`, fanning members across `pool` when
+/// one is supplied (nullptr or a 0-thread pool evaluates inline on the
+/// calling thread). `responses` is parallel to `queries`; `stats` receives
+/// the whole batch's deltas after all members finish. Responses and
+/// statistics are identical either way — evaluation is pure given the
+/// index. Thread-safe: concurrent calls against one index (even one pool)
+/// are independent.
+void EvaluateBatch(const LocalIndex& index, WorkerPool* pool,
+                   const std::vector<Query>& queries,
+                   std::vector<Response>* responses, QueryStats* stats);
+
+}  // namespace hdc

@@ -1,65 +1,32 @@
 // Copyright (c) hdc authors. Apache-2.0 license.
 #include "server/local_server.h"
 
-#include <algorithm>
-#include <thread>
-
 #include "util/macros.h"
+#include "util/worker_pool.h"
 
 namespace hdc {
 
 LocalServer::LocalServer(std::shared_ptr<const Dataset> dataset, uint64_t k,
                          std::unique_ptr<RankingPolicy> policy,
                          LocalServerOptions options)
-    : dataset_(std::move(dataset)), k_(k), options_(options) {
-  HDC_CHECK(dataset_ != nullptr);
-  HDC_CHECK_MSG(k_ >= 1, "the result limit k must be positive");
+    : LocalServer(std::make_shared<const LocalIndex>(
+                      std::move(dataset), k, std::move(policy),
+                      LocalIndexOptions{options.use_index}),
+                  options) {}
 
-  if (policy == nullptr) policy = MakeRandomPriorityPolicy(0x5eedULL);
-  priorities_ = policy->AssignPriorities(*dataset_);
-  HDC_CHECK(priorities_.size() == dataset_->size());
-
-  const Schema& schema = *dataset_->schema();
-  const size_t d = schema.num_attributes();
-  const size_t n = dataset_->size();
-  HDC_CHECK_MSG(n <= UINT32_MAX, "row ids are 32-bit");
-
-  columns_.assign(d, {});
-  for (size_t a = 0; a < d; ++a) {
-    columns_[a].resize(n);
-    for (size_t i = 0; i < n; ++i) columns_[a][i] = dataset_->tuple(i)[a];
-  }
-
-  if (options_.use_index) {
-    postings_.assign(d, {});
-    sorted_ids_.assign(d, {});
-    sorted_values_.assign(d, {});
-    for (size_t a = 0; a < d; ++a) {
-      if (schema.IsCategorical(a)) {
-        postings_[a].assign(schema.domain_size(a) + 1, {});
-        for (size_t i = 0; i < n; ++i) {
-          postings_[a][static_cast<size_t>(columns_[a][i])].push_back(
-              static_cast<uint32_t>(i));
-        }
-      } else {
-        auto& ids = sorted_ids_[a];
-        ids.resize(n);
-        for (size_t i = 0; i < n; ++i) ids[i] = static_cast<uint32_t>(i);
-        const auto& col = columns_[a];
-        std::sort(ids.begin(), ids.end(), [&col](uint32_t x, uint32_t y) {
-          return col[x] != col[y] ? col[x] < col[y] : x < y;
-        });
-        auto& vals = sorted_values_[a];
-        vals.resize(n);
-        for (size_t i = 0; i < n; ++i) vals[i] = col[ids[i]];
-      }
-    }
+LocalServer::LocalServer(std::shared_ptr<const LocalIndex> index,
+                         LocalServerOptions options)
+    : index_(std::move(index)), options_(options) {
+  HDC_CHECK(index_ != nullptr);
+  HDC_CHECK_MSG(options_.max_parallelism >= 1,
+                "LocalServerOptions::max_parallelism must be >= 1 (it "
+                "bounds the threads of a batch, calling thread included)");
+  if (options_.max_parallelism > 1) {
+    pool_ = std::make_unique<WorkerPool>(options_.max_parallelism - 1);
   }
 }
 
-bool LocalServer::IsCrawlable() const {
-  return dataset_->MaxPointMultiplicity() <= k_;
-}
+LocalServer::~LocalServer() = default;
 
 void LocalServer::ResetStats() {
   queries_served_ = 0;
@@ -67,139 +34,9 @@ void LocalServer::ResetStats() {
   overflow_count_ = 0;
 }
 
-bool LocalServer::VerifyRow(const Query& query, uint32_t id,
-                            size_t skip_attr) const {
-  const size_t d = columns_.size();
-  for (size_t a = 0; a < d; ++a) {
-    if (a == skip_attr) continue;
-    const AttrInterval& ext = query.extent(a);
-    const Value v = columns_[a][id];
-    if (v < ext.lo || v > ext.hi) return false;
-  }
-  return true;
-}
-
-void LocalServer::CollectMatchesScan(const Query& query,
-                                     std::vector<uint32_t>* out) const {
-  const size_t n = dataset_->size();
-  for (size_t i = 0; i < n; ++i) {
-    if (query.Matches(dataset_->tuple(i))) {
-      out->push_back(static_cast<uint32_t>(i));
-    }
-  }
-}
-
-void LocalServer::CollectMatchesIndexed(const Query& query,
-                                        std::vector<uint32_t>* out) const {
-  const Schema& schema = *dataset_->schema();
-  const size_t d = schema.num_attributes();
-  const size_t n = dataset_->size();
-
-  // Pick the most selective non-wildcard predicate as the candidate driver.
-  size_t best_attr = d;
-  size_t best_size = n + 1;
-  for (size_t a = 0; a < d; ++a) {
-    if (query.IsWildcard(a)) continue;
-    const AttrInterval& ext = query.extent(a);
-    size_t size;
-    if (schema.IsCategorical(a)) {
-      // Categorical non-wildcard slots are always pinned.
-      size = postings_[a][static_cast<size_t>(ext.lo)].size();
-    } else {
-      const auto& vals = sorted_values_[a];
-      auto lo_it = std::lower_bound(vals.begin(), vals.end(), ext.lo);
-      auto hi_it = std::upper_bound(vals.begin(), vals.end(), ext.hi);
-      size = static_cast<size_t>(hi_it - lo_it);
-    }
-    if (size < best_size) {
-      best_size = size;
-      best_attr = a;
-    }
-  }
-
-  if (best_attr == d) {
-    // Every predicate is a wildcard: all rows qualify.
-    out->resize(n);
-    for (size_t i = 0; i < n; ++i) (*out)[i] = static_cast<uint32_t>(i);
-    return;
-  }
-
-  const AttrInterval& ext = query.extent(best_attr);
-  if (schema.IsCategorical(best_attr)) {
-    for (uint32_t id : postings_[best_attr][static_cast<size_t>(ext.lo)]) {
-      if (VerifyRow(query, id, best_attr)) out->push_back(id);
-    }
-  } else {
-    const auto& vals = sorted_values_[best_attr];
-    const auto& ids = sorted_ids_[best_attr];
-    size_t lo_idx = static_cast<size_t>(
-        std::lower_bound(vals.begin(), vals.end(), ext.lo) - vals.begin());
-    size_t hi_idx = static_cast<size_t>(
-        std::upper_bound(vals.begin(), vals.end(), ext.hi) - vals.begin());
-    for (size_t i = lo_idx; i < hi_idx; ++i) {
-      uint32_t id = ids[i];
-      if (VerifyRow(query, id, best_attr)) out->push_back(id);
-    }
-    // The driver range is ordered by value; restore id order so responses
-    // are independent of which index drove the query.
-    std::sort(out->begin(), out->end());
-  }
-}
-
-void LocalServer::CollectMatches(const Query& query,
-                                 std::vector<uint32_t>* out) const {
-  out->clear();
-  if (options_.use_index) {
-    CollectMatchesIndexed(query, out);
-  } else {
-    CollectMatchesScan(query, out);
-  }
-}
-
-uint64_t LocalServer::CountMatches(const Query& query) {
-  CollectMatches(query, &scratch_);
-  return scratch_.size();
-}
-
-void LocalServer::AnswerQuery(const Query& query, Response* response,
-                              std::vector<uint32_t>* scratch,
-                              StatsDelta* stats) const {
-  HDC_CHECK(response != nullptr);
-  HDC_CHECK_MSG(query.schema() != nullptr &&
-                    query.schema()->CompatibleWith(*dataset_->schema()),
-                "query schema does not match the server's data space");
-  ++stats->queries;
-
-  CollectMatches(query, scratch);
-  response->tuples.clear();
-
-  const size_t count = scratch->size();
-  response->overflow = count > k_;
-  if (response->overflow) {
-    ++stats->overflows;
-    // Keep the k highest-priority rows (ties by id ascending) — the fixed
-    // ranking a real site would apply.
-    auto better = [this](uint32_t x, uint32_t y) {
-      return priorities_[x] != priorities_[y]
-                 ? priorities_[x] > priorities_[y]
-                 : x < y;
-    };
-    std::nth_element(scratch->begin(), scratch->begin() + k_, scratch->end(),
-                     better);
-    scratch->resize(k_);
-    std::sort(scratch->begin(), scratch->end(), better);
-  }
-
-  response->tuples.reserve(scratch->size());
-  for (uint32_t id : *scratch) {
-    response->tuples.push_back(ReturnedTuple{dataset_->tuple(id), id});
-  }
-  stats->tuples += response->tuples.size();
-}
-
 Status LocalServer::Issue(const Query& query, Response* response) {
-  StatsDelta stats;
-  AnswerQuery(query, response, &scratch_, &stats);
+  QueryStats stats;
+  index_->AnswerQuery(query, response, &scratch_, &stats);
   queries_served_ += stats.queries;
   tuples_returned_ += stats.tuples;
   overflow_count_ += stats.overflows;
@@ -209,41 +46,11 @@ Status LocalServer::Issue(const Query& query, Response* response) {
 Status LocalServer::IssueBatch(const std::vector<Query>& queries,
                                std::vector<Response>* responses) {
   HDC_CHECK(responses != nullptr);
-  const size_t n = queries.size();
-  const size_t workers =
-      std::min<size_t>(options_.max_parallelism > 0 ? options_.max_parallelism
-                                                    : 1,
-                       n);
-  if (workers <= 1) {
-    responses->clear();
-    responses->reserve(n);
-    for (const Query& query : queries) {
-      Response response;
-      Status s = Issue(query, &response);
-      if (!s.ok()) return s;  // unreachable: LocalServer::Issue is total
-      responses->push_back(std::move(response));
-    }
-    return Status::OK();
-  }
-
-  responses->assign(n, Response{});
-  std::vector<StatsDelta> deltas(workers);
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([this, w, workers, &queries, responses, &deltas] {
-      std::vector<uint32_t> scratch;
-      for (size_t i = w; i < queries.size(); i += workers) {
-        AnswerQuery(queries[i], &(*responses)[i], &scratch, &deltas[w]);
-      }
-    });
-  }
-  for (std::thread& t : pool) t.join();
-  for (const StatsDelta& d : deltas) {
-    queries_served_ += d.queries;
-    tuples_returned_ += d.tuples;
-    overflow_count_ += d.overflows;
-  }
+  QueryStats stats;
+  EvaluateBatch(*index_, pool_.get(), queries, responses, &stats);
+  queries_served_ += stats.queries;
+  tuples_returned_ += stats.tuples;
+  overflow_count_ += stats.overflows;
   return Status::OK();
 }
 

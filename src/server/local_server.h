@@ -7,6 +7,12 @@
 // on a remote web server. In a dataset, each tuple is assigned a random
 // priority, so that if a query overflows, always the k tuples with the
 // highest priorities are returned."
+//
+// LocalServer is the single-conversation shape of the split server stack:
+// an immutable, shareable LocalIndex (server/local_index.h) plus this
+// object's own mutable statistics. To serve many concurrent conversations
+// over one index, use CrawlService (server/crawl_service.h) instead —
+// or construct several LocalServers over one shared index.
 #pragma once
 
 #include <cstdint>
@@ -14,52 +20,66 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "server/local_index.h"
 #include "server/ranking.h"
 #include "server/server.h"
 
 namespace hdc {
 
+class WorkerPool;
+
 struct LocalServerOptions {
-  /// When true (default), queries are answered through per-attribute indexes
-  /// (postings lists for categorical values, value-sorted arrays for numeric
-  /// ranges): the most selective predicate supplies candidates, the rest are
-  /// verified column-at-a-time. When false, every query is a full scan —
-  /// slow, but an independent oracle used to cross-check the indexed path.
+  /// See LocalIndexOptions::use_index; false turns every query into a full
+  /// scan, the independent oracle used to cross-check the indexed path.
   bool use_index = true;
 
-  /// Upper bound on worker threads an IssueBatch call may use. 1 (default)
-  /// evaluates batches sequentially on the calling thread; higher values
-  /// fan batch members out across a per-call worker pool. Responses and
-  /// server statistics are identical either way — evaluation is pure given
-  /// the dataset and the fixed ranking.
+  /// Upper bound on threads (including the calling one) an IssueBatch call
+  /// may use. Must be >= 1. 1 (default) evaluates batches sequentially on
+  /// the calling thread; higher values fan batch members out across a
+  /// worker pool owned by this server. Responses and server statistics are
+  /// identical either way — evaluation is pure given the index.
   unsigned max_parallelism = 1;
 };
 
 /// Serves a Dataset through the top-k interface.
 class LocalServer : public HiddenDbServer {
  public:
-  /// `policy` defaults to the paper's random-priority ranking (seeded for
-  /// reproducibility).
+  /// Builds a private index. `policy` defaults to the paper's
+  /// random-priority ranking (seeded for reproducibility).
   LocalServer(std::shared_ptr<const Dataset> dataset, uint64_t k,
               std::unique_ptr<RankingPolicy> policy = nullptr,
               LocalServerOptions options = {});
 
+  /// Shares an existing index: the conversation state (statistics) is this
+  /// server's own, the evaluation structures are `index`'s.
+  explicit LocalServer(std::shared_ptr<const LocalIndex> index,
+                       LocalServerOptions options = {});
+
+  ~LocalServer() override;  // out of line: WorkerPool is forward-declared
+
   Status Issue(const Query& query, Response* response) override;
 
-  /// Native batch execution: members are hash-free independent lookups, so
-  /// they are simply sharded across up to `max_parallelism` worker threads.
-  /// Responses and statistics match the sequential conversation exactly.
+  /// Native batch execution: members are independent lookups, dealt across
+  /// the worker pool (up to max_parallelism threads in total). Responses
+  /// and statistics match the sequential conversation exactly.
   Status IssueBatch(const std::vector<Query>& queries,
                     std::vector<Response>* responses) override;
 
-  uint64_t k() const override { return k_; }
-  const SchemaPtr& schema() const override { return dataset_->schema(); }
+  uint64_t k() const override { return index_->k(); }
+  const SchemaPtr& schema() const override { return index_->schema(); }
+  unsigned batch_parallelism() const override {
+    return options_.max_parallelism;
+  }
 
-  const Dataset& dataset() const { return *dataset_; }
+  const Dataset& dataset() const { return index_->dataset(); }
+
+  /// The shared evaluation half; hand to another LocalServer or a
+  /// CrawlService to serve further conversations over the same data.
+  const std::shared_ptr<const LocalIndex>& index() const { return index_; }
 
   /// True iff Problem 1 is solvable against this server: no point of the
   /// data space holds more than k tuples (Section 1.1).
-  bool IsCrawlable() const;
+  bool IsCrawlable() const { return index_->IsCrawlable(); }
 
   // --- Introspection for tests & benches -------------------------------
 
@@ -72,53 +92,19 @@ class LocalServer : public HiddenDbServer {
   void ResetStats();
 
   /// Exact |q(D)| (no k-truncation); used by tests as ground truth.
-  uint64_t CountMatches(const Query& query);
+  uint64_t CountMatches(const Query& query) const {
+    return index_->CountMatches(query);
+  }
 
  private:
-  /// Per-call statistic deltas, accumulated thread-locally during a batch
-  /// and folded into the server counters after the workers join.
-  struct StatsDelta {
-    uint64_t queries = 0;
-    uint64_t tuples = 0;
-    uint64_t overflows = 0;
-  };
-
-  /// Pure evaluation of one query: fills `response`, accumulates into
-  /// `stats`, touches no server state beyond the read-only indexes. Safe to
-  /// call concurrently with distinct `scratch`/`stats`.
-  void AnswerQuery(const Query& query, Response* response,
-                   std::vector<uint32_t>* scratch, StatsDelta* stats) const;
-
-  /// Appends all row ids matching `query` to `out`.
-  void CollectMatches(const Query& query, std::vector<uint32_t>* out) const;
-  void CollectMatchesScan(const Query& query,
-                          std::vector<uint32_t>* out) const;
-  void CollectMatchesIndexed(const Query& query,
-                             std::vector<uint32_t>* out) const;
-
-  /// Returns true if row `id` satisfies every predicate except (optionally)
-  /// the one on `skip_attr` (pass num_attributes() to skip none).
-  bool VerifyRow(const Query& query, uint32_t id, size_t skip_attr) const;
-
-  std::shared_ptr<const Dataset> dataset_;
-  uint64_t k_;
+  std::shared_ptr<const LocalIndex> index_;
   LocalServerOptions options_;
 
-  /// priorities_[id]: higher is returned first; ties by id ascending.
-  std::vector<uint64_t> priorities_;
+  /// max_parallelism - 1 worker threads (the calling thread is the final
+  /// lane); null when max_parallelism == 1.
+  std::unique_ptr<WorkerPool> pool_;
 
-  /// Column-major copy of the data: columns_[attr][id].
-  std::vector<std::vector<Value>> columns_;
-
-  /// Categorical attr -> (value -> sorted row ids). Indexed by value
-  /// (1..U); slot 0 unused.
-  std::vector<std::vector<std::vector<uint32_t>>> postings_;
-
-  /// Numeric attr -> row ids sorted by value, plus the aligned sorted
-  /// values for binary search.
-  std::vector<std::vector<uint32_t>> sorted_ids_;
-  std::vector<std::vector<Value>> sorted_values_;
-
+  /// Issue-path scratch; IssueBatch workers use their own.
   std::vector<uint32_t> scratch_;
 
   uint64_t queries_served_ = 0;

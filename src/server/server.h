@@ -67,6 +67,12 @@ class HiddenDbServer {
   /// The server's result-size limit k (e.g. 1000 for Yahoo! Autos).
   virtual uint64_t k() const = 0;
 
+  /// Hint: how many batch members the implementation can evaluate
+  /// concurrently (1 means batching cannot shorten wall-clock time).
+  /// Adaptive batch sizing (CrawlOptions::batch_size == 0) caps its round
+  /// size here; decorators forward the wrapped server's value.
+  virtual unsigned batch_parallelism() const { return 1; }
+
   /// The data space the server exposes. A real crawler learns this from the
   /// search form (Section 1.3, "Domain values").
   virtual const SchemaPtr& schema() const = 0;

@@ -1,0 +1,79 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "util/worker_pool.h"
+
+#include <algorithm>
+
+namespace hdc {
+
+WorkerPool::WorkerPool(unsigned threads) {
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    shutting_down_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void WorkerPool::RunShard(Loop* loop) {
+  for (;;) {
+    size_t i;
+    {
+      std::lock_guard<std::mutex> lock(loop->mutex);
+      if (loop->next >= loop->n) return;
+      i = loop->next++;
+    }
+    (*loop->fn)(i);
+    {
+      std::lock_guard<std::mutex> lock(loop->mutex);
+      ++loop->done;
+      if (loop->done == loop->n) loop->done_cv.notify_all();
+    }
+  }
+}
+
+void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto loop = std::make_shared<Loop>();
+  loop->fn = &fn;
+  loop->n = n;
+  // The caller takes one shard itself, so at most n - 1 helpers are useful.
+  const size_t helpers = std::min<size_t>(workers_.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (size_t i = 0; i < helpers; ++i) queue_.push_back(loop);
+  }
+  queue_cv_.notify_all();
+
+  RunShard(loop.get());
+  std::unique_lock<std::mutex> lock(loop->mutex);
+  loop->done_cv.wait(lock, [&] { return loop->done == loop->n; });
+}
+
+void WorkerPool::WorkerMain() {
+  for (;;) {
+    std::shared_ptr<Loop> loop;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down, queue drained
+      loop = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RunShard(loop.get());
+  }
+}
+
+}  // namespace hdc

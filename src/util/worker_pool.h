@@ -1,0 +1,65 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// A small fixed-size thread pool built for batch query evaluation: many
+// callers (one per crawl session) concurrently submit index-parallel loops
+// and block until their own loop is done. Work is dealt dynamically — each
+// loop carries an atomic cursor that idle workers and the calling thread
+// race on — so one slow batch member never strands the rest of the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hdc {
+
+/// Fixed set of worker threads plus the calling thread. ParallelFor may be
+/// invoked concurrently from any number of threads; the loops share the
+/// workers fairly (FIFO admission, dynamic item dealing).
+class WorkerPool {
+ public:
+  /// Spawns `threads` workers. 0 is valid: every ParallelFor then runs
+  /// entirely inline on the calling thread.
+  explicit WorkerPool(unsigned threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  unsigned threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(i) for every i in [0, n) and returns when all n calls have
+  /// completed. The calling thread always participates, so total
+  /// parallelism for one loop is at most threads() + 1. `fn` must be safe
+  /// to invoke concurrently for distinct i.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  /// Shared state of one ParallelFor call.
+  struct Loop {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    size_t next = 0;  // guarded by mutex
+    size_t done = 0;  // guarded by mutex
+  };
+
+  /// Claims and runs items of `loop` until its cursor is exhausted.
+  static void RunShard(Loop* loop);
+
+  void WorkerMain();
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Loop>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hdc

@@ -1,0 +1,168 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Multi-crawl stress: many concurrent sessions (mixed algorithms, budgets,
+// batch shapes) over one CrawlService must each produce exactly the crawl
+// they would have produced alone. Built to run under ThreadSanitizer (the
+// CI concurrency leg): the sessions share only the const LocalIndex and
+// the service worker pool.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/crawlers.h"
+#include "core/multi_crawl.h"
+#include "gen/synthetic.h"
+#include "server/crawl_service.h"
+
+namespace hdc {
+namespace {
+
+std::shared_ptr<const Dataset> StressData() {
+  SyntheticCategoricalOptions gen;
+  gen.domain_sizes = {6, 5, 4};
+  gen.n = 1500;
+  gen.seed = 77;
+  return std::make_shared<const Dataset>(GenerateSyntheticCategorical(gen));
+}
+
+/// The mixed-algorithm job set: 6 sessions over one categorical space —
+/// every categorical-capable algorithm, plus duplicates with different
+/// batch shapes so several batch pipelines hit the shared pool at once.
+std::vector<MultiCrawlJob> StressJobs() {
+  std::vector<MultiCrawlJob> jobs(6);
+  jobs[0].label = "dfs/seq";
+  jobs[0].crawler = std::make_shared<DfsCrawler>();
+  jobs[1].label = "dfs/batch8";
+  jobs[1].crawler = std::make_shared<DfsCrawler>();
+  jobs[1].crawl.batch_size = 8;
+  jobs[2].label = "slice/eager";
+  jobs[2].crawler = std::make_shared<SliceCoverCrawler>(/*lazy=*/false);
+  jobs[2].crawl.batch_size = 4;
+  jobs[3].label = "slice/lazy";
+  jobs[3].crawler = std::make_shared<SliceCoverCrawler>(/*lazy=*/true);
+  jobs[3].crawl.batch_size = 0;  // auto
+  jobs[4].label = "hybrid";
+  jobs[4].crawler = std::make_shared<HybridCrawler>();
+  jobs[4].crawl.batch_size = 0;  // auto
+  jobs[5].label = "slice/lazy-narrow";
+  jobs[5].crawler = std::make_shared<SliceCoverCrawler>(/*lazy=*/true);
+  jobs[5].crawl.batch_size = 16;
+  return jobs;
+}
+
+// Sequential ground truth, then the same jobs concurrently: per-session
+// query counts and extractions must be identical.
+TEST(MultiCrawlTest, ConcurrentSessionsMatchSequentialRuns) {
+  auto data = StressData();
+  const uint64_t k = std::max<uint64_t>(8, data->MaxPointMultiplicity());
+
+  // Ground truth: each job alone, one lane, over its own service.
+  std::vector<uint64_t> expected_queries;
+  for (const MultiCrawlJob& job : StressJobs()) {
+    CrawlService solo(data, k);
+    auto outcomes = RunMultiCrawl(&solo, {job}, /*max_concurrent=*/1);
+    ASSERT_TRUE(outcomes[0].result.status.ok())
+        << outcomes[0].label << ": "
+        << outcomes[0].result.status.ToString();
+    EXPECT_TRUE(Dataset::MultisetEquals(outcomes[0].result.extracted, *data))
+        << outcomes[0].label;
+    expected_queries.push_back(outcomes[0].session_queries);
+  }
+
+  // All six at once over one service with a shared 4-lane pool.
+  CrawlServiceOptions options;
+  options.max_parallelism = 4;
+  CrawlService service(data, k, nullptr, options);
+  std::vector<MultiCrawlJob> jobs = StressJobs();
+  auto outcomes = RunMultiCrawl(&service, jobs);
+
+  ASSERT_EQ(outcomes.size(), jobs.size());
+  EXPECT_EQ(service.sessions_created(), jobs.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].result.status.ok())
+        << outcomes[i].label << ": "
+        << outcomes[i].result.status.ToString();
+    EXPECT_EQ(outcomes[i].session_queries, expected_queries[i])
+        << outcomes[i].label
+        << ": a concurrent session must be billed exactly its own "
+        << "sequential cost";
+    EXPECT_EQ(outcomes[i].result.queries_issued, expected_queries[i])
+        << outcomes[i].label;
+    EXPECT_TRUE(Dataset::MultisetEquals(outcomes[i].result.extracted, *data))
+        << outcomes[i].label;
+  }
+}
+
+// Budgets bite per session: concurrent budgeted sessions stop at their own
+// quota while unmetered neighbours complete.
+TEST(MultiCrawlTest, ConcurrentBudgetsArePerSession) {
+  auto data = StressData();
+  const uint64_t k = std::max<uint64_t>(8, data->MaxPointMultiplicity());
+  CrawlServiceOptions options;
+  options.max_parallelism = 3;
+  CrawlService service(data, k, nullptr, options);
+
+  std::vector<MultiCrawlJob> jobs(4);
+  jobs[0].label = "metered-20";
+  jobs[0].crawler = std::make_shared<DfsCrawler>();
+  jobs[0].session.max_queries = 20;
+  jobs[1].label = "metered-35";
+  jobs[1].crawler = std::make_shared<SliceCoverCrawler>(true);
+  jobs[1].session.max_queries = 35;
+  jobs[1].crawl.batch_size = 8;
+  jobs[2].label = "free-dfs";
+  jobs[2].crawler = std::make_shared<DfsCrawler>();
+  jobs[2].crawl.batch_size = 4;
+  jobs[3].label = "free-hybrid";
+  jobs[3].crawler = std::make_shared<HybridCrawler>();
+
+  auto outcomes = RunMultiCrawl(&service, jobs);
+  EXPECT_TRUE(outcomes[0].result.status.IsResourceExhausted());
+  EXPECT_EQ(outcomes[0].session_queries, 20u);
+  EXPECT_TRUE(outcomes[1].result.status.IsResourceExhausted());
+  EXPECT_EQ(outcomes[1].session_queries, 35u);
+  for (size_t i : {size_t{2}, size_t{3}}) {
+    ASSERT_TRUE(outcomes[i].result.status.ok()) << outcomes[i].label;
+    EXPECT_TRUE(Dataset::MultisetEquals(outcomes[i].result.extracted, *data))
+        << outcomes[i].label;
+  }
+}
+
+// Concurrent audit logs stay per-session and faithful: each transcript has
+// exactly the session's answered queries, uncontaminated by neighbours.
+TEST(MultiCrawlTest, ConcurrentAuditLogsAreFaithful) {
+  auto data = StressData();
+  const uint64_t k = std::max<uint64_t>(8, data->MaxPointMultiplicity());
+  CrawlServiceOptions options;
+  options.max_parallelism = 4;
+  CrawlService service(data, k, nullptr, options);
+
+  std::vector<std::ostringstream> logs(4);
+  std::vector<MultiCrawlJob> jobs(4);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].label = "logged-" + std::to_string(i);
+    jobs[i].crawler = std::make_shared<DfsCrawler>();
+    jobs[i].crawl.batch_size = static_cast<uint32_t>(i * 4);  // 0,4,8,12
+    jobs[i].session.query_log = &logs[i];
+  }
+  auto outcomes = RunMultiCrawl(&service, jobs);
+
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].result.status.ok()) << outcomes[i].label;
+    std::istringstream in(logs[i].str());
+    std::string line;
+    uint64_t lines = 0;
+    while (std::getline(in, line)) {
+      ++lines;
+      // Every line begins with its 1-based per-session sequence index.
+      EXPECT_EQ(line.substr(0, line.find('\t')), std::to_string(lines));
+    }
+    EXPECT_EQ(lines, outcomes[i].session_queries) << outcomes[i].label;
+  }
+}
+
+}  // namespace
+}  // namespace hdc

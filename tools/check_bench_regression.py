@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+# Copyright (c) hdc authors. Apache-2.0 license.
+"""Bench regression gate.
+
+Compares freshly produced bench CSVs against the checked-in baselines in
+bench_results/baseline/. The crawls behind the figure benches are fully
+deterministic (fixed datasets, fixed ranking seeds), so *query-cost* cells
+must match the baseline exactly: any drift is a hard failure — it means an
+algorithm's conversation changed. Wall-time-like columns (header containing
+"seconds", "wall" or "time") are machine noise: drift there only warns.
+
+Usage:
+    tools/check_bench_regression.py \
+        [--baseline bench_results/baseline] [--current bench_results] \
+        [--time-tolerance 0.25]
+
+Exit status: 0 clean (warnings allowed), 1 on any hard failure.
+"""
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+
+def is_time_column(header: str) -> bool:
+    h = header.lower()
+    return "seconds" in h or "wall" in h or "time" in h
+
+
+def as_float(cell: str):
+    try:
+        return float(cell)
+    except ValueError:
+        return None
+
+
+def read_csv(path: Path):
+    with path.open(newline="") as f:
+        rows = list(csv.reader(f))
+    if not rows:
+        return [], []
+    return rows[0], rows[1:]
+
+
+def compare_file(baseline: Path, current: Path, time_tolerance: float,
+                 failures: list, warnings: list) -> None:
+    name = baseline.name
+    base_header, base_rows = read_csv(baseline)
+    cur_header, cur_rows = read_csv(current)
+
+    if base_header != cur_header:
+        failures.append(f"{name}: header changed "
+                        f"{base_header} -> {cur_header}")
+        return
+    if len(base_rows) != len(cur_rows):
+        failures.append(f"{name}: row count changed "
+                        f"{len(base_rows)} -> {len(cur_rows)}")
+        return
+
+    for row_idx, (base_row, cur_row) in enumerate(zip(base_rows, cur_rows)):
+        if len(base_row) != len(cur_row):
+            failures.append(f"{name} row {row_idx + 1}: cell count changed")
+            continue
+        for col_idx, (base_cell, cur_cell) in enumerate(
+                zip(base_row, cur_row)):
+            if base_cell == cur_cell:
+                continue
+            header = (base_header[col_idx]
+                      if col_idx < len(base_header) else f"col{col_idx}")
+            where = f"{name} row {row_idx + 1} [{header}]"
+            base_num, cur_num = as_float(base_cell), as_float(cur_cell)
+            if is_time_column(header):
+                if base_num is None or cur_num is None:
+                    warnings.append(f"{where}: {base_cell!r} -> {cur_cell!r}")
+                    continue
+                denom = max(abs(base_num), 1e-12)
+                drift = abs(cur_num - base_num) / denom
+                if drift > time_tolerance:
+                    warnings.append(
+                        f"{where}: wall-time drift {drift:.1%} "
+                        f"({base_cell} -> {cur_cell})")
+                continue
+            # Everything else is a deterministic measurement — query costs,
+            # extraction sizes, bound ratios. Exact mismatch is a failure.
+            failures.append(f"{where}: {base_cell!r} -> {cur_cell!r} "
+                            "(query-cost drift)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="bench_results/baseline",
+                        type=Path)
+    parser.add_argument("--current", default="bench_results", type=Path)
+    parser.add_argument("--time-tolerance", default=0.25, type=float,
+                        help="relative wall-time drift that triggers a "
+                             "warning (default 0.25)")
+    args = parser.parse_args()
+
+    if not args.baseline.is_dir():
+        print(f"error: baseline directory {args.baseline} not found",
+              file=sys.stderr)
+        return 1
+
+    failures, warnings = [], []
+    compared = 0
+    for baseline in sorted(args.baseline.glob("*.csv")):
+        current = args.current / baseline.name
+        if not current.is_file():
+            failures.append(f"{baseline.name}: missing from {args.current} "
+                            "(bench not run or renamed)")
+            continue
+        compared += 1
+        compare_file(baseline, current, args.time_tolerance, failures,
+                     warnings)
+
+    if args.current.is_dir():
+        baseline_names = {b.name for b in args.baseline.glob("*.csv")}
+        for extra in sorted(args.current.glob("*.csv")):
+            if extra.name not in baseline_names:
+                warnings.append(
+                    f"{extra.name}: present in {args.current} but has no "
+                    f"baseline — new bench? commit its CSV to "
+                    f"{args.baseline} to put it under the gate")
+
+    for w in warnings:
+        print(f"WARNING: {w}")
+    for f in failures:
+        print(f"FAIL: {f}")
+    print(f"compared {compared} CSV(s) against {args.baseline}: "
+          f"{len(failures)} failure(s), {len(warnings)} warning(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
