@@ -6,10 +6,15 @@
 // the indexed evaluator must beat the scan evaluator by a wide margin.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "gen/nsf_gen.h"
 #include "gen/yahoo_gen.h"
+#include "server/crawl_service.h"
 #include "server/local_server.h"
 #include "util/random.h"
 
@@ -112,6 +117,90 @@ void BM_YahooBatchedIssue(benchmark::State& state) {
 }
 BENCHMARK(BM_YahooBatchedIssue)
     ->ArgsProduct({{16, 64, 256}, {1, 2, 4, 8}})
+    ->UseRealTime();
+
+/// Contended multi-session scenario: one *wide* session flooding the
+/// shared pool with large batches while several *narrow* tenants issue
+/// small ones, all at once over one CrawlService. range(0) = the narrow
+/// sessions' scheduling weight, range(1) = the wide session's lane cap
+/// (0 = uncapped) — {1, 0} is the unfair baseline, {4, 1} the admission
+/// config a service would run. Reported counters are the fairness story:
+/// the narrow sessions' worst lane queue wait vs the wide session's, and
+/// how often every narrow tenant finished while the wide crawl was still
+/// running (narrow_first = 1.0 means always).
+void BM_ContendedMultiSession(benchmark::State& state) {
+  auto data = YahooData();
+  const unsigned narrow_weight = static_cast<unsigned>(state.range(0));
+  const unsigned wide_cap = static_cast<unsigned>(state.range(1));
+  constexpr unsigned kNarrowSessions = 3;
+  constexpr size_t kWideBatch = 256, kWideRounds = 16;
+  constexpr size_t kNarrowBatch = 4, kNarrowRounds = 64;
+
+  CrawlServiceOptions service_options;
+  service_options.max_parallelism = 4;
+  double narrow_wait_max = 0, wide_wait_max = 0;
+  uint64_t narrow_first = 0, total_queries = 0;
+  for (auto _ : state) {
+    CrawlService service(data, 1000, nullptr, service_options);
+    std::atomic<bool> wide_running{true};
+    std::atomic<unsigned> narrow_finished_early{0};
+    double iteration_narrow_max = 0, iteration_wide_max = 0;
+
+    auto run_session = [&](unsigned weight, unsigned cap, size_t batch,
+                           size_t rounds, uint64_t seed, double* wait_max,
+                           bool narrow) {
+      SessionOptions options;
+      options.weight = weight;
+      options.max_lane_parallelism = cap;
+      auto session = service.CreateSession(options);
+      Rng rng(seed);
+      std::vector<Query> queries;
+      queries.reserve(batch);
+      std::vector<Response> responses;
+      for (size_t r = 0; r < rounds; ++r) {
+        queries.clear();
+        for (size_t i = 0; i < batch; ++i) {
+          queries.push_back(RandomYahooQuery(&rng, data->schema()));
+        }
+        benchmark::DoNotOptimize(session->IssueBatch(queries, &responses));
+      }
+      if (narrow && wide_running.load()) ++narrow_finished_early;
+      *wait_max = session->lane_stats().queue_wait_max_seconds;
+    };
+
+    std::vector<std::thread> threads;
+    std::vector<double> narrow_waits(kNarrowSessions, 0);
+    threads.emplace_back([&] {
+      run_session(1, wide_cap, kWideBatch, kWideRounds, 7, &iteration_wide_max,
+                  false);
+      wide_running.store(false);
+    });
+    for (unsigned i = 0; i < kNarrowSessions; ++i) {
+      threads.emplace_back([&, i] {
+        run_session(narrow_weight, 0, kNarrowBatch, kNarrowRounds, 100 + i,
+                    &narrow_waits[i], true);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+
+    for (double w : narrow_waits) {
+      iteration_narrow_max = std::max(iteration_narrow_max, w);
+    }
+    narrow_wait_max = std::max(narrow_wait_max, iteration_narrow_max);
+    wide_wait_max = std::max(wide_wait_max, iteration_wide_max);
+    if (narrow_finished_early.load() == kNarrowSessions) ++narrow_first;
+    total_queries += service.MetricsSnapshot().queries_served;
+  }
+  state.counters["narrow_wait_max_s"] = narrow_wait_max;
+  state.counters["wide_wait_max_s"] = wide_wait_max;
+  state.counters["narrow_first"] =
+      static_cast<double>(narrow_first) /
+      static_cast<double>(std::max<uint64_t>(1, state.iterations()));
+  state.SetItemsProcessed(static_cast<int64_t>(total_queries));
+}
+BENCHMARK(BM_ContendedMultiSession)
+    ->Args({1, 0})
+    ->Args({4, 1})
     ->UseRealTime();
 
 void BM_ServerConstruction(benchmark::State& state) {

@@ -6,18 +6,46 @@
 // deployment inverts that: one process holds the read-only index and many
 // users crawl it concurrently, each with their own algorithm, query
 // budget, and audit log. This example stands up a CrawlService over a
-// numeric dataset, then runs four sessions at once — three algorithms, a
-// server-side quota, and a narrowed schema view — and shows that every
-// session's query bill is its own.
+// numeric dataset, then runs a deliberately *contended* scenario — one
+// wide full-space crawl next to narrower and metered tenants, all drawing
+// on the same worker pool — and shows (a) that every session's query bill
+// is its own, and (b) the service-operator view: the MetricsSnapshot
+// stream of sessions active, pool occupancy, queries/s, and per-session
+// queue wait that the fair per-lane scheduler keeps bounded.
 //
 //   $ ./multi_crawl
 #include <cstdio>
+#include <mutex>
 #include <sstream>
+#include <vector>
 
 #include "core/crawlers.h"
 #include "core/multi_crawl.h"
 #include "gen/synthetic.h"
 #include "server/crawl_service.h"
+
+namespace {
+
+void PrintSnapshot(const hdc::CrawlServiceMetrics& m) {
+  std::printf(
+      "  [metrics] sessions %llu/%llu active, pool %u/%u busy, "
+      "%llu queries (%.0f q/s)\n",
+      static_cast<unsigned long long>(m.sessions_active),
+      static_cast<unsigned long long>(m.sessions_created), m.pool_busy,
+      m.pool_threads, static_cast<unsigned long long>(m.queries_served),
+      m.queries_per_second);
+  for (const hdc::SessionMetrics& s : m.sessions) {
+    std::printf(
+        "  [metrics]   %-28s weight=%u queries=%-6llu batches=%-5llu "
+        "wait total=%.3fms max=%.3fms\n",
+        s.label.c_str(), s.weight,
+        static_cast<unsigned long long>(s.queries_served),
+        static_cast<unsigned long long>(s.batches_submitted),
+        s.queue_wait_total_seconds * 1e3, s.queue_wait_max_seconds * 1e3);
+  }
+}
+
+}  // namespace
 
 int main() {
   using namespace hdc;
@@ -32,7 +60,7 @@ int main() {
       std::make_shared<const Dataset>(GenerateSyntheticNumeric(gen));
 
   // 2. One service: a shared immutable index (k = 100) plus a worker pool
-  //    all sessions draw from.
+  //    all sessions draw from, dealt fairly across per-session lanes.
   CrawlServiceOptions service_options;
   service_options.max_parallelism = 4;
   CrawlService service(dataset, /*k=*/100, nullptr, service_options);
@@ -40,9 +68,12 @@ int main() {
               dataset->size(), dataset->schema()->ToString().c_str(),
               service.max_parallelism());
 
-  // 3. Four concurrent crawls: different algorithms, budgets, batch
-  //    shapes, and one narrowed view of the data space (attribute 0
-  //    restricted to the lower half — e.g. a tenant's slice).
+  // 3. The contended scenario: four concurrent crawls — a wide full-space
+  //    crawl flooding the pool with large batches, a narrowed tenant slice
+  //    (attribute 0 restricted to the lower half) given twice the
+  //    scheduling weight, an audited archiver, and a metered guest. The
+  //    wide session is capped to one pool worker so it cannot monopolize
+  //    the service however big its batches are.
   std::ostringstream audit;
   std::vector<AttributeSpec> narrowed_attrs;
   for (size_t i = 0; i < dataset->schema()->num_attributes(); ++i) {
@@ -52,9 +83,10 @@ int main() {
   SchemaPtr narrowed = Schema::Make(std::move(narrowed_attrs));
 
   std::vector<MultiCrawlJob> jobs(4);
-  jobs[0].label = "analyst/rank-shrink";
+  jobs[0].label = "wide/rank-shrink";
   jobs[0].crawler = std::make_shared<RankShrink>();
   jobs[0].crawl.batch_size = 0;  // auto: frontier width x service lanes
+  jobs[0].session.max_lane_parallelism = 1;  // admission cap
 
   jobs[1].label = "archiver/binary-shrink";
   jobs[1].crawler = std::make_shared<BinaryShrink>();
@@ -68,18 +100,31 @@ int main() {
   jobs[3].label = "tenant/rank-shrink-narrowed";
   jobs[3].crawler = std::make_shared<RankShrink>();
   jobs[3].session.schema_override = narrowed;
+  jobs[3].session.weight = 2;  // twice the scheduling share
 
-  std::vector<MultiCrawlOutcome> outcomes = RunMultiCrawl(&service, jobs);
+  // Stream a few live snapshots while the jobs run (one service-operator
+  // line per sample), then print the final state.
+  std::mutex print_mutex;
+  MultiCrawlOptions run_options;
+  run_options.metrics_period = std::chrono::milliseconds(10);
+  run_options.on_metrics = [&](const CrawlServiceMetrics& m) {
+    std::lock_guard<std::mutex> lock(print_mutex);
+    PrintSnapshot(m);
+  };
+  std::vector<MultiCrawlOutcome> outcomes =
+      RunMultiCrawl(&service, jobs, run_options);
 
   // 4. Per-session accounting: each crawl paid for exactly its own
-  //    conversation.
+  //    conversation, and its lane's queue wait stayed bounded.
+  std::printf("\n");
   for (const MultiCrawlOutcome& out : outcomes) {
-    std::printf("%-30s %-50s queries=%-6llu extracted=%zu\n",
-                out.label.c_str(),
-                out.result.status.ok() ? "complete"
-                                       : out.result.status.ToString().c_str(),
-                static_cast<unsigned long long>(out.session_queries),
-                out.result.extracted.size());
+    std::printf(
+        "%-30s %-40s queries=%-6llu extracted=%-6zu max wait=%.3fms\n",
+        out.label.c_str(),
+        out.result.status.ok() ? "complete"
+                               : out.result.status.ToString().c_str(),
+        static_cast<unsigned long long>(out.session_queries),
+        out.result.extracted.size(), out.queue_wait_max_seconds * 1e3);
   }
   std::printf("\naudit transcript of '%s': %llu lines\n",
               outcomes[1].label.c_str(),

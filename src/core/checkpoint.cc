@@ -200,8 +200,21 @@ Status LoadCheckpoint(std::istream* in, SchemaPtr schema,
   HDC_RETURN_IF_ERROR(NextLine(in, &line));
   HDC_RETURN_IF_ERROR(ExpectTagged(line, "schema", &rest));
   if (rest != FormatSchemaSpec(*schema)) {
-    return Status::InvalidArgument(
-        "checkpoint was taken against a different schema: " + rest);
+    // Not the exact schema — accept a *compatible* recorded one (same
+    // attributes, kinds and categorical domains; numeric bounds may
+    // differ). This is the session-resume case: a crawl checkpointed under
+    // a narrowed schema_override (e.g. bounds tightened by domain
+    // discovery) must be restorable when the caller only holds the
+    // service's full schema. The state is rebuilt against the *recorded*
+    // schema — the frontier's extents and the partial extraction only make
+    // sense in the space the crawl actually ran in.
+    SchemaPtr recorded;
+    Status parsed = ParseSchemaSpec(rest, &recorded);
+    if (!parsed.ok() || !recorded->CompatibleWith(*schema)) {
+      return Status::InvalidArgument(
+          "checkpoint was taken against an incompatible schema: " + rest);
+    }
+    schema = std::move(recorded);
   }
 
   std::shared_ptr<CrawlState> state = MakeEmptyState(algorithm, schema);

@@ -37,8 +37,13 @@ Status SaveCheckpointFile(const CrawlState& state, const Schema& schema,
                           const std::string& path);
 
 /// Restores a checkpoint produced by SaveCheckpoint. `schema` must match
-/// the recorded one exactly (the crawl is only meaningful against the same
-/// data space).
+/// the recorded one exactly, or be *compatible* with it (same attributes,
+/// kinds and categorical domains — numeric bounds may differ, see
+/// Schema::CompatibleWith). The compatible case covers resuming a crawl
+/// checkpointed under a narrowed session schema_override when the caller
+/// holds only the service's full schema: the restored state is then bound
+/// to the checkpoint's *recorded* schema, the space the crawl actually ran
+/// in, so resume it against a session presenting that same view.
 Status LoadCheckpoint(std::istream* in, SchemaPtr schema,
                       std::shared_ptr<CrawlState>* out);
 Status LoadCheckpointFile(const std::string& path, SchemaPtr schema,

@@ -3,6 +3,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "util/macros.h"
@@ -11,7 +13,7 @@ namespace hdc {
 
 std::vector<MultiCrawlOutcome> RunMultiCrawl(
     CrawlService* service, const std::vector<MultiCrawlJob>& jobs,
-    unsigned max_concurrent) {
+    const MultiCrawlOptions& options) {
   HDC_CHECK(service != nullptr);
   for (const MultiCrawlJob& job : jobs) {
     HDC_CHECK_MSG(job.crawler != nullptr, "every job needs a crawler");
@@ -34,28 +36,75 @@ std::vector<MultiCrawlOutcome> RunMultiCrawl(
       const size_t i = cursor.fetch_add(1);
       if (i >= jobs.size()) return;
       const MultiCrawlJob& job = jobs[i];
-      std::unique_ptr<ServerSession> session =
-          service->CreateSession(job.session);
       MultiCrawlOutcome& out = outcomes[i];
       out.label = job.label.empty() ? job.crawler->name() : job.label;
+      // The job's display label doubles as the session label (unless the
+      // caller picked one), so metrics snapshots name the tenants.
+      SessionOptions session_options = job.session;
+      if (session_options.label.empty()) session_options.label = out.label;
+      std::unique_ptr<ServerSession> session =
+          service->CreateSession(std::move(session_options));
       out.result = job.crawler->Crawl(session.get(), job.crawl);
       out.session_queries = session->queries_served();
       out.session_tuples = session->tuples_returned();
       out.session_overflows = session->overflow_count();
+      const WorkerPool::LaneStats stats = session->lane_stats();
+      out.session_batches = stats.loops_submitted;
+      out.queue_wait_total_seconds = stats.queue_wait_total_seconds;
+      out.queue_wait_max_seconds = stats.queue_wait_max_seconds;
     }
   };
 
+  // The monitor samples service metrics on its own thread while the jobs
+  // run; `done` + the cv bound how long it outlives the last job.
+  std::thread monitor;
+  std::mutex monitor_mutex;
+  std::condition_variable monitor_cv;
+  bool done = false;
+  if (options.on_metrics) {
+    monitor = std::thread([&] {
+      std::unique_lock<std::mutex> lock(monitor_mutex);
+      for (;;) {
+        monitor_cv.wait_for(lock, options.metrics_period);
+        if (done) return;
+        lock.unlock();
+        options.on_metrics(service->MetricsSnapshot());
+        lock.lock();
+      }
+    });
+  }
+
   const size_t lanes = std::min<size_t>(
-      jobs.size(), max_concurrent > 0 ? max_concurrent : jobs.size());
+      jobs.size(),
+      options.max_concurrent > 0 ? options.max_concurrent : jobs.size());
   if (lanes <= 1) {
     lane();
-    return outcomes;
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(lanes);
+    for (size_t t = 0; t < lanes; ++t) threads.emplace_back(lane);
+    for (std::thread& t : threads) t.join();
   }
-  std::vector<std::thread> threads;
-  threads.reserve(lanes);
-  for (size_t t = 0; t < lanes; ++t) threads.emplace_back(lane);
-  for (std::thread& t : threads) t.join();
+
+  if (monitor.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(monitor_mutex);
+      done = true;
+    }
+    monitor_cv.notify_all();
+    monitor.join();
+    // One final snapshot after every job (and its session) has wound down.
+    options.on_metrics(service->MetricsSnapshot());
+  }
   return outcomes;
+}
+
+std::vector<MultiCrawlOutcome> RunMultiCrawl(
+    CrawlService* service, const std::vector<MultiCrawlJob>& jobs,
+    unsigned max_concurrent) {
+  MultiCrawlOptions options;
+  options.max_concurrent = max_concurrent;
+  return RunMultiCrawl(service, jobs, options);
 }
 
 }  // namespace hdc

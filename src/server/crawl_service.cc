@@ -1,6 +1,7 @@
 // Copyright (c) hdc authors. Apache-2.0 license.
 #include "server/crawl_service.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/macros.h"
@@ -21,22 +22,25 @@ Status ServerSession::Core::IssueBatch(const std::vector<Query>& queries,
   HDC_CHECK(responses != nullptr);
   QueryStats stats;
   EvaluateBatch(*session_->index_, session_->pool_, queries, responses,
-                &stats);
+                &stats, session_->lane_);
   session_->Fold(stats);
   return Status::OK();
 }
 
 // --- ServerSession ----------------------------------------------------------
 
-ServerSession::ServerSession(std::shared_ptr<const LocalIndex> index,
-                             WorkerPool* pool, unsigned parallelism,
-                             uint64_t id, SessionOptions options)
-    : index_(std::move(index)),
-      pool_(pool),
-      parallelism_(parallelism),
+ServerSession::ServerSession(CrawlService* service, uint64_t id,
+                             WorkerPool::LaneId lane, SessionOptions options)
+    : service_(service),
+      index_(service->index()),
+      pool_(service->pool_.get()),
+      lane_(lane),
+      parallelism_(service->max_parallelism()),
       id_(id),
       label_(options.label.empty() ? "session-" + std::to_string(id)
-                                   : std::move(options.label)) {
+                                   : std::move(options.label)),
+      weight_(options.weight),
+      max_lane_parallelism_(options.max_lane_parallelism) {
   // Compose the metering stack bottom-up. Order (bottom to top): evaluation
   // core, observer, audit log, trace, budget, schema override — so a
   // budget-refused query is neither logged nor traced (it never happened),
@@ -72,6 +76,8 @@ ServerSession::ServerSession(std::shared_ptr<const LocalIndex> index,
   top_ = std::move(stack);
 }
 
+ServerSession::~ServerSession() { service_->Retire(this); }
+
 Status ServerSession::Issue(const Query& query, Response* response) {
   return top_->Issue(query, response);
 }
@@ -89,6 +95,10 @@ void ServerSession::RefillBudget(uint64_t max_queries) {
   budget_->Refill(max_queries);
 }
 
+WorkerPool::LaneStats ServerSession::lane_stats() const {
+  return pool_ != nullptr ? pool_->lane_stats(lane_) : WorkerPool::LaneStats{};
+}
+
 const std::vector<QueryRecord>& ServerSession::trace() const {
   static const std::vector<QueryRecord> kEmpty;
   return counting_ != nullptr ? counting_->trace() : kEmpty;
@@ -98,7 +108,9 @@ const std::vector<QueryRecord>& ServerSession::trace() const {
 
 CrawlService::CrawlService(std::shared_ptr<const LocalIndex> index,
                            CrawlServiceOptions options)
-    : index_(std::move(index)), options_(options) {
+    : index_(std::move(index)),
+      options_(options),
+      start_(std::chrono::steady_clock::now()) {
   HDC_CHECK(index_ != nullptr);
   HDC_CHECK_MSG(options_.max_parallelism >= 1,
                 "CrawlServiceOptions::max_parallelism must be >= 1 (it "
@@ -117,11 +129,76 @@ CrawlService::CrawlService(std::shared_ptr<const Dataset> dataset, uint64_t k,
 
 std::unique_ptr<ServerSession> CrawlService::CreateSession(
     SessionOptions options) {
+  HDC_CHECK_MSG(options.weight >= 1, "SessionOptions::weight must be >= 1");
   const uint64_t id = next_session_id_.fetch_add(1);
+  WorkerPool::LaneId lane = WorkerPool::kDefaultLane;
+  if (pool_ != nullptr) {
+    WorkerPool::LaneOptions lane_options;
+    lane_options.weight = options.weight;
+    lane_options.max_parallelism = options.max_lane_parallelism;
+    lane = pool_->OpenLane(lane_options);
+  }
   // Not make_unique: the constructor is private to keep minting here.
-  return std::unique_ptr<ServerSession>(
-      new ServerSession(index_, pool_.get(), options_.max_parallelism, id,
-                        std::move(options)));
+  std::unique_ptr<ServerSession> session(
+      new ServerSession(this, id, lane, std::move(options)));
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    live_sessions_.push_back(session.get());
+  }
+  return session;
+}
+
+void CrawlService::Retire(ServerSession* session) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  retired_queries_ += session->queries_served();
+  retired_tuples_ += session->tuples_returned();
+  live_sessions_.erase(
+      std::remove(live_sessions_.begin(), live_sessions_.end(), session),
+      live_sessions_.end());
+  if (pool_ != nullptr) pool_->CloseLane(session->lane_);
+}
+
+CrawlServiceMetrics CrawlService::MetricsSnapshot() const {
+  CrawlServiceMetrics metrics;
+  metrics.sessions_created = next_session_id_.load();
+  metrics.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  metrics.pool_threads = pool_ != nullptr ? pool_->threads() : 0;
+  metrics.pool_busy = pool_ != nullptr ? pool_->busy_workers() : 0;
+
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  metrics.sessions_active = live_sessions_.size();
+  metrics.queries_served = retired_queries_;
+  metrics.tuples_returned = retired_tuples_;
+  metrics.sessions.reserve(live_sessions_.size());
+  for (const ServerSession* session : live_sessions_) {
+    SessionMetrics s;
+    s.id = session->id();
+    s.label = session->label();
+    s.weight = session->weight();
+    s.max_lane_parallelism = session->max_lane_parallelism_;
+    s.queries_served = session->queries_served();
+    s.tuples_returned = session->tuples_returned();
+    s.overflow_count = session->overflow_count();
+    s.budget_remaining = session->budget_remaining();
+    const WorkerPool::LaneStats lane = session->lane_stats();
+    s.batches_submitted = lane.loops_submitted;
+    s.queue_wait_total_seconds = lane.queue_wait_total_seconds;
+    s.queue_wait_max_seconds = lane.queue_wait_max_seconds;
+    metrics.queries_served += s.queries_served;
+    metrics.tuples_returned += s.tuples_returned;
+    metrics.sessions.push_back(std::move(s));
+  }
+  std::sort(metrics.sessions.begin(), metrics.sessions.end(),
+            [](const SessionMetrics& a, const SessionMetrics& b) {
+              return a.id < b.id;
+            });
+  if (metrics.uptime_seconds > 0) {
+    metrics.queries_per_second =
+        static_cast<double>(metrics.queries_served) / metrics.uptime_seconds;
+  }
+  return metrics;
 }
 
 }  // namespace hdc

@@ -10,8 +10,8 @@
 //   ------------                    ----------------------------
 //   shared LocalIndex (const)       per-session statistics
 //   shared WorkerPool               per-session query budget
-//   session minting                 per-session audit log + trace
-//                                   per-session batch pipeline
+//   session minting + registry      per-session audit log + trace
+//   service-wide metrics            per-session scheduling lane
 //
 // A session is a full HiddenDbServer, so every crawler, decorator, and
 // CrawlContext works against it unchanged, and a single-session service
@@ -22,15 +22,28 @@
 // own conversation (a query spent by one crawl is never billed to
 // another).
 //
+// Scheduling is fair between sessions. Each session owns a WorkerPool lane
+// (util/worker_pool.h): its batches queue on its own lane and the pool
+// deals helper slots across lanes weighted round-robin, so one session
+// flooding the service with huge batches cannot park every other tenant's
+// work behind its own. SessionOptions::weight raises a session's share;
+// SessionOptions::max_lane_parallelism caps how many pool workers one
+// session may occupy at once — the admission knob that keeps a heavy
+// crawl from monopolizing the pool. Neither knob ever changes a session's
+// answers or per-query billing, only scheduling.
+//
 // Lifetime: the service must outlive the sessions it vends (sessions share
-// the service's worker pool). Each individual session is single-
-// conversation — the HiddenDbServer contract forbids concurrent calls on
-// one session — but different sessions are fully independent.
+// the service's worker pool and report back to its registry when they are
+// destroyed). Each individual session is single-conversation — the
+// HiddenDbServer contract forbids concurrent calls on one session — but
+// different sessions are fully independent.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -49,13 +62,14 @@ inline constexpr uint64_t kUnlimitedQueries = UINT64_MAX;
 struct CrawlServiceOptions {
   /// Total threads (pool workers plus the one calling thread of a batch)
   /// the service may bring to bear on one IssueBatch call. Must be >= 1.
-  /// The pool is shared: concurrent sessions' batches interleave on it.
+  /// The pool is shared: concurrent sessions' batches interleave on it,
+  /// dealt fairly across their lanes.
   unsigned max_parallelism = 1;
 };
 
-/// Per-session metering, fixed at session-creation time. Every layer is
-/// owned by the session and scoped to its conversation — nothing here
-/// wraps or mutates service-wide state.
+/// Per-session metering and admission, fixed at session-creation time.
+/// Every layer is owned by the session and scoped to its conversation —
+/// nothing here wraps or mutates service-wide state.
 struct SessionOptions {
   /// Display/debug name; defaults to "session-<id>".
   std::string label;
@@ -79,15 +93,66 @@ struct SessionOptions {
 
   /// Keep a compact per-query trace (CountingServer records).
   bool keep_trace = false;
+
+  /// Scheduling share of the service pool: this session's lane is dealt
+  /// `weight` helper slots per round-robin cycle. Must be >= 1. Purely a
+  /// scheduling knob — never changes answers or billing.
+  unsigned weight = 1;
+
+  /// Admission cap: at most this many pool workers serve this session's
+  /// batches at once (the session's own calling thread always
+  /// participates on top). 0 = no cap beyond the pool size. A heavy crawl
+  /// given a small cap cannot monopolize the pool however large its
+  /// batches are.
+  unsigned max_lane_parallelism = 0;
+};
+
+/// Point-in-time view of one live session, inside CrawlServiceMetrics.
+struct SessionMetrics {
+  uint64_t id = 0;
+  std::string label;
+  unsigned weight = 1;
+  unsigned max_lane_parallelism = 0;
+  uint64_t queries_served = 0;
+  uint64_t tuples_returned = 0;
+  uint64_t overflow_count = 0;
+  /// kUnlimitedQueries when the session has no budget.
+  uint64_t budget_remaining = kUnlimitedQueries;
+  /// Batches this session fanned out over the pool.
+  uint64_t batches_submitted = 0;
+  /// Queue wait of this session's lane (see WorkerPool::LaneStats): how
+  /// long its batches sat before the pool first served them.
+  double queue_wait_total_seconds = 0;
+  double queue_wait_max_seconds = 0;
+};
+
+/// Service-wide health snapshot (CrawlService::MetricsSnapshot).
+struct CrawlServiceMetrics {
+  /// Sessions minted since construction / alive right now.
+  uint64_t sessions_created = 0;
+  uint64_t sessions_active = 0;
+  /// Queries answered and tuples shipped across all sessions, including
+  /// already-destroyed ones.
+  uint64_t queries_served = 0;
+  uint64_t tuples_returned = 0;
+  double uptime_seconds = 0;
+  /// queries_served / uptime_seconds — the service's lifetime throughput.
+  double queries_per_second = 0;
+  /// Helper workers in the shared pool, and how many are running batch
+  /// items right now (the pool occupancy).
+  unsigned pool_threads = 0;
+  unsigned pool_busy = 0;
+  /// One entry per live session, ascending id.
+  std::vector<SessionMetrics> sessions;
 };
 
 /// One crawl's private handle onto a CrawlService: a HiddenDbServer whose
 /// conversation state (statistics, budget, log, trace) belongs to this
 /// session alone, while evaluation runs against the service's shared
-/// immutable index and worker pool.
+/// immutable index and worker pool — on this session's own lane.
 class ServerSession : public HiddenDbServer {
  public:
-  ~ServerSession() override = default;
+  ~ServerSession() override;
   ServerSession(const ServerSession&) = delete;
   ServerSession& operator=(const ServerSession&) = delete;
 
@@ -100,15 +165,25 @@ class ServerSession : public HiddenDbServer {
 
   uint64_t id() const { return id_; }
   const std::string& label() const { return label_; }
+  unsigned weight() const { return weight_; }
 
   // --- Per-session accounting ------------------------------------------
+  // The counters are atomics so CrawlService::MetricsSnapshot can read a
+  // running session from another thread; the session itself is still
+  // single-conversation.
 
   /// Queries answered for this session.
-  uint64_t queries_served() const { return queries_served_; }
+  uint64_t queries_served() const {
+    return queries_served_.load(std::memory_order_relaxed);
+  }
   /// Tuples shipped to this session.
-  uint64_t tuples_returned() const { return tuples_returned_; }
+  uint64_t tuples_returned() const {
+    return tuples_returned_.load(std::memory_order_relaxed);
+  }
   /// Answered queries that overflowed.
-  uint64_t overflow_count() const { return overflow_count_; }
+  uint64_t overflow_count() const {
+    return overflow_count_.load(std::memory_order_relaxed);
+  }
 
   /// Budget left (kUnlimitedQueries when the session has no budget).
   uint64_t budget_remaining() const {
@@ -116,6 +191,10 @@ class ServerSession : public HiddenDbServer {
   }
   /// Grants a fresh allotment; only valid on a budgeted session.
   void RefillBudget(uint64_t max_queries);
+
+  /// Scheduling stats of this session's pool lane (all zero when the
+  /// service runs without a pool, i.e. max_parallelism == 1).
+  WorkerPool::LaneStats lane_stats() const;
 
   /// Per-query records (empty unless SessionOptions::keep_trace).
   const std::vector<QueryRecord>& trace() const;
@@ -146,20 +225,24 @@ class ServerSession : public HiddenDbServer {
     ServerSession* session_;
   };
 
-  ServerSession(std::shared_ptr<const LocalIndex> index, WorkerPool* pool,
-                unsigned parallelism, uint64_t id, SessionOptions options);
+  ServerSession(CrawlService* service, uint64_t id, WorkerPool::LaneId lane,
+                SessionOptions options);
 
   void Fold(const QueryStats& stats) {
-    queries_served_ += stats.queries;
-    tuples_returned_ += stats.tuples;
-    overflow_count_ += stats.overflows;
+    queries_served_.fetch_add(stats.queries, std::memory_order_relaxed);
+    tuples_returned_.fetch_add(stats.tuples, std::memory_order_relaxed);
+    overflow_count_.fetch_add(stats.overflows, std::memory_order_relaxed);
   }
 
+  CrawlService* service_;
   std::shared_ptr<const LocalIndex> index_;
   WorkerPool* pool_;  // owned by the service; may be null (parallelism 1)
+  WorkerPool::LaneId lane_;
   unsigned parallelism_;
   uint64_t id_;
   std::string label_;
+  unsigned weight_;
+  unsigned max_lane_parallelism_;
 
   /// The session's metering stack, bottom (Core) to top, composed from
   /// SessionOptions at creation; `top_` is the entry point, the raw
@@ -170,14 +253,14 @@ class ServerSession : public HiddenDbServer {
   QueryLogServer* log_ = nullptr;
 
   std::vector<uint32_t> scratch_;
-  uint64_t queries_served_ = 0;
-  uint64_t tuples_returned_ = 0;
-  uint64_t overflow_count_ = 0;
+  std::atomic<uint64_t> queries_served_{0};
+  std::atomic<uint64_t> tuples_returned_{0};
+  std::atomic<uint64_t> overflow_count_{0};
 };
 
 /// Owns the shared halves — index and worker pool — and mints sessions.
-/// Thread-safe: CreateSession may be called from any thread, and the
-/// sessions it returns run concurrently with each other.
+/// Thread-safe: CreateSession and MetricsSnapshot may be called from any
+/// thread, and the sessions it returns run concurrently with each other.
 class CrawlService {
  public:
   CrawlService(std::shared_ptr<const LocalIndex> index,
@@ -192,23 +275,44 @@ class CrawlService {
   CrawlService(const CrawlService&) = delete;
   CrawlService& operator=(const CrawlService&) = delete;
 
-  /// Mints an independent session. The service must outlive it.
+  /// Mints an independent session on its own scheduling lane. The service
+  /// must outlive it.
   std::unique_ptr<ServerSession> CreateSession(SessionOptions options = {});
+
+  /// Service-wide health: live sessions with their queue waits, pool
+  /// occupancy, lifetime throughput. Safe to call while sessions run —
+  /// the per-session counters are sampled, not synchronised with the
+  /// conversations, so a snapshot taken mid-batch may be a few queries
+  /// behind a session's own final accounting.
+  CrawlServiceMetrics MetricsSnapshot() const;
 
   const std::shared_ptr<const LocalIndex>& index() const { return index_; }
   uint64_t k() const { return index_->k(); }
   const SchemaPtr& schema() const { return index_->schema(); }
   unsigned max_parallelism() const { return options_.max_parallelism; }
 
-  /// Sessions minted so far (monotonic; sessions are not tracked after
-  /// creation).
+  /// Sessions minted so far (monotonic).
   uint64_t sessions_created() const { return next_session_id_.load(); }
 
  private:
+  friend class ServerSession;
+
+  /// Called by ~ServerSession: folds the session's final accounting into
+  /// the retired totals, releases its lane, and drops it from the
+  /// registry.
+  void Retire(ServerSession* session);
+
   std::shared_ptr<const LocalIndex> index_;
   CrawlServiceOptions options_;
   std::unique_ptr<WorkerPool> pool_;  // max_parallelism - 1 workers
   std::atomic<uint64_t> next_session_id_{0};
+  std::chrono::steady_clock::time_point start_;
+
+  /// Live sessions plus the accumulated accounting of retired ones.
+  mutable std::mutex sessions_mutex_;
+  std::vector<ServerSession*> live_sessions_;
+  uint64_t retired_queries_ = 0;
+  uint64_t retired_tuples_ = 0;
 };
 
 }  // namespace hdc

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -150,18 +151,18 @@ class BudgetServer : public ServerDecorator {
       : ServerDecorator(std::move(base)), remaining_(max_queries) {}
 
   Status Issue(const Query& query, Response* response) override {
-    if (remaining_ == 0) {
+    if (remaining() == 0) {
       return Status::ResourceExhausted("query budget exhausted");
     }
     Status s = base_->Issue(query, response);
-    if (s.ok()) --remaining_;
+    if (s.ok()) Spend(1);
     return s;
   }
 
   Status IssueBatch(const std::vector<Query>& queries,
                     std::vector<Response>* responses) override {
     const size_t allowed = static_cast<size_t>(
-        std::min<uint64_t>(remaining_, queries.size()));
+        std::min<uint64_t>(remaining(), queries.size()));
     if (allowed == 0 && !queries.empty()) {
       responses->clear();
       return Status::ResourceExhausted("query budget exhausted");
@@ -176,20 +177,33 @@ class BudgetServer : public ServerDecorator {
     }
     // Only answered members consume budget (the base may itself have
     // truncated the prefix further, e.g. a flaky transport).
-    remaining_ -= std::min<uint64_t>(remaining_, responses->size());
+    Spend(responses->size());
     if (s.ok() && allowed < queries.size()) {
       return Status::ResourceExhausted("query budget exhausted mid-batch");
     }
     return s;
   }
 
-  uint64_t remaining() const { return remaining_; }
+  uint64_t remaining() const {
+    return remaining_.load(std::memory_order_relaxed);
+  }
 
   /// Grants a fresh allotment (e.g. quota reset).
-  void Refill(uint64_t max_queries) { remaining_ = max_queries; }
+  void Refill(uint64_t max_queries) {
+    remaining_.store(max_queries, std::memory_order_relaxed);
+  }
 
  private:
-  uint64_t remaining_;
+  void Spend(uint64_t queries) {
+    const uint64_t before = remaining();
+    remaining_.store(before - std::min(before, queries),
+                     std::memory_order_relaxed);
+  }
+
+  /// Atomic so a metrics sampler (CrawlService::MetricsSnapshot) may read
+  /// the quota while the conversation thread spends it; the conversation
+  /// itself stays single-threaded, so plain load/store suffices.
+  std::atomic<uint64_t> remaining_;
 };
 
 /// Presents a different — but compatible — schema to the crawler than the

@@ -206,7 +206,8 @@ void LocalIndex::AnswerQuery(const Query& query, Response* response,
 
 void EvaluateBatch(const LocalIndex& index, WorkerPool* pool,
                    const std::vector<Query>& queries,
-                   std::vector<Response>* responses, QueryStats* stats) {
+                   std::vector<Response>* responses, QueryStats* stats,
+                   uint64_t lane) {
   HDC_CHECK(responses != nullptr);
   HDC_CHECK(stats != nullptr);
   const size_t n = queries.size();
@@ -222,7 +223,7 @@ void EvaluateBatch(const LocalIndex& index, WorkerPool* pool,
   // Per-member stat slots keep the workers write-disjoint; the per-thread
   // scratch amortises allocations across members and batches.
   std::vector<QueryStats> deltas(n);
-  pool->ParallelFor(n, [&](size_t i) {
+  pool->ParallelFor(lane, n, [&](size_t i) {
     static thread_local std::vector<uint32_t> scratch;
     index.AnswerQuery(queries[i], &(*responses)[i], &scratch, &deltas[i]);
   });

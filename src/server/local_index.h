@@ -119,9 +119,12 @@ class LocalIndex {
 /// the whole batch's deltas after all members finish. Responses and
 /// statistics are identical either way — evaluation is pure given the
 /// index. Thread-safe: concurrent calls against one index (even one pool)
-/// are independent.
+/// are independent. `lane` is the WorkerPool::LaneId the batch's loop is
+/// submitted on (0 = the pool's default lane); per-session lanes are how
+/// CrawlService keeps concurrent crawls from starving each other.
 void EvaluateBatch(const LocalIndex& index, WorkerPool* pool,
                    const std::vector<Query>& queries,
-                   std::vector<Response>* responses, QueryStats* stats);
+                   std::vector<Response>* responses, QueryStats* stats,
+                   uint64_t lane = 0);
 
 }  // namespace hdc

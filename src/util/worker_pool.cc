@@ -3,9 +3,12 @@
 
 #include <algorithm>
 
+#include "util/macros.h"
+
 namespace hdc {
 
 WorkerPool::WorkerPool(unsigned threads) {
+  lanes_.emplace(kDefaultLane, Lane{});
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { WorkerMain(); });
@@ -21,24 +24,129 @@ WorkerPool::~WorkerPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+WorkerPool::LaneId WorkerPool::OpenLane(LaneOptions options) {
+  HDC_CHECK_MSG(options.weight >= 1, "lane weight must be >= 1");
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  const LaneId id = next_lane_id_++;
+  Lane& lane = lanes_[id];
+  lane.id = id;
+  lane.options = options;
+  return id;
+}
+
+void WorkerPool::CloseLane(LaneId lane_id) {
+  HDC_CHECK_MSG(lane_id != kDefaultLane, "the default lane cannot be closed");
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  auto it = lanes_.find(lane_id);
+  HDC_CHECK_MSG(it != lanes_.end() && it->second.open,
+                "CloseLane on unknown or already-closed lane");
+  Lane& lane = it->second;
+  // Any entry still queued belongs to a completed loop (closing a lane with
+  // a ParallelFor in flight is a usage error); discard them.
+  lane.queue.clear();
+  lane.open = false;
+  MaybeEraseLocked(lane_id);
+}
+
+WorkerPool::LaneStats WorkerPool::lane_stats(LaneId lane_id) const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  auto it = lanes_.find(lane_id);
+  HDC_CHECK_MSG(it != lanes_.end(), "lane_stats on unknown lane");
+  return it->second.stats;
+}
+
+size_t WorkerPool::open_lanes() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  size_t open = 0;
+  for (const auto& entry : lanes_) {
+    if (entry.second.open) ++open;
+  }
+  return open;
+}
+
+unsigned WorkerPool::busy_workers() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return busy_workers_;
+}
+
 void WorkerPool::RunShard(Loop* loop) {
   for (;;) {
-    size_t i;
+    const size_t i = loop->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= loop->n) return;
+    loop->fn(i);
     {
       std::lock_guard<std::mutex> lock(loop->mutex);
-      if (loop->next >= loop->n) return;
-      i = loop->next++;
-    }
-    (*loop->fn)(i);
-    {
-      std::lock_guard<std::mutex> lock(loop->mutex);
-      ++loop->done;
-      if (loop->done == loop->n) loop->done_cv.notify_all();
+      if (++loop->done == loop->n) loop->done_cv.notify_all();
     }
   }
 }
 
-void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+void WorkerPool::RecordWaitLocked(Lane* lane, Loop* loop) {
+  if (loop->wait_recorded) return;
+  loop->wait_recorded = true;
+  const double wait =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    loop->enqueued)
+          .count();
+  lane->stats.queue_wait_total_seconds += wait;
+  lane->stats.queue_wait_max_seconds =
+      std::max(lane->stats.queue_wait_max_seconds, wait);
+}
+
+std::shared_ptr<WorkerPool::Loop> WorkerPool::DequeueLocked(Lane** out_lane) {
+  if (lanes_.empty()) return nullptr;
+  auto it = lanes_.lower_bound(rr_lane_);
+  if (it == lanes_.end()) it = lanes_.begin();
+  for (size_t visited = 0; visited < lanes_.size(); ++visited) {
+    Lane& lane = it->second;
+    // A fully-claimed loop needs no more helpers: drop its entries here so
+    // they neither occupy the lane nor outlive the call they belong to.
+    while (!lane.queue.empty()) {
+      Loop* front = lane.queue.front().get();
+      if (front->next.load(std::memory_order_acquire) < front->n) break;
+      RecordWaitLocked(&lane, front);
+      ++lane.stats.stale_dropped;
+      lane.queue.pop_front();
+    }
+    const bool eligible =
+        !lane.queue.empty() &&
+        (lane.options.max_parallelism == 0 ||
+         lane.active_helpers < lane.options.max_parallelism);
+    if (eligible) {
+      // Weighted round-robin: the cursor lane spends its remaining credit,
+      // any other lane starts a fresh allotment of `weight` entries.
+      if (it->first == rr_lane_ && rr_credit_ > 0) {
+        --rr_credit_;
+      } else {
+        rr_lane_ = it->first;
+        rr_credit_ = lane.options.weight - 1;
+      }
+      if (rr_credit_ == 0) rr_lane_ = it->first + 1;
+      std::shared_ptr<Loop> loop = std::move(lane.queue.front());
+      lane.queue.pop_front();
+      RecordWaitLocked(&lane, loop.get());
+      ++lane.stats.helper_joins;
+      ++lane.active_helpers;
+      *out_lane = &lane;
+      return loop;
+    }
+    ++it;
+    if (it == lanes_.end()) it = lanes_.begin();
+  }
+  return nullptr;
+}
+
+void WorkerPool::MaybeEraseLocked(LaneId id) {
+  auto it = lanes_.find(id);
+  if (it == lanes_.end()) return;
+  const Lane& lane = it->second;
+  if (!lane.open && lane.active_helpers == 0 && lane.queue.empty()) {
+    lanes_.erase(it);
+  }
+}
+
+void WorkerPool::ParallelFor(LaneId lane_id, size_t n,
+                             const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
@@ -46,33 +154,61 @@ void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   }
 
   auto loop = std::make_shared<Loop>();
-  loop->fn = &fn;
+  loop->fn = fn;
   loop->n = n;
-  // The caller takes one shard itself, so at most n - 1 helpers are useful.
-  const size_t helpers = std::min<size_t>(workers_.size(), n - 1);
+  // The caller takes one shard itself, so at most n - 1 helpers are
+  // useful, and a capped lane never admits more than its cap anyway.
+  size_t helpers = std::min<size_t>(workers_.size(), n - 1);
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    for (size_t i = 0; i < helpers; ++i) queue_.push_back(loop);
+    auto it = lanes_.find(lane_id);
+    HDC_CHECK_MSG(it != lanes_.end() && it->second.open,
+                  "ParallelFor on unknown or closed lane");
+    Lane& lane = it->second;
+    if (lane.options.max_parallelism > 0) {
+      helpers = std::min<size_t>(helpers, lane.options.max_parallelism);
+    }
+    loop->enqueued = std::chrono::steady_clock::now();
+    ++lane.stats.loops_submitted;
+    lane.stats.items_submitted += n;
+    for (size_t i = 0; i < helpers; ++i) lane.queue.push_back(loop);
   }
   queue_cv_.notify_all();
 
   RunShard(loop.get());
-  std::unique_lock<std::mutex> lock(loop->mutex);
-  loop->done_cv.wait(lock, [&] { return loop->done == loop->n; });
+  {
+    std::unique_lock<std::mutex> lock(loop->mutex);
+    loop->done_cv.wait(lock, [&] { return loop->done == loop->n; });
+  }
+  // If no worker ever reached the loop, its wait ran from enqueue to
+  // completion; record it here so starved lanes show up in the stats.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    auto it = lanes_.find(lane_id);
+    if (it != lanes_.end()) RecordWaitLocked(&it->second, loop.get());
+  }
 }
 
 void WorkerPool::WorkerMain() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
   for (;;) {
+    Lane* lane = nullptr;
     std::shared_ptr<Loop> loop;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock,
-                     [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutting down, queue drained
-      loop = std::move(queue_.front());
-      queue_.pop_front();
-    }
+    queue_cv_.wait(lock, [&] {
+      loop = DequeueLocked(&lane);
+      return loop != nullptr || shutting_down_;
+    });
+    if (loop == nullptr) return;  // shutting down, nothing runnable
+    ++busy_workers_;
+    lock.unlock();
     RunShard(loop.get());
+    lock.lock();
+    --busy_workers_;
+    --lane->active_helpers;
+    // The lane may have been closed while we were serving it, and freeing
+    // a cap slot can make its next entry runnable for someone else.
+    MaybeEraseLocked(lane->id);
+    queue_cv_.notify_all();
   }
 }
 

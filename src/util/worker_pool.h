@@ -5,12 +5,26 @@
 // and block until their own loop is done. Work is dealt dynamically — each
 // loop carries an atomic cursor that idle workers and the calling thread
 // race on — so one slow batch member never strands the rest of the pool.
+//
+// Admission is *fair*, not FIFO. Every loop is submitted to a lane; each
+// lane keeps its own queue of pending helper entries, and idle workers deal
+// across the lanes weighted round-robin. One caller flooding its lane with
+// huge loops therefore cannot push every other lane's work to the back of a
+// global queue: a lane of weight w is offered w helper slots per scheduling
+// cycle over the non-empty lanes, and an optional per-lane parallelism cap
+// bounds how many workers serve a lane at once. The calling thread always
+// participates in its own loop, so no lane can be starved outright even
+// when every worker is busy elsewhere.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -20,9 +34,44 @@ namespace hdc {
 
 /// Fixed set of worker threads plus the calling thread. ParallelFor may be
 /// invoked concurrently from any number of threads; the loops share the
-/// workers fairly (FIFO admission, dynamic item dealing).
+/// workers fairly (weighted round-robin across lanes, dynamic item dealing
+/// within a loop).
 class WorkerPool {
  public:
+  /// Identifies one submission lane. The default lane always exists.
+  using LaneId = uint64_t;
+  static constexpr LaneId kDefaultLane = 0;
+
+  struct LaneOptions {
+    /// Scheduling share: a lane of weight w may be dealt w consecutive
+    /// helper entries before the round-robin cursor moves on. Must be >= 1.
+    unsigned weight = 1;
+
+    /// Max workers concurrently serving this lane's loops (the submitting
+    /// thread always participates on top of this). 0 = no cap.
+    unsigned max_parallelism = 0;
+  };
+
+  /// Cumulative per-lane accounting, all monotonic since OpenLane.
+  struct LaneStats {
+    /// ParallelFor calls that enqueued helper entries (inline runs — no
+    /// workers, or n <= 1 — never touch the queue and are not counted).
+    uint64_t loops_submitted = 0;
+    /// Total loop items across those calls.
+    uint64_t items_submitted = 0;
+    /// Helper entries dequeued into a live loop (a worker joined in).
+    uint64_t helper_joins = 0;
+    /// Helper entries dropped at dequeue because their loop had already
+    /// been fully claimed (the caller and earlier helpers ate every item).
+    uint64_t stale_dropped = 0;
+    /// Queue wait, accumulated once per submitted loop: the time from
+    /// enqueue until a worker first joined it — or until the loop
+    /// completed, when the pool never got to it. This is the fairness
+    /// signal: a starved lane's waits grow with its neighbours' backlogs.
+    double queue_wait_total_seconds = 0;
+    double queue_wait_max_seconds = 0;
+  };
+
   /// Spawns `threads` workers. 0 is valid: every ParallelFor then runs
   /// entirely inline on the calling thread.
   explicit WorkerPool(unsigned threads);
@@ -33,31 +82,99 @@ class WorkerPool {
 
   unsigned threads() const { return static_cast<unsigned>(workers_.size()); }
 
+  /// Opens a new lane. Lanes are cheap; one per crawl session is the
+  /// intended grain (see server/crawl_service.h).
+  LaneId OpenLane(LaneOptions options);
+  LaneId OpenLane() { return OpenLane(LaneOptions()); }
+
+  /// Closes a lane: pending helper entries are discarded (their loops must
+  /// already be complete — closing a lane with a ParallelFor in flight on
+  /// it is a usage error) and the id becomes invalid for new submissions.
+  /// The default lane cannot be closed.
+  void CloseLane(LaneId lane);
+
+  /// Snapshot of a lane's accounting. Valid for any open lane.
+  LaneStats lane_stats(LaneId lane) const;
+
+  /// Lanes currently open (including the default lane).
+  size_t open_lanes() const;
+
+  /// Workers currently running loop items — the pool occupancy right now,
+  /// in [0, threads()].
+  unsigned busy_workers() const;
+
   /// Runs fn(i) for every i in [0, n) and returns when all n calls have
   /// completed. The calling thread always participates, so total
-  /// parallelism for one loop is at most threads() + 1. `fn` must be safe
-  /// to invoke concurrently for distinct i.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  /// parallelism for one loop is at most threads() + 1 (and at most the
+  /// lane's max_parallelism + 1 when capped). `fn` must be safe to invoke
+  /// concurrently for distinct i. Any number of ParallelFor calls may be
+  /// in flight on one lane (a lane's entries are served in submission
+  /// order); distinct lanes are scheduled independently.
+  void ParallelFor(LaneId lane, size_t n,
+                   const std::function<void(size_t)>& fn);
+
+  /// Submits on the default lane.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+    ParallelFor(kDefaultLane, n, fn);
+  }
 
  private:
-  /// Shared state of one ParallelFor call.
+  /// Shared state of one ParallelFor call. The loop *owns* its callable
+  /// (no pointer into the submitting frame), so a helper entry that
+  /// outlives the call — dequeued only after the caller finished every
+  /// item itself — never dangles; it is detected as fully claimed and
+  /// dropped at dequeue time.
   struct Loop {
-    const std::function<void(size_t)>* fn = nullptr;
+    std::function<void(size_t)> fn;
     size_t n = 0;
+    std::chrono::steady_clock::time_point enqueued;
+    bool wait_recorded = false;  // guarded by the pool's queue_mutex_
+    std::atomic<size_t> next{0};
     std::mutex mutex;
     std::condition_variable done_cv;
-    size_t next = 0;  // guarded by mutex
     size_t done = 0;  // guarded by mutex
+  };
+
+  struct Lane {
+    LaneId id = kDefaultLane;
+    LaneOptions options;
+    LaneStats stats;
+    /// One entry per helper invited to the loop; entries of an already
+    /// fully-claimed loop are stale and dropped at dequeue.
+    std::deque<std::shared_ptr<Loop>> queue;
+    unsigned active_helpers = 0;
+    /// CloseLane marks the lane closed; the map node is erased once the
+    /// last active helper has left (helpers hold a Lane* while running).
+    bool open = true;
   };
 
   /// Claims and runs items of `loop` until its cursor is exhausted.
   static void RunShard(Loop* loop);
 
+  /// Records `loop`'s queue wait into `lane` once (first service or
+  /// completion, whichever comes first). Requires queue_mutex_.
+  void RecordWaitLocked(Lane* lane, Loop* loop);
+
+  /// Weighted round-robin pick: prunes stale entries, then dequeues the
+  /// next helper entry from the first eligible lane at or after the
+  /// cursor. Returns nullptr when nothing is runnable. Requires
+  /// queue_mutex_; updates cursor, credit, stats and active_helpers.
+  std::shared_ptr<Loop> DequeueLocked(Lane** out_lane);
+
+  /// Drops erased-pending lanes once idle. Requires queue_mutex_.
+  void MaybeEraseLocked(LaneId id);
+
   void WorkerMain();
 
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  std::deque<std::shared_ptr<Loop>> queue_;
+  std::map<LaneId, Lane> lanes_;  // ordered: deterministic round-robin
+  LaneId next_lane_id_ = 1;
+  /// Round-robin cursor: the lane id scheduling resumes at, and how many
+  /// more consecutive entries that lane may be dealt before moving on.
+  LaneId rr_lane_ = 0;
+  unsigned rr_credit_ = 0;
+  unsigned busy_workers_ = 0;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
 };

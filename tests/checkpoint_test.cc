@@ -13,6 +13,7 @@
 
 #include "core/crawlers.h"
 #include "gen/synthetic.h"
+#include "server/decorators.h"
 #include "server/local_server.h"
 
 namespace hdc {
@@ -180,6 +181,56 @@ TEST(CheckpointTest, RejectsWrongSchema) {
   std::shared_ptr<CrawlState> restored;
   Status s = LoadCheckpoint(&stream, Schema::Numeric(3), &restored);
   EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+// A checkpoint written in a *narrowed* numeric view (session
+// schema_override) must load when the caller holds only the full-bounds
+// schema: compatible schemas are accepted and the state comes back bound
+// to the recorded, narrowed one.
+TEST(CheckpointTest, AcceptsCompatibleNarrowedSchema) {
+  SyntheticNumericOptions gen;
+  gen.d = 2;
+  gen.n = 400;
+  gen.value_range = 200;
+  gen.seed = 45;
+  auto data = std::make_shared<Dataset>(GenerateSyntheticNumeric(gen));
+
+  // The crawl runs in a half-width view of attribute 0.
+  std::vector<AttributeSpec> attrs;
+  for (size_t i = 0; i < data->schema()->num_attributes(); ++i) {
+    attrs.push_back(data->schema()->attribute(i));
+  }
+  attrs[0].hi = (attrs[0].lo + attrs[0].hi) / 2;
+  SchemaPtr narrowed = Schema::Make(std::move(attrs));
+
+  LocalServer server(data, 8);
+  SchemaOverrideServer view(&server, narrowed);
+  BinaryShrink crawler;
+  CrawlOptions budget;
+  budget.max_queries = 15;
+  CrawlResult partial = crawler.Crawl(&view, budget);
+  ASSERT_TRUE(partial.status.IsResourceExhausted());
+
+  std::stringstream stream;
+  ASSERT_TRUE(SaveCheckpoint(*partial.resume_state, *narrowed, &stream).ok());
+
+  // Load with the full schema: accepted, and the state is bound to the
+  // narrowed space it was recorded in.
+  std::shared_ptr<CrawlState> restored;
+  Status s = LoadCheckpoint(&stream, data->schema(), &restored);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(*restored->extracted.schema() == *narrowed);
+  EXPECT_FALSE(*restored->extracted.schema() == *data->schema());
+
+  // The restored crawl finishes against the same narrowed view with the
+  // uninterrupted run's total bill.
+  CrawlResult uninterrupted = crawler.Crawl(&view);
+  ASSERT_TRUE(uninterrupted.status.ok());
+  CrawlResult done = crawler.Resume(&view, restored);
+  ASSERT_TRUE(done.status.ok()) << done.status.ToString();
+  EXPECT_EQ(done.queries_issued, uninterrupted.queries_issued);
+  EXPECT_TRUE(
+      Dataset::MultisetEquals(done.extracted, uninterrupted.extracted));
 }
 
 TEST(CheckpointTest, RejectsGarbage) {

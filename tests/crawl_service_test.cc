@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/crawlers.h"
 #include "gen/synthetic.h"
 #include "server/crawl_service.h"
@@ -303,6 +304,122 @@ TEST(CrawlServiceDeathTest, ZeroParallelismIsRejected) {
         LocalServer server(data, k, nullptr, options);
       },
       "max_parallelism must be >= 1");
+}
+
+// The service-operator view: MetricsSnapshot reports live sessions with
+// their own accounting, remembers retired sessions' totals, and never
+// mixes the two up.
+TEST(CrawlServiceTest, MetricsSnapshotTracksSessionsAndTotals) {
+  auto data = CategoricalData();
+  const uint64_t k = std::max<uint64_t>(8, data->MaxPointMultiplicity());
+  CrawlServiceOptions options;
+  options.max_parallelism = 2;
+  CrawlService service(data, k, nullptr, options);
+
+  SessionOptions metered;
+  metered.label = "metered";
+  metered.max_queries = 1000;
+  metered.weight = 3;
+  auto first = service.CreateSession(metered);
+  auto second = service.CreateSession();
+
+  DfsCrawler dfs;
+  CrawlResult r1 = dfs.Crawl(first.get());
+  ASSERT_TRUE(r1.status.ok());
+
+  CrawlServiceMetrics metrics = service.MetricsSnapshot();
+  EXPECT_EQ(metrics.sessions_created, 2u);
+  EXPECT_EQ(metrics.sessions_active, 2u);
+  EXPECT_EQ(metrics.pool_threads, 1u);
+  EXPECT_EQ(metrics.queries_served, r1.queries_issued);
+  EXPECT_GT(metrics.queries_per_second, 0.0);
+  ASSERT_EQ(metrics.sessions.size(), 2u);
+  EXPECT_EQ(metrics.sessions[0].label, "metered");
+  EXPECT_EQ(metrics.sessions[0].weight, 3u);
+  EXPECT_EQ(metrics.sessions[0].queries_served, r1.queries_issued);
+  EXPECT_EQ(metrics.sessions[0].budget_remaining,
+            1000u - r1.queries_issued);
+  EXPECT_EQ(metrics.sessions[1].queries_served, 0u);
+  EXPECT_EQ(metrics.sessions[1].budget_remaining, kUnlimitedQueries);
+
+  // Retiring a session moves its bill into the service totals.
+  first.reset();
+  metrics = service.MetricsSnapshot();
+  EXPECT_EQ(metrics.sessions_active, 1u);
+  EXPECT_EQ(metrics.sessions_created, 2u);
+  EXPECT_EQ(metrics.queries_served, r1.queries_issued);
+  ASSERT_EQ(metrics.sessions.size(), 1u);
+  EXPECT_EQ(metrics.sessions[0].queries_served, 0u);
+}
+
+// First shape of crawl-session persistence: a crawl interrupted inside a
+// schema_override session checkpoints under the *narrowed* schema, and the
+// checkpoint must load back when the resuming process only holds the
+// service's full schema — then finish, in a fresh session, with exactly
+// the conversation the uninterrupted crawl would have had.
+TEST(CrawlServiceTest, SessionResumeRoundTripAcrossNarrowedSchema) {
+  auto data = NumericData();
+  const uint64_t k = std::max<uint64_t>(8, data->MaxPointMultiplicity());
+  CrawlService service(data, k);
+
+  std::vector<AttributeSpec> attrs;
+  for (size_t i = 0; i < data->schema()->num_attributes(); ++i) {
+    attrs.push_back(data->schema()->attribute(i));
+  }
+  const Value mid = (attrs[0].lo + attrs[0].hi) / 2;
+  attrs[0].hi = mid;
+  SchemaPtr narrowed = Schema::Make(std::move(attrs));
+
+  // Uninterrupted ground truth over the narrowed view.
+  BinaryShrink crawler;
+  SessionOptions view;
+  view.schema_override = narrowed;
+  CrawlResult uninterrupted(narrowed);
+  {
+    auto session = service.CreateSession(view);
+    uninterrupted = crawler.Crawl(session.get());
+    ASSERT_TRUE(uninterrupted.status.ok())
+        << uninterrupted.status.ToString();
+  }
+
+  // Interrupt the same crawl mid-flight and checkpoint it — under the
+  // session's (narrowed) schema, the space the crawl runs in.
+  std::stringstream checkpoint;
+  uint64_t spent = 0;
+  {
+    auto session = service.CreateSession(view);
+    CrawlOptions budget;
+    budget.max_queries = 20;
+    CrawlResult partial = crawler.Crawl(session.get(), budget);
+    ASSERT_TRUE(partial.status.IsResourceExhausted())
+        << partial.status.ToString();
+    ASSERT_NE(partial.resume_state, nullptr);
+    spent = partial.queries_issued;
+    ASSERT_TRUE(SaveCheckpoint(*partial.resume_state, *session->schema(),
+                               &checkpoint)
+                    .ok());
+  }
+
+  // A fresh process restores it holding only the service's full schema:
+  // the compatible narrowed schema is accepted and the state comes back
+  // bound to it.
+  std::shared_ptr<CrawlState> restored;
+  Status load = LoadCheckpoint(&checkpoint, service.schema(), &restored);
+  ASSERT_TRUE(load.ok()) << load.ToString();
+  ASSERT_NE(restored, nullptr);
+  EXPECT_TRUE(*restored->extracted.schema() == *narrowed);
+  EXPECT_EQ(restored->queries_issued, spent);
+
+  // Resume in a fresh session presenting the restored state's own view.
+  SessionOptions resumed_view;
+  resumed_view.schema_override = restored->extracted.schema();
+  auto session = service.CreateSession(resumed_view);
+  CrawlResult done = crawler.Resume(session.get(), restored);
+  ASSERT_TRUE(done.status.ok()) << done.status.ToString();
+  EXPECT_EQ(done.queries_issued, uninterrupted.queries_issued)
+      << "interrupt + resume must not change the total query bill";
+  EXPECT_TRUE(
+      Dataset::MultisetEquals(done.extracted, uninterrupted.extracted));
 }
 
 TEST(CrawlServiceDeathTest, RefillWithoutBudgetIsRejected) {

@@ -7,6 +7,8 @@
 // the service worker pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -126,6 +128,169 @@ TEST(MultiCrawlTest, ConcurrentBudgetsArePerSession) {
   EXPECT_EQ(outcomes[1].session_queries, 35u);
   for (size_t i : {size_t{2}, size_t{3}}) {
     ASSERT_TRUE(outcomes[i].result.status.ok()) << outcomes[i].label;
+    EXPECT_TRUE(Dataset::MultisetEquals(outcomes[i].result.extracted, *data))
+        << outcomes[i].label;
+  }
+}
+
+// The starvation scenario: one wide full-space crawl (huge auto-sized
+// batches) next to several narrow tenants (schema views over a slice of
+// attribute 0), all over one service. Fair per-lane scheduling must keep
+// the narrow sessions' progress independent of the wide session's flood:
+// every session still produces byte-identical extraction and query counts
+// to its isolated run, the narrow tenants all finish while the wide crawl
+// is still running (bounded interleaving — under FIFO admission their
+// batches would queue behind the wide session's backlog), and the metrics
+// snapshots sampled mid-run stay coherent. Runs under TSan in CI.
+TEST(MultiCrawlTest, WideSessionDoesNotStarveNarrowTenants) {
+  SyntheticNumericOptions gen;
+  gen.d = 2;
+  gen.n = 12000;
+  gen.value_range = 3000;
+  gen.seed = 99;
+  auto data =
+      std::make_shared<const Dataset>(GenerateSyntheticNumeric(gen));
+  const uint64_t k = std::max<uint64_t>(8, data->MaxPointMultiplicity());
+
+  // Narrow tenants see a ~1/10 band of attribute 0 (numeric bounds may be
+  // tightened by a schema view; Schema::CompatibleWith allows it).
+  auto narrowed = [&](size_t band) {
+    std::vector<AttributeSpec> attrs;
+    for (size_t i = 0; i < data->schema()->num_attributes(); ++i) {
+      attrs.push_back(data->schema()->attribute(i));
+    }
+    const Value lo = attrs[0].lo, hi = attrs[0].hi;
+    const Value width = (hi - lo + 1) / 10;
+    attrs[0].lo = lo + static_cast<Value>(band) * width;
+    attrs[0].hi = attrs[0].lo + width - 1;
+    return Schema::Make(std::move(attrs));
+  };
+
+  constexpr size_t kNarrow = 3;
+  std::vector<MultiCrawlJob> jobs(1 + kNarrow);
+  jobs[0].label = "wide";
+  jobs[0].crawler = std::make_shared<RankShrink>();
+  jobs[0].crawl.batch_size = 0;  // auto: floods the pool with wide rounds
+  jobs[0].session.max_lane_parallelism = 1;  // admission-capped
+  for (size_t i = 0; i < kNarrow; ++i) {
+    MultiCrawlJob& job = jobs[1 + i];
+    job.label = "narrow-" + std::to_string(i);
+    job.crawler = std::make_shared<BinaryShrink>();
+    job.crawl.batch_size = 4;
+    job.session.schema_override = narrowed(i);
+    job.session.weight = 2;
+  }
+
+  // Isolated ground truth per job, and the narrow slices' expected sizes.
+  std::vector<uint64_t> expected_queries;
+  std::vector<Dataset> expected_extractions;
+  for (const MultiCrawlJob& job : jobs) {
+    CrawlService solo(data, k);
+    auto outcomes = RunMultiCrawl(&solo, {job}, /*max_concurrent=*/1);
+    ASSERT_TRUE(outcomes[0].result.status.ok())
+        << outcomes[0].label << ": "
+        << outcomes[0].result.status.ToString();
+    expected_queries.push_back(outcomes[0].session_queries);
+    expected_extractions.push_back(std::move(outcomes[0].result.extracted));
+  }
+
+  // Contended run. Completion order is observed through each session's
+  // last answered query; metrics snapshots stream concurrently.
+  CrawlServiceOptions options;
+  options.max_parallelism = 4;
+  CrawlService service(data, k, nullptr, options);
+  std::vector<std::atomic<std::chrono::steady_clock::duration::rep>>
+      last_answer(jobs.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].session.observer = [&, i](const Query&, const Response&) {
+      last_answer[i].store(
+          (std::chrono::steady_clock::now() - t0).count(),
+          std::memory_order_relaxed);
+    };
+  }
+  std::atomic<uint64_t> snapshots{0};
+  MultiCrawlOptions run;
+  run.metrics_period = std::chrono::milliseconds(2);
+  run.on_metrics = [&](const CrawlServiceMetrics& m) {
+    snapshots.fetch_add(1);
+    EXPECT_LE(m.sessions_active, jobs.size());
+    EXPECT_LE(m.pool_busy, m.pool_threads);
+    for (const SessionMetrics& s : m.sessions) {
+      EXPECT_GE(s.queue_wait_total_seconds, 0.0);
+      EXPECT_GE(s.queue_wait_max_seconds, 0.0);
+    }
+  };
+  auto outcomes = RunMultiCrawl(&service, jobs, run);
+
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].result.status.ok())
+        << outcomes[i].label << ": "
+        << outcomes[i].result.status.ToString();
+    EXPECT_EQ(outcomes[i].session_queries, expected_queries[i])
+        << outcomes[i].label
+        << ": contention must never change a session's query bill";
+    EXPECT_TRUE(Dataset::MultisetEquals(outcomes[i].result.extracted,
+                                        expected_extractions[i]))
+        << outcomes[i].label
+        << ": contention must never change a session's extraction";
+  }
+  // Bounded interleaving: narrow tenants complete their conversations
+  // while the wide session is still answering. The wide crawl is ~10-20x
+  // the work of a narrow slice, so each tenant finishes first by a wide
+  // margin once none is parked behind the wide session's backlog. The
+  // completion order is wall-clock, so allow the OS to have parked *one*
+  // tenant thread (e.g. an oversubscribed TSan runner) — but if a
+  // majority of tenants outlasted the wide crawl, scheduling is broken.
+  size_t finished_before_wide = 0;
+  for (size_t i = 1; i < jobs.size(); ++i) {
+    if (last_answer[i].load() < last_answer[0].load()) {
+      ++finished_before_wide;
+    }
+  }
+  EXPECT_GE(finished_before_wide, kNarrow - 1)
+      << "narrow tenants were starved behind the wide session's backlog";
+  EXPECT_GE(snapshots.load(), 1u);  // the final snapshot always fires
+
+  // After the run every session is retired, but the service remembers the
+  // total bill.
+  const CrawlServiceMetrics final_metrics = service.MetricsSnapshot();
+  EXPECT_EQ(final_metrics.sessions_active, 0u);
+  EXPECT_EQ(final_metrics.sessions_created, jobs.size());
+  uint64_t total = 0;
+  for (const auto& outcome : outcomes) total += outcome.session_queries;
+  EXPECT_EQ(final_metrics.queries_served, total);
+  EXPECT_GT(final_metrics.queries_per_second, 0.0);
+}
+
+// The fairness knobs are scheduling-only: whatever weights and lane caps
+// sessions run under, their conversations stay byte-identical to the
+// unweighted isolated runs.
+TEST(MultiCrawlTest, WeightsAndCapsNeverChangeConversations) {
+  auto data = StressData();
+  const uint64_t k = std::max<uint64_t>(8, data->MaxPointMultiplicity());
+
+  std::vector<uint64_t> expected_queries;
+  for (const MultiCrawlJob& job : StressJobs()) {
+    CrawlService solo(data, k);
+    auto outcomes = RunMultiCrawl(&solo, {job}, /*max_concurrent=*/1);
+    ASSERT_TRUE(outcomes[0].result.status.ok()) << outcomes[0].label;
+    expected_queries.push_back(outcomes[0].session_queries);
+  }
+
+  CrawlServiceOptions options;
+  options.max_parallelism = 4;
+  CrawlService service(data, k, nullptr, options);
+  std::vector<MultiCrawlJob> jobs = StressJobs();
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].session.weight = static_cast<unsigned>(1 + i % 3);
+    jobs[i].session.max_lane_parallelism = static_cast<unsigned>(i % 3);
+  }
+  auto outcomes = RunMultiCrawl(&service, jobs);
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].result.status.ok()) << outcomes[i].label;
+    EXPECT_EQ(outcomes[i].session_queries, expected_queries[i])
+        << outcomes[i].label;
     EXPECT_TRUE(Dataset::MultisetEquals(outcomes[i].result.extracted, *data))
         << outcomes[i].label;
   }

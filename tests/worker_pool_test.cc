@@ -1,0 +1,266 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// WorkerPool lane scheduling: weighted round-robin dealing across lanes,
+// per-lane parallelism caps, stale-entry disposal (a completed loop's
+// queued helper entries are dropped, never run), and the lane accounting
+// the CrawlService metrics are built on. The ordering tests pin the single
+// worker down with a blocked loop, stage queues while it is busy, then
+// watch the exact order it serves them — fully deterministic, no timing
+// assertions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/worker_pool.h"
+
+namespace hdc {
+namespace {
+
+/// A manually-released gate several test threads can block on.
+class Gate {
+ public:
+  void Open() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return open_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+/// Spins until `pred` holds (bounded; test fails on timeout).
+template <typename Pred>
+void AwaitOrFail(Pred pred, const char* what) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!pred()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << what;
+    std::this_thread::yield();
+  }
+}
+
+TEST(WorkerPoolTest, ZeroWorkersRunsInline) {
+  WorkerPool pool(0);
+  std::vector<int> hits(64, 0);
+  pool.ParallelFor(hits.size(), [&](size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(pool.busy_workers(), 0u);
+  // Inline runs never touch the queue, so they are not in the stats.
+  EXPECT_EQ(pool.lane_stats(WorkerPool::kDefaultLane).loops_submitted, 0u);
+}
+
+TEST(WorkerPoolTest, EveryItemRunsExactlyOnce) {
+  WorkerPool pool(3);
+  constexpr size_t kItems = 10000;
+  std::vector<std::atomic<int>> hits(kItems);
+  pool.ParallelFor(kItems, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  const WorkerPool::LaneStats stats =
+      pool.lane_stats(WorkerPool::kDefaultLane);
+  EXPECT_EQ(stats.loops_submitted, 1u);
+  EXPECT_EQ(stats.items_submitted, kItems);
+  EXPECT_GE(stats.queue_wait_total_seconds, 0.0);
+}
+
+TEST(WorkerPoolTest, ConcurrentLanesEachRunTheirOwnLoop) {
+  WorkerPool pool(2);
+  constexpr size_t kLanes = 4, kItems = 2000;
+  std::vector<WorkerPool::LaneId> lanes;
+  for (size_t i = 0; i < kLanes; ++i) lanes.push_back(pool.OpenLane());
+  std::vector<std::atomic<uint64_t>> sums(kLanes);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kLanes; ++t) {
+    threads.emplace_back([&, t] {
+      pool.ParallelFor(lanes[t], kItems,
+                       [&](size_t i) { sums[t].fetch_add(i + 1); });
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& sum : sums) {
+    EXPECT_EQ(sum.load(), kItems * (kItems + 1) / 2);
+  }
+  for (WorkerPool::LaneId lane : lanes) {
+    EXPECT_EQ(pool.lane_stats(lane).items_submitted, kItems);
+    pool.CloseLane(lane);
+  }
+  EXPECT_EQ(pool.open_lanes(), 1u);  // the default lane remains
+}
+
+TEST(WorkerPoolTest, LaneCapBoundsHelperParallelism) {
+  WorkerPool pool(4);
+  WorkerPool::LaneOptions capped;
+  capped.max_parallelism = 1;
+  const WorkerPool::LaneId lane = pool.OpenLane(capped);
+
+  std::atomic<unsigned> running{0}, high_water{0};
+  pool.ParallelFor(lane, 64, [&](size_t) {
+    const unsigned now = running.fetch_add(1) + 1;
+    unsigned seen = high_water.load();
+    while (seen < now && !high_water.compare_exchange_weak(seen, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    running.fetch_sub(1);
+  });
+  // At most one helper plus the calling thread may ever overlap.
+  EXPECT_LE(high_water.load(), 2u);
+  EXPECT_GE(high_water.load(), 1u);
+  pool.CloseLane(lane);
+}
+
+// The scheduling-order scenario: a single worker is pinned inside a
+// default-lane loop while three callers stage one helper entry each on two
+// weighted lanes; once released, the worker must serve them weighted
+// round-robin — B, B, C for weight(B) = 2, weight(C) = 1 — regardless of
+// enqueue order.
+TEST(WorkerPoolTest, WeightedRoundRobinDealsAcrossLanes) {
+  WorkerPool pool(1);
+  WorkerPool::LaneOptions heavy;
+  heavy.weight = 2;
+  const WorkerPool::LaneId lane_b = pool.OpenLane(heavy);
+  const WorkerPool::LaneId lane_c = pool.OpenLane();
+
+  Gate pin_gate, lane_gate;
+  std::atomic<unsigned> pinned{0}, callers_blocked{0};
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+
+  // Pin the worker (and this loop's caller) inside the default lane.
+  std::thread pin([&] {
+    pool.ParallelFor(2, [&](size_t) {
+      pinned.fetch_add(1);
+      pin_gate.Wait();
+    });
+  });
+  AwaitOrFail([&] { return pinned.load() == 2; }, "worker not pinned");
+
+  // Stage the lanes while the worker is busy. Each caller claims item 0 of
+  // its own loop and blocks; the queued helper entry then carries item 1,
+  // which records its lane when the worker gets to it. Enqueue order (C
+  // first) deliberately disagrees with the weighted service order.
+  auto stage = [&](WorkerPool::LaneId lane, const char* tag) {
+    pool.ParallelFor(lane, 2, [&, tag](size_t i) {
+      if (i == 0) {
+        callers_blocked.fetch_add(1);
+        lane_gate.Wait();
+      } else {
+        std::lock_guard<std::mutex> lock(order_mutex);
+        order.push_back(tag);
+      }
+    });
+  };
+  std::thread stage_c([&] { stage(lane_c, "C"); });
+  AwaitOrFail([&] { return callers_blocked.load() == 1; }, "C not staged");
+  std::thread stage_b1([&] { stage(lane_b, "B"); });
+  std::thread stage_b2([&] { stage(lane_b, "B"); });
+  AwaitOrFail([&] { return callers_blocked.load() == 3; }, "B not staged");
+
+  // Release the worker; it drains the staged entries in weighted order.
+  pin_gate.Open();
+  pin.join();
+  AwaitOrFail(
+      [&] {
+        std::lock_guard<std::mutex> lock(order_mutex);
+        return order.size() == 3;
+      },
+      "staged entries not served");
+  {
+    std::lock_guard<std::mutex> lock(order_mutex);
+    EXPECT_EQ(order, (std::vector<std::string>{"B", "B", "C"}));
+  }
+  lane_gate.Open();
+  stage_c.join();
+  stage_b1.join();
+  stage_b2.join();
+  pool.CloseLane(lane_b);
+  pool.CloseLane(lane_c);
+}
+
+// A loop fully claimed by its caller before any worker gets to it leaves a
+// stale queued entry; the worker must drop it at dequeue — without running
+// anything — and account for the disposal.
+TEST(WorkerPoolTest, CompletedLoopEntriesAreDroppedAtDequeue) {
+  WorkerPool pool(1);
+  const WorkerPool::LaneId lane = pool.OpenLane();
+
+  Gate pin_gate;
+  std::atomic<unsigned> pinned{0};
+  std::thread pin([&] {
+    pool.ParallelFor(2, [&](size_t) {
+      pinned.fetch_add(1);
+      pin_gate.Wait();
+    });
+  });
+  AwaitOrFail([&] { return pinned.load() == 2; }, "worker not pinned");
+
+  // With the only worker pinned, the caller eats both items itself; the
+  // helper entry it queued goes stale.
+  std::atomic<unsigned> runs{0};
+  pool.ParallelFor(lane, 2, [&](size_t) { runs.fetch_add(1); });
+  EXPECT_EQ(runs.load(), 2u);
+  EXPECT_EQ(pool.lane_stats(lane).stale_dropped, 0u);  // still queued
+
+  pin_gate.Open();
+  pin.join();
+  AwaitOrFail([&] { return pool.lane_stats(lane).stale_dropped == 1; },
+              "stale entry not dropped");
+  // The drop ran nothing: every item was executed exactly once, and the
+  // loop's wait was recorded at completion, not at disposal.
+  EXPECT_EQ(runs.load(), 2u);
+  const WorkerPool::LaneStats stats = pool.lane_stats(lane);
+  EXPECT_EQ(stats.loops_submitted, 1u);
+  EXPECT_EQ(stats.helper_joins, 0u);
+  EXPECT_GE(stats.queue_wait_total_seconds, 0.0);
+  pool.CloseLane(lane);
+}
+
+TEST(WorkerPoolTest, CloseLaneDiscardsStaleEntriesAndFreesTheLane) {
+  WorkerPool pool(1);
+  Gate pin_gate;
+  std::atomic<unsigned> pinned{0};
+  std::thread pin([&] {
+    pool.ParallelFor(2, [&](size_t) {
+      pinned.fetch_add(1);
+      pin_gate.Wait();
+    });
+  });
+  AwaitOrFail([&] { return pinned.load() == 2; }, "worker not pinned");
+
+  const WorkerPool::LaneId lane = pool.OpenLane();
+  pool.ParallelFor(lane, 2, [](size_t) {});
+  pool.CloseLane(lane);  // stale entry discarded with the lane
+  EXPECT_EQ(pool.open_lanes(), 1u);
+
+  pin_gate.Open();
+  pin.join();
+}
+
+TEST(WorkerPoolDeathTest, SubmittingOnUnknownLaneAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  WorkerPool pool(1);
+  EXPECT_DEATH(pool.ParallelFor(/*lane=*/42, 8, [](size_t) {}),
+               "unknown or closed lane");
+}
+
+TEST(WorkerPoolDeathTest, ClosingTheDefaultLaneAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  WorkerPool pool(0);
+  EXPECT_DEATH(pool.CloseLane(WorkerPool::kDefaultLane),
+               "default lane cannot be closed");
+}
+
+}  // namespace
+}  // namespace hdc

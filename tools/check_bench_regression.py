@@ -9,10 +9,17 @@ must match the baseline exactly: any drift is a hard failure — it means an
 algorithm's conversation changed. Wall-time-like columns (header containing
 "seconds", "wall" or "time") are machine noise: drift there only warns.
 
+Every baseline CSV must have a matching current result: a baseline with no
+current file means a bench was deleted, renamed, or silently skipped — a
+hard failure, because a gate that compares nothing passes vacuously. The
+same logic rejects a run that compared zero files overall. Pass
+--allow-missing only for a deliberate transition (e.g. retiring a figure):
+it downgrades unmatched baselines (and an empty comparison) to warnings.
+
 Usage:
     tools/check_bench_regression.py \
         [--baseline bench_results/baseline] [--current bench_results] \
-        [--time-tolerance 0.25]
+        [--time-tolerance 0.25] [--allow-missing]
 
 Exit status: 0 clean (warnings allowed), 1 on any hard failure.
 """
@@ -95,6 +102,11 @@ def main() -> int:
     parser.add_argument("--time-tolerance", default=0.25, type=float,
                         help="relative wall-time drift that triggers a "
                              "warning (default 0.25)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="downgrade baselines without a current CSV "
+                             "(and an empty comparison) from hard failures "
+                             "to warnings — only for deliberately retiring "
+                             "a bench")
     args = parser.parse_args()
 
     if not args.baseline.is_dir():
@@ -107,12 +119,23 @@ def main() -> int:
     for baseline in sorted(args.baseline.glob("*.csv")):
         current = args.current / baseline.name
         if not current.is_file():
-            failures.append(f"{baseline.name}: missing from {args.current} "
-                            "(bench not run or renamed)")
+            # A baseline nobody produces anymore must not pass silently:
+            # deleting or renaming a bench would otherwise retire its gate
+            # without anyone deciding to.
+            sink = warnings if args.allow_missing else failures
+            sink.append(f"{baseline.name}: missing from {args.current} "
+                        "(bench deleted, renamed, or not run; rerun it, or "
+                        "pass --allow-missing to retire it deliberately)")
             continue
         compared += 1
         compare_file(baseline, current, args.time_tolerance, failures,
                      warnings)
+
+    if compared == 0:
+        sink = warnings if args.allow_missing else failures
+        sink.append(f"no baseline CSV in {args.baseline} was matched by a "
+                    f"current result in {args.current} — the gate compared "
+                    "nothing")
 
     if args.current.is_dir():
         baseline_names = {b.name for b in args.baseline.glob("*.csv")}
