@@ -14,8 +14,11 @@
 
 #include "gen/nsf_gen.h"
 #include "gen/yahoo_gen.h"
+#include "net/remote_server.h"
+#include "net/service_endpoint.h"
 #include "server/crawl_service.h"
 #include "server/local_server.h"
+#include "util/macros.h"
 #include "util/random.h"
 
 namespace hdc {
@@ -201,6 +204,45 @@ void BM_ContendedMultiSession(benchmark::State& state) {
 BENCHMARK(BM_ContendedMultiSession)
     ->Args({1, 0})
     ->Args({4, 1})
+    ->UseRealTime();
+
+/// Remote batched throughput: the BM_YahooBatchedIssue workload pushed
+/// through the loopback wire (ServiceEndpoint + RemoteServer). range(0) =
+/// batch size, range(1) = service parallelism. Comparing a {B, P} row here
+/// against its in-process twin above isolates the wire cost per round —
+/// and shows how batching amortizes it (the whole point of pipelining an
+/// IssueBatch over one connection).
+void BM_RemoteBatchedIssue(benchmark::State& state) {
+  auto data = YahooData();
+  CrawlServiceOptions service_options;
+  service_options.max_parallelism = static_cast<unsigned>(state.range(1));
+  CrawlService service(data, 1000, nullptr, service_options);
+  net::ServiceEndpoint endpoint(&service);
+  HDC_CHECK_OK(endpoint.Start());
+  std::unique_ptr<net::RemoteServer> client;
+  HDC_CHECK_OK(
+      net::RemoteServer::Connect("127.0.0.1", endpoint.port(), {}, &client));
+
+  Rng rng(7);
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  std::vector<Query> batch;
+  batch.reserve(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    batch.push_back(RandomYahooQuery(&rng, data->schema()));
+  }
+  std::vector<Response> responses;
+  for (auto _ : state) {
+    // A silently failing transport must not be benchmarked as served
+    // queries.
+    HDC_CHECK_OK(client->IssueBatch(batch, &responses));
+    benchmark::DoNotOptimize(responses);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * batch_size));
+  endpoint.Stop();
+}
+BENCHMARK(BM_RemoteBatchedIssue)
+    ->ArgsProduct({{16, 64, 256}, {1, 4}})
     ->UseRealTime();
 
 void BM_ServerConstruction(benchmark::State& state) {

@@ -1,0 +1,123 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Transport round-trip bench: the same deterministic query workload driven
+// through the in-process stack and through the RemoteServer loopback
+// transport at several batch sizes. The CSV is transport-tagged (the
+// `transport` column) so the nightly regression gate compares loopback
+// wall-times only against loopback baselines and in-process only against
+// in-process — mixing them would make every wall-time comparison
+// meaningless (tools/check_bench_regression.py groups rows by transport).
+// The query counts are deterministic and gated exactly, like every other
+// bench.
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/synthetic.h"
+#include "harness.h"
+#include "net/remote_server.h"
+#include "net/service_endpoint.h"
+#include "server/crawl_service.h"
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace hdc {
+namespace bench {
+namespace {
+
+std::shared_ptr<const Dataset> BenchData() {
+  SyntheticMixedOptions gen;
+  gen.domain_sizes = {8, 40};
+  gen.num_numeric = 1;
+  gen.n = 20000;
+  gen.value_range = 10000;
+  gen.seed = 13;
+  return std::make_shared<const Dataset>(GenerateSyntheticMixed(gen));
+}
+
+/// The fixed workload: 256 mixed queries, seeded.
+std::vector<Query> Workload(const SchemaPtr& schema) {
+  Rng rng(17);
+  std::vector<Query> queries;
+  queries.reserve(256);
+  for (size_t i = 0; i < 256; ++i) {
+    Query q = Query::FullSpace(schema);
+    if (rng.Bernoulli(0.5)) {
+      q = q.WithCategoricalEquals(
+          0, rng.UniformInt(1, static_cast<Value>(schema->domain_size(0))));
+    }
+    if (rng.Bernoulli(0.7)) {
+      const Value lo = rng.UniformInt(0, 8000);
+      q = q.WithNumericRange(2, lo, lo + 1500);
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+/// Issues the workload in rounds of `batch` against `server`; returns
+/// {queries answered, wall seconds}.
+std::pair<uint64_t, double> Drive(HiddenDbServer* server, size_t batch,
+                                  const std::vector<Query>& workload) {
+  uint64_t answered = 0;
+  std::vector<Response> responses;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t at = 0; at < workload.size(); at += batch) {
+    const size_t n = std::min(batch, workload.size() - at);
+    const std::vector<Query> round(workload.begin() + at,
+                                   workload.begin() + at + n);
+    HDC_CHECK_OK(server->IssueBatch(round, &responses));
+    answered += responses.size();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return {answered, seconds};
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hdc
+
+int main() {
+  using namespace hdc;
+  using namespace hdc::bench;
+
+  Banner("transport",
+         "in-process vs loopback wire: 256 mixed queries, k = 1000, "
+         "batch sizes 1/16/64");
+
+  auto data = BenchData();
+  const uint64_t k = std::max<uint64_t>(1000, data->MaxPointMultiplicity());
+  const std::vector<Query> workload = Workload(data->schema());
+
+  FigureTable table("Transport round-trips", "transport_roundtrip",
+                    {"transport", "batch size", "queries", "wall seconds"});
+
+  CrawlServiceOptions service_options;
+  service_options.max_parallelism = 4;
+  CrawlService service(data, k, nullptr, service_options);
+
+  for (size_t batch : {size_t{1}, size_t{16}, size_t{64}}) {
+    auto session = service.CreateSession();
+    auto [answered, seconds] = Drive(session.get(), batch, workload);
+    table.AddRow({"in-process", std::to_string(batch),
+                  std::to_string(answered), std::to_string(seconds)});
+  }
+
+  net::ServiceEndpoint endpoint(&service);
+  HDC_CHECK_OK(endpoint.Start());
+  for (size_t batch : {size_t{1}, size_t{16}, size_t{64}}) {
+    std::unique_ptr<net::RemoteServer> client;
+    HDC_CHECK_OK(net::RemoteServer::Connect("127.0.0.1", endpoint.port(), {},
+                                            &client));
+    auto [answered, seconds] = Drive(client.get(), batch, workload);
+    table.AddRow({"loopback", std::to_string(batch),
+                  std::to_string(answered), std::to_string(seconds)});
+  }
+  endpoint.Stop();
+
+  table.Emit();
+  return 0;
+}

@@ -12,6 +12,7 @@ set(HDC_LAYER_ORDER
     hdc_data
     hdc_query
     hdc_server
+    hdc_net
     hdc_gen
     hdc_core
     hdc_analytics)

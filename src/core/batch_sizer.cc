@@ -1,0 +1,64 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/batch_sizer.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace hdc {
+
+AdaptiveBatchSizer::AdaptiveBatchSizer(const AdaptiveBatchOptions& options,
+                                       unsigned base_parallelism)
+    : options_(options),
+      limit_(std::max<size_t>(1, base_parallelism)) {
+  HDC_CHECK_MSG(options_.target_round_seconds > 0,
+                "AdaptiveBatchOptions::target_round_seconds must be > 0");
+  HDC_CHECK_MSG(options_.max_round >= 1,
+                "AdaptiveBatchOptions::max_round must be >= 1");
+  limit_ = std::min(limit_, options_.max_round);
+}
+
+void AdaptiveBatchSizer::RecordRound(size_t round_size, double rtt_seconds,
+                                     double queue_wait_total_seconds) {
+  ++rounds_recorded_;
+  // The reading is cumulative per server session; a *decrease* means the
+  // conversation moved to a fresh session (reconnect), whose total is
+  // entirely wait incurred since — re-seed instead of clamping to zero,
+  // or a congested server would get no back-off for the whole catch-up
+  // window.
+  const double wait_delta =
+      queue_wait_total_seconds < last_queue_wait_total_
+          ? queue_wait_total_seconds
+          : queue_wait_total_seconds - last_queue_wait_total_;
+  last_queue_wait_total_ = queue_wait_total_seconds;
+
+  // Congestion first: a server that parked this round behind other tenants
+  // gets smaller rounds regardless of how fast the wire is.
+  if (rtt_seconds > 0 &&
+      wait_delta > options_.congestion_fraction * rtt_seconds) {
+    if (limit_ > 1) {
+      limit_ /= 2;
+      ++congestion_backoffs_;
+    }
+    return;
+  }
+
+  if (rtt_seconds > 2 * options_.target_round_seconds) {
+    if (limit_ > 1) {
+      limit_ /= 2;
+      ++shrink_events_;
+    }
+    return;
+  }
+
+  // Grow only off a *full* round: a half-empty round's round-trip says
+  // nothing about what a bigger one would cost.
+  if (round_size >= limit_ &&
+      rtt_seconds < 0.5 * options_.target_round_seconds &&
+      limit_ < options_.max_round) {
+    limit_ = std::min(options_.max_round, limit_ * 2);
+    ++grow_events_;
+  }
+}
+
+}  // namespace hdc

@@ -1,0 +1,84 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Latency-aware adaptive batch sizing — the feedback half of
+// CrawlOptions::batch_size == 0 ("auto").
+//
+// Against an in-process server, auto sizing is the deterministic rule from
+// PR 3: round = min(frontier width, batch_parallelism). Against a remote
+// transport (HiddenDbServer::load_hint().latency_feedback), every round
+// pays a fixed wire cost on top of per-query evaluation, so the right
+// round size depends on *observed* behaviour, not declared parallelism:
+//
+//  - rounds finishing well under the target round-trip budget are too
+//    small — the fixed latency dominates; grow (double) the round so more
+//    queries amortize it;
+//  - rounds blowing past the budget are too big — halve, so an interrupt
+//    (quota, politeness window, operator stop) never strands more than
+//    ~target seconds of in-flight work;
+//  - a round that spent a large fraction of its round-trip *queued behind
+//    other tenants* (the PR 4 per-lane queue-wait signal, piggybacked on
+//    batch replies) means the server is congested: back off first,
+//    whatever the latency says — a polite crawler sheds load before
+//    optimizing its own throughput.
+//
+// The sizer only ever changes how many frontier items share a wire round —
+// query count, answers and extraction are invariant (the PR 2 batching
+// contract), so growth/shrink decisions need no correctness argument, only
+// a performance one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hdc {
+
+struct AdaptiveBatchOptions {
+  /// Round-trip wall-clock budget a round should roughly fill. Rounds
+  /// under half of it double the limit; rounds over twice it halve it.
+  double target_round_seconds = 0.25;
+
+  /// Back off when the server-side queue wait of the last round exceeds
+  /// this fraction of its round-trip time.
+  double congestion_fraction = 0.5;
+
+  /// Hard ceiling on the adaptive round limit.
+  size_t max_round = 1024;
+};
+
+/// Tracks observed rounds and maintains the current round-size limit.
+/// Single-conversation (one per CrawlContext); not thread-safe.
+class AdaptiveBatchSizer {
+ public:
+  /// `base_parallelism` seeds the limit (clamped to >= 1): the declared
+  /// server parallelism is the best first guess before any round is
+  /// observed.
+  AdaptiveBatchSizer(const AdaptiveBatchOptions& options,
+                     unsigned base_parallelism);
+
+  /// Records one completed wire round: `round_size` members, observed
+  /// `rtt_seconds` wall clock, and the server's *cumulative* queue-wait
+  /// reading after the round (ServerLoadHint::queue_wait_total_seconds;
+  /// successive readings are diffed internally). Updates the limit.
+  void RecordRound(size_t round_size, double rtt_seconds,
+                   double queue_wait_total_seconds);
+
+  /// Current limit on how many frontier items the next round may carry.
+  size_t limit() const { return limit_; }
+
+  // --- introspection for tests and metrics ------------------------------
+  uint64_t rounds_recorded() const { return rounds_recorded_; }
+  uint64_t grow_events() const { return grow_events_; }
+  uint64_t shrink_events() const { return shrink_events_; }
+  uint64_t congestion_backoffs() const { return congestion_backoffs_; }
+
+ private:
+  AdaptiveBatchOptions options_;
+  size_t limit_;
+  double last_queue_wait_total_ = 0;
+  uint64_t rounds_recorded_ = 0;
+  uint64_t grow_events_ = 0;
+  uint64_t shrink_events_ = 0;
+  uint64_t congestion_backoffs_ = 0;
+};
+
+}  // namespace hdc

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 
+#include "util/clock.h"
 #include "util/macros.h"
 
 namespace hdc {
@@ -13,11 +14,18 @@ CrawlContext::CrawlContext(HiddenDbServer* server, CrawlState* state,
   HDC_CHECK(server != nullptr);
   HDC_CHECK(state != nullptr);
   if (!state_->fatal.ok()) stopped_ = true;
+  if (options_.batch_size == 0 && server_->load_hint().latency_feedback) {
+    sizer_ = std::make_unique<AdaptiveBatchSizer>(
+        options_.adaptive_batch, server_->batch_parallelism());
+    clock_ = options_.clock != nullptr ? options_.clock : RealClock::Get();
+  }
 }
 
 size_t CrawlContext::RoundSize(size_t frontier_width) const {
   if (options_.batch_size > 0) return options_.batch_size;
-  const size_t cap = std::max(1u, server_->batch_parallelism());
+  const size_t cap = sizer_ != nullptr
+                         ? sizer_->limit()
+                         : std::max(1u, server_->batch_parallelism());
   return std::clamp<size_t>(frontier_width, 1, cap);
 }
 
@@ -102,7 +110,24 @@ std::vector<CrawlContext::Outcome> CrawlContext::IssueBatch(
     batch = &filtered;
   }
   std::vector<Response> answered;
+  double round_start = 0, politeness_before = 0;
+  if (sizer_ != nullptr) {
+    round_start = clock_->NowSeconds();
+    politeness_before = server_->load_hint().politeness_wait_total_seconds;
+  }
   Status s = server_->IssueBatch(*batch, &answered);
+  if (sizer_ != nullptr) {
+    // Feed the adaptive loop: this wire round's size and round-trip, plus
+    // the server's cumulative queue-wait reading after it. The politeness
+    // sleep inside the round is a deliberate pacing choice, not transport
+    // latency — subtract it so a polite crawl still grows its rounds.
+    const ServerLoadHint hint = server_->load_hint();
+    const double paced = std::max(
+        0.0, hint.politeness_wait_total_seconds - politeness_before);
+    const double rtt =
+        std::max(0.0, clock_->NowSeconds() - round_start - paced);
+    sizer_->RecordRound(batch->size(), rtt, hint.queue_wait_total_seconds);
+  }
   HDC_CHECK_MSG(answered.size() <= batch->size(),
                 "server answered more members than submitted");
   HDC_CHECK_MSG(s.ok() == (answered.size() == batch->size()),

@@ -2,14 +2,18 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "core/batch_sizer.h"
 #include "core/crawler.h"
 #include "query/query.h"
 #include "server/response.h"
 #include "server/server.h"
 
 namespace hdc {
+
+class Clock;
 
 /// Binds a crawl run together: the server, the mutable state and the run
 /// options. All queries flow through Issue(), which enforces the budget,
@@ -52,8 +56,15 @@ class CrawlContext {
   /// capped by the server's evaluation parallelism — wide frontiers fill
   /// the server's lanes, narrow ones never pad the round. Against a
   /// single-lane server, auto degenerates to 1 and reproduces the
-  /// sequential conversation exactly.
+  /// sequential conversation exactly. Against a remote transport
+  /// (ServerLoadHint::latency_feedback) the cap is the adaptive limit fed
+  /// back from observed round-trip latency and server queue wait.
   size_t RoundSize(size_t frontier_width) const;
+
+  /// The adaptive sizer driving auto rounds, or null when sizing is the
+  /// deterministic parallelism rule (fixed batch_size, or an in-process
+  /// server). Exposed for tests and metrics.
+  const AdaptiveBatchSizer* batch_sizer() const { return sizer_.get(); }
 
   /// The server/budget status that interrupted the run, if any.
   const Status& interrupt() const { return interrupt_; }
@@ -90,6 +101,10 @@ class CrawlContext {
   uint64_t run_queries_ = 0;
   bool stopped_ = false;
   Status interrupt_;
+
+  /// Set only for batch_size == 0 against a latency-feedback server.
+  std::unique_ptr<AdaptiveBatchSizer> sizer_;
+  Clock* clock_ = nullptr;  // round-trip measurement; set iff sizer_ is
 };
 
 }  // namespace hdc

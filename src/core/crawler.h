@@ -15,12 +15,15 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/batch_sizer.h"
 #include "core/dependency.h"
 #include "data/dataset.h"
 #include "server/server.h"
 #include "util/status.h"
 
 namespace hdc {
+
+class Clock;
 
 /// Per-query progress sample (recorded when CrawlOptions::record_trace).
 struct TraceEntry {
@@ -49,11 +52,25 @@ struct CrawlOptions {
   /// width, capped by the server's declared evaluation parallelism
   /// (HiddenDbServer::batch_parallelism) — against a single-lane server
   /// auto degenerates to 1 and stays byte-identical to the sequential
-  /// conversation. Any setting never changes the query *count* of the six
-  /// crawlers (each work item is issued exactly once and split decisions
-  /// depend only on the item's own response), only the conversation order
-  /// and, against a parallel or remote server, the wall-clock time.
+  /// conversation. When the server reports a latency boundary
+  /// (ServerLoadHint::latency_feedback, i.e. a remote transport), the cap
+  /// is adaptive instead: an AdaptiveBatchSizer grows/shrinks it from
+  /// observed per-round round-trip latency and the server's queue-wait
+  /// signal (see core/batch_sizer.h and `adaptive_batch` below). Any
+  /// setting never changes the query *count* of the six crawlers (each
+  /// work item is issued exactly once and split decisions depend only on
+  /// the item's own response), only the conversation order and, against a
+  /// parallel or remote server, the wall-clock time.
   uint32_t batch_size = 1;
+
+  /// Tuning of the latency-aware auto sizing; only consulted when
+  /// batch_size == 0 and the server's load hint enables latency feedback.
+  AdaptiveBatchOptions adaptive_batch;
+
+  /// Time source for round-trip measurement (latency-aware sizing only);
+  /// null means the process-wide RealClock. Tests inject a FakeClock to
+  /// make sizing decisions deterministic.
+  Clock* clock = nullptr;
 
   /// Record a TraceEntry per query (costs memory; off by default).
   bool record_trace = false;

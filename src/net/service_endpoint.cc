@@ -1,0 +1,211 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "net/service_endpoint.h"
+
+#include <utility>
+
+#include "util/macros.h"
+
+namespace hdc {
+namespace net {
+
+ServiceEndpoint::ServiceEndpoint(CrawlService* service,
+                                 ServiceEndpointOptions options)
+    : service_(service), options_(std::move(options)) {
+  HDC_CHECK(service != nullptr);
+}
+
+ServiceEndpoint::~ServiceEndpoint() { Stop(); }
+
+Status ServiceEndpoint::Start() {
+  HDC_CHECK_MSG(!running_, "endpoint already started");
+  Status s = Listener::Listen(options_.host, options_.port, &listener_);
+  if (!s.ok()) return s;
+  running_ = true;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ServiceEndpoint::Stop() {
+  if (!running_.exchange(false)) return;
+  // Wake the acceptor first so no new connection threads appear while we
+  // join the existing ones.
+  listener_.Shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& [id, socket] : live_connections_) socket->Shutdown();
+  }
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    to_join.reserve(connection_threads_.size());
+    for (auto& [id, thread] : connection_threads_) {
+      to_join.push_back(std::move(thread));
+    }
+    connection_threads_.clear();
+    finished_.clear();
+  }
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+  listener_.Close();
+}
+
+void ServiceEndpoint::ReapFinishedConnections() {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    to_join.reserve(finished_.size());
+    for (uint64_t id : finished_) {
+      auto it = connection_threads_.find(id);
+      if (it == connection_threads_.end()) continue;
+      to_join.push_back(std::move(it->second));
+      connection_threads_.erase(it);
+    }
+    finished_.clear();
+  }
+  // Join outside the lock: the thread's final instructions finish in
+  // nanoseconds (it announced completion as its last locked action).
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ServiceEndpoint::AcceptLoop() {
+  while (running_) {
+    Socket socket;
+    Status s = listener_.Accept(&socket);
+    if (!s.ok()) return;  // listener shut down (or hard failure): exit
+    ++connections_accepted_;
+    // Reap exited connection threads so a long-running endpoint never
+    // accumulates dead thread handles.
+    ReapFinishedConnections();
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    const uint64_t id = next_connection_id_++;
+    connection_threads_.emplace(
+        id, std::thread([this, id, sock = std::move(socket)]() mutable {
+          // Register before the first read, deregister before the socket
+          // dies: Stop() can always sever a blocked connection and never
+          // touches a reused fd.
+          {
+            std::lock_guard<std::mutex> reg(connections_mutex_);
+            live_connections_.emplace(id, &sock);
+          }
+          if (running_) ServeConnection(id, &sock);
+          std::lock_guard<std::mutex> dereg(connections_mutex_);
+          live_connections_.erase(id);
+          finished_.push_back(id);
+        }));
+  }
+}
+
+void ServiceEndpoint::ServeConnection(uint64_t connection_id,
+                                      Socket* socket) {
+  // Handshake: the very first frame must be a well-formed hello.
+  Frame frame;
+  HelloMessage hello;
+  if (!RecvFrame(socket, &frame).ok() || frame.type != FrameType::kHello ||
+      !DecodeHello(frame.payload, &hello).ok()) {
+    return;  // not our protocol: close without a session
+  }
+
+  SessionOptions session_options;
+  session_options.max_queries = hello.max_queries;
+  session_options.weight = hello.weight;
+  session_options.max_lane_parallelism = hello.max_lane_parallelism;
+  session_options.label = hello.label.empty()
+                              ? "remote-" + std::to_string(connection_id)
+                              : hello.label;
+  std::unique_ptr<ServerSession> session =
+      service_->CreateSession(std::move(session_options));
+
+  WelcomeMessage welcome;
+  welcome.session_id = session->id();
+  welcome.k = session->k();
+  welcome.batch_parallelism = session->batch_parallelism();
+  const SchemaPtr& schema = session->schema();
+  welcome.attributes.reserve(schema->num_attributes());
+  for (size_t i = 0; i < schema->num_attributes(); ++i) {
+    welcome.attributes.push_back(schema->attribute(i));
+  }
+  if (!SendFrame(socket, FrameType::kWelcome, EncodeWelcome(welcome))
+           .ok()) {
+    return;
+  }
+
+  uint64_t responses_sent = 0;
+  while (running_ &&
+         HandleFrame(socket, session.get(), hello.max_queries,
+                     &responses_sent)) {
+  }
+}
+
+bool ServiceEndpoint::HandleFrame(Socket* socket, ServerSession* session,
+                                  uint64_t session_budget,
+                                  uint64_t* responses_sent) {
+  Frame frame;
+  if (!RecvFrame(socket, &frame).ok()) return false;  // client gone
+
+  switch (frame.type) {
+    case FrameType::kIssueBatch: {
+      std::vector<Query> queries;
+      if (!DecodeQueryBatch(frame.payload, session->schema(), &queries)
+               .ok()) {
+        return false;  // malformed batch: sever, never evaluate
+      }
+      std::vector<Response> responses;
+      Status batch_status = session->IssueBatch(queries, &responses);
+      for (const Response& response : responses) {
+        if (options_.drop_connection_after_responses > 0 &&
+            *responses_sent >= options_.drop_connection_after_responses) {
+          // Injected fault: sever mid-batch, leaving the client a valid
+          // answered prefix.
+          socket->Shutdown();
+          return false;
+        }
+        if (!SendFrame(socket, FrameType::kResponse,
+                       EncodeResponse(response))
+                 .ok()) {
+          return false;
+        }
+        ++*responses_sent;
+      }
+      BatchEndMessage end;
+      end.code = batch_status.code();
+      end.message = batch_status.message();
+      end.queue_wait_total_seconds =
+          session->load_hint().queue_wait_total_seconds;
+      return SendFrame(socket, FrameType::kBatchEnd, EncodeBatchEnd(end))
+          .ok();
+    }
+
+    case FrameType::kStatsRequest: {
+      StatsMessage stats;
+      stats.queries_served = session->queries_served();
+      stats.tuples_returned = session->tuples_returned();
+      stats.overflow_count = session->overflow_count();
+      stats.budget_remaining = session->budget_remaining();
+      return SendFrame(socket, FrameType::kStatsReply, EncodeStats(stats))
+          .ok();
+    }
+
+    case FrameType::kRefillBudget: {
+      uint64_t max_queries;
+      if (!DecodeRefill(frame.payload, &max_queries).ok()) return false;
+      Status ack = Status::OK();
+      if (session_budget == kUnlimitedQueries) {
+        ack = Status::FailedPrecondition(
+            "session was created without a budget");
+      } else {
+        session->RefillBudget(max_queries);
+      }
+      return SendFrame(socket, FrameType::kRefillAck, EncodeAck(ack)).ok();
+    }
+
+    default:
+      return false;  // protocol violation: sever
+  }
+}
+
+}  // namespace net
+}  // namespace hdc

@@ -1,0 +1,114 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// ServiceEndpoint — serves an existing CrawlService over the hdc wire
+// protocol. Each accepted connection becomes one ServerSession
+// (server/crawl_service.h): remote tenants therefore inherit everything
+// the in-process service already provides — per-session statistics,
+// budgets, and a fair scheduling lane on the shared worker pool — and a
+// remote conversation is the same conversation an in-process session
+// would have had, frame framing aside.
+//
+// Lifecycle: Start() binds and spawns the accept loop; Stop() (or the
+// destructor) shuts the listener down, severs live connections, and joins
+// every thread. The endpoint must outlive none of its connections and the
+// CrawlService must outlive the endpoint.
+//
+// Robustness: a peer sending a malformed hello, an oversized length
+// prefix, an undecodable batch, or an unknown frame type gets its
+// connection closed — never a crash, never a stuck thread — and the
+// endpoint keeps serving everyone else. Tests drive this directly
+// (remote_transport_test.cc) by speaking garbage at a live endpoint.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket.h"
+#include "server/crawl_service.h"
+#include "util/status.h"
+
+namespace hdc {
+namespace net {
+
+struct ServiceEndpointOptions {
+  /// Bind address. Loopback by default: the supported deployment is one
+  /// trusted machine boundary (tests, benches, the remote_crawl example).
+  std::string host = "127.0.0.1";
+
+  /// 0 picks an ephemeral port (read it from port() after Start()).
+  uint16_t port = 0;
+
+  /// Fault injection for tests: when > 0, each connection is severed
+  /// right before it would send its (N+1)-th response frame — a
+  /// deterministic mid-batch connection drop. 0 never drops.
+  uint64_t drop_connection_after_responses = 0;
+};
+
+/// One listening endpoint over one CrawlService.
+class ServiceEndpoint {
+ public:
+  /// `service` is borrowed and must outlive the endpoint.
+  ServiceEndpoint(CrawlService* service, ServiceEndpointOptions options = {});
+  ~ServiceEndpoint();
+
+  ServiceEndpoint(const ServiceEndpoint&) = delete;
+  ServiceEndpoint& operator=(const ServiceEndpoint&) = delete;
+
+  /// Binds, listens, and starts accepting. Fails (typed) when the address
+  /// is unusable.
+  Status Start();
+
+  /// Severs every connection, joins every thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_; }
+
+  /// The bound port (valid after a successful Start()).
+  uint16_t port() const { return listener_.port(); }
+
+  uint64_t connections_accepted() const { return connections_accepted_; }
+
+ private:
+  void AcceptLoop();
+
+  /// Runs one connection's conversation; `socket` stays owned (and
+  /// registered) by the calling connection thread.
+  void ServeConnection(uint64_t connection_id, Socket* socket);
+
+  /// One client turn: reads a frame, dispatches. Returns false when the
+  /// connection should close (EOF, malformed input, protocol violation).
+  bool HandleFrame(Socket* socket, ServerSession* session,
+                   uint64_t session_budget, uint64_t* responses_sent);
+
+  CrawlService* service_;
+  ServiceEndpointOptions options_;
+  Listener listener_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+
+  std::thread acceptor_;
+
+  /// Joins (and erases) the threads listed in finished_. Must be called
+  /// WITHOUT connections_mutex_ held by this thread.
+  void ReapFinishedConnections();
+
+  /// Live connection sockets, for severing at Stop(). A connection thread
+  /// deregisters its socket (under the mutex) before destroying it, so
+  /// Stop() never shuts down a reused fd. Threads announce completion via
+  /// finished_ and are joined by the accept loop (so a long-lived
+  /// endpoint never accumulates exited threads) or, finally, by Stop().
+  std::mutex connections_mutex_;
+  std::unordered_map<uint64_t, Socket*> live_connections_;
+  std::unordered_map<uint64_t, std::thread> connection_threads_;
+  std::vector<uint64_t> finished_;
+  uint64_t next_connection_id_ = 0;
+};
+
+}  // namespace net
+}  // namespace hdc

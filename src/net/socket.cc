@@ -1,0 +1,203 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace hdc {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+Status ResolveLoopbackish(const std::string& host, in_addr* out) {
+  const std::string effective = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, effective.c_str(), out) != 1) {
+    return Status::InvalidArgument("unparseable IPv4 address: " + host);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// --- Socket -----------------------------------------------------------------
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status Socket::Connect(const std::string& host, uint16_t port, Socket* out) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  Status s = ResolveLoopbackish(host, &addr.sin_addr);
+  if (!s.ok()) return s;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket connecting(fd);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("connect " + host + ":" + std::to_string(port));
+  }
+  // The protocol is request/response with small frames: latency matters
+  // more than segment coalescing.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *out = std::move(connecting);
+  return Status::OK();
+}
+
+Status Socket::SendAll(const void* data, size_t n) {
+  if (fd_ < 0) return Status::Unavailable("send on closed socket");
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    if (sent == 0) return Status::Unavailable("send: connection closed");
+    p += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvAll(void* data, size_t n) {
+  if (fd_ < 0) return Status::Unavailable("recv on closed socket");
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd_, p, n, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (got == 0) return Status::Unavailable("connection closed");
+    p += got;
+    n -= static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+void Socket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// --- Listener ---------------------------------------------------------------
+
+Status Listener::Listen(const std::string& host, uint16_t port,
+                        Listener* out) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  Status s = ResolveLoopbackish(host, &addr.sin_addr);
+  if (!s.ok()) return s;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Listener listener;
+  listener.fd_ = fd;
+
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, /*backlog=*/16) != 0) return Errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return Errno("getsockname");
+  }
+  listener.port_ = ntohs(bound.sin_port);
+  *out = std::move(listener);
+  return Status::OK();
+}
+
+Status Listener::Accept(Socket* out) {
+  if (fd_ < 0) return Status::Unavailable("accept on closed listener");
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      *out = Socket(fd);
+      return Status::OK();
+    }
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+void Listener::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// --- frames -----------------------------------------------------------------
+
+Status SendFrame(Socket* socket, FrameType type, const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload exceeds protocol cap");
+  }
+  // One contiguous send: header (5 bytes) + payload.
+  std::string wire;
+  wire.reserve(5 + payload.size());
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    wire.push_back(static_cast<char>((len >> shift) & 0xff));
+  }
+  wire.push_back(static_cast<char>(type));
+  wire.append(payload);
+  return socket->SendAll(wire.data(), wire.size());
+}
+
+Status RecvFrame(Socket* socket, Frame* out) {
+  uint8_t header[5];
+  Status s = socket->RecvAll(header, sizeof(header));
+  if (!s.ok()) return s;
+  uint32_t len = 0;
+  for (int shift = 0, i = 0; shift < 32; shift += 8, ++i) {
+    len |= static_cast<uint32_t>(header[i]) << shift;
+  }
+  if (len > kMaxFramePayload) {
+    return Status::Unavailable("malformed frame: length prefix beyond cap");
+  }
+  out->type = static_cast<FrameType>(header[4]);
+  out->payload.resize(len);
+  if (len > 0) {
+    s = socket->RecvAll(&out->payload[0], len);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace hdc

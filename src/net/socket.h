@@ -1,0 +1,119 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Minimal blocking TCP wrappers (POSIX, IPv4) for the hdc wire protocol:
+// a connected Socket with send-all/recv-all semantics, a Listener bound to
+// a loopback (or any) address, and frame I/O on top (net/frame.h).
+//
+// Error model: every transport-level failure — refused connection, peer
+// reset, EOF mid-frame, oversized length prefix — comes back as
+// Status::Unavailable, the typed error RemoteServer surfaces and
+// RetryingServer treats as transient. Nothing here throws or aborts on
+// peer behaviour.
+//
+// Shutdown semantics: Shutdown() (SHUT_RDWR) may be called from another
+// thread while this thread blocks in send/recv — the blocked call then
+// fails with Unavailable. Close() must only be called by the owning
+// thread once no other thread can touch the socket; this is how the
+// endpoint's Stop() unblocks its connection threads without racing fd
+// reuse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/frame.h"
+#include "util/status.h"
+
+namespace hdc {
+namespace net {
+
+/// A connected stream socket. Movable, not copyable; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Dials host:port (IPv4 dotted quad or "localhost").
+  static Status Connect(const std::string& host, uint16_t port, Socket* out);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all n bytes or fails (SIGPIPE suppressed).
+  Status SendAll(const void* data, size_t n);
+
+  /// Reads exactly n bytes; a clean peer close mid-read is Unavailable.
+  Status RecvAll(void* data, size_t n);
+
+  /// Half-duplex teardown, safe cross-thread (see file header).
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket. SO_REUSEADDR is always set, so an endpoint can be
+/// restarted on the port a previous instance just vacated (the server
+/// restart path).
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+
+  Listener(Listener&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  Listener& operator=(Listener&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      port_ = other.port_;
+      other.fd_ = -1;
+      other.port_ = 0;
+    }
+    return *this;
+  }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens on host:port; port 0 picks an ephemeral port,
+  /// readable from port() afterwards.
+  static Status Listen(const std::string& host, uint16_t port,
+                       Listener* out);
+
+  bool valid() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+
+  /// Blocks for one connection. Fails with Unavailable once Shutdown()
+  /// has been called (the accept loop's exit signal).
+  Status Accept(Socket* out);
+
+  /// Wakes a blocked Accept() from another thread.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// Writes one frame: u32 payload length, u8 type, payload bytes.
+Status SendFrame(Socket* socket, FrameType type, const std::string& payload);
+
+/// Reads one frame, enforcing kMaxFramePayload. EOF exactly on a frame
+/// boundary is reported as Unavailable with message "connection closed" —
+/// callers that treat a clean close as end-of-conversation match on that.
+Status RecvFrame(Socket* socket, Frame* out);
+
+}  // namespace net
+}  // namespace hdc

@@ -95,6 +95,12 @@ void ServerSession::RefillBudget(uint64_t max_queries) {
   budget_->Refill(max_queries);
 }
 
+ServerLoadHint ServerSession::load_hint() const {
+  ServerLoadHint hint;
+  hint.queue_wait_total_seconds = lane_stats().queue_wait_total_seconds;
+  return hint;
+}
+
 WorkerPool::LaneStats ServerSession::lane_stats() const {
   return pool_ != nullptr ? pool_->lane_stats(lane_) : WorkerPool::LaneStats{};
 }

@@ -163,6 +163,11 @@ class ServerSession : public HiddenDbServer {
   const SchemaPtr& schema() const override;
   unsigned batch_parallelism() const override { return parallelism_; }
 
+  /// In-process feedback: no latency boundary (latency_feedback stays
+  /// false), but the session's cumulative lane queue wait is reported so a
+  /// remote endpoint can piggyback it to its client (net/service_endpoint).
+  ServerLoadHint load_hint() const override;
+
   uint64_t id() const { return id_; }
   const std::string& label() const { return label_; }
   unsigned weight() const { return weight_; }

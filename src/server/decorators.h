@@ -67,6 +67,7 @@ class ServerDecorator : public HiddenDbServer {
   unsigned batch_parallelism() const override {
     return base_->batch_parallelism();
   }
+  ServerLoadHint load_hint() const override { return base_->load_hint(); }
 
  protected:
   HiddenDbServer* base_;
@@ -307,9 +308,11 @@ class FlakyServer : public ServerDecorator {
   uint64_t failures_ = 0;
 };
 
-/// Retries transient failures (Internal) up to `max_retries` extra
-/// attempts per query. Deliberate refusals — ResourceExhausted budgets —
-/// are never retried: a quota does not come back by asking again.
+/// Retries transient failures — Internal (simulated outages) and
+/// Unavailable (transport drops, see net/remote_server.h) — up to
+/// `max_retries` extra attempts per query. Deliberate refusals —
+/// ResourceExhausted budgets — are never retried: a quota does not come
+/// back by asking again.
 ///
 /// A batch is forwarded whole; when the base fails the batch at some member
 /// with a transient error, the unanswered suffix is re-submitted, charging
@@ -332,8 +335,7 @@ class RetryingServer : public ServerDecorator {
   Status Issue(const Query& query, Response* response) override {
     Status s = base_->Issue(query, response);
     uint64_t attempts = 1;
-    while (s.code() == Status::Code::kInternal &&
-           attempts <= max_retries_) {
+    while (s.IsTransient() && attempts <= max_retries_) {
       ++attempts;
       ++retries_performed_;
       s = base_->Issue(query, response);
@@ -365,8 +367,7 @@ class RetryingServer : public ServerDecorator {
         HDC_CHECK(done == queries.size());
         return s;
       }
-      if (s.code() != Status::Code::kInternal ||
-          front_retries >= max_retries_) {
+      if (!s.IsTransient() || front_retries >= max_retries_) {
         last_attempts_ = front_retries + 1;
         return s;
       }

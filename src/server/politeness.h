@@ -1,14 +1,30 @@
 // Copyright (c) hdc authors. Apache-2.0 license.
 //
-// Virtual-clock politeness model. The paper motivates minimizing queries by
-// per-IP daily quotas (Section 1.1); this helper converts a measured query
-// count into wall-clock estimates under such quotas, without actually
-// sleeping. Used by examples to report "crawling this site would take X
-// days at 1 query/5s, 10k queries/day".
+// Politeness against a remote form interface, in two shapes:
+//
+//  - PolitenessModel: the virtual-clock estimator. The paper motivates
+//    minimizing queries by per-IP daily quotas (Section 1.1); this helper
+//    converts a measured query count into wall-clock estimates under such
+//    quotas, without actually sleeping. Used by examples to report
+//    "crawling this site would take X days at 1 query/5s, 10k queries/day".
+//
+//  - PolitenessPolicy: the *enforcing* client-side pacer. A real deep-web
+//    crawler must space its requests out (hidden-web crawler surveys treat
+//    request pacing as a hard requirement, not a courtesy); the policy
+//    sleeps between wire rounds so a RemoteServer never hits the site
+//    faster than a configured minimum inter-round delay, with optional
+//    deterministic jitter so many crawlers sharing a policy seed do not
+//    synchronize into bursts. Time flows through an injectable Clock, so
+//    tests assert the exact schedule with a FakeClock.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
+
+#include "util/clock.h"
+#include "util/macros.h"
+#include "util/random.h"
 
 namespace hdc {
 
@@ -38,6 +54,93 @@ struct PolitenessModel {
         latency_days > e.days_quota_bound ? latency_days : e.days_quota_bound;
     return e;
   }
+};
+
+/// Configuration of the enforcing pacer. Default-constructed options pace
+/// nothing (zero delay, zero jitter) — a policy built from them is a no-op,
+/// so transports can own one unconditionally.
+struct PolitenessOptions {
+  /// Minimum time between the *starts* of two consecutive wire rounds.
+  std::chrono::nanoseconds min_round_delay{0};
+
+  /// Upper bound (exclusive) of the uniform random extra delay added to
+  /// each round after the first. Zero disables jitter.
+  std::chrono::nanoseconds max_jitter{0};
+
+  /// Seed of the jitter stream — deterministic, so a paced conversation is
+  /// reproducible run-to-run.
+  uint64_t jitter_seed = 0x9e11fe;
+
+  /// Time source; null means the process-wide RealClock.
+  Clock* clock = nullptr;
+};
+
+/// Client-side pacing between wire rounds: call AwaitRoundStart()
+/// immediately before sending each round. The first round is never
+/// delayed; round i >= 2 starts no earlier than
+///   start(i-1) + min_round_delay + jitter_i,   jitter_i ~ U[0, max_jitter)
+/// measured on the injected clock. Single-conversation, like the server it
+/// paces: not safe for concurrent AwaitRoundStart calls.
+class PolitenessPolicy {
+ public:
+  explicit PolitenessPolicy(PolitenessOptions options = {})
+      : options_(options),
+        clock_(options.clock != nullptr ? options.clock : RealClock::Get()),
+        jitter_rng_(options.jitter_seed) {
+    HDC_CHECK_MSG(options_.min_round_delay.count() >= 0 &&
+                      options_.max_jitter.count() >= 0,
+                  "politeness delays must be non-negative");
+  }
+
+  /// Sleeps (on the policy's clock) until the next round may start, then
+  /// stamps the round as started. Returns the delay actually slept.
+  std::chrono::nanoseconds AwaitRoundStart() {
+    const std::chrono::nanoseconds now = clock_->Now();
+    std::chrono::nanoseconds wait{0};
+    if (rounds_ > 0 && enforces_delay()) {
+      std::chrono::nanoseconds gap = options_.min_round_delay;
+      if (options_.max_jitter.count() > 0) {
+        gap += std::chrono::nanoseconds(static_cast<int64_t>(
+            jitter_rng_.UniformU64(
+                static_cast<uint64_t>(options_.max_jitter.count()))));
+      }
+      const std::chrono::nanoseconds next_allowed = last_round_start_ + gap;
+      if (next_allowed > now) {
+        wait = next_allowed - now;
+        clock_->SleepFor(wait);
+        total_waited_ += wait;
+        // Stamp the *actual* wake time, not the scheduled one: an OS
+        // oversleep must push the next round out too, or the guaranteed
+        // minimum gap would be measured from a time that never happened.
+        last_round_start_ = clock_->Now();
+        ++rounds_;
+        return wait;
+      }
+    }
+    last_round_start_ = now;
+    ++rounds_;
+    return wait;
+  }
+
+  /// True when the policy can ever sleep (any positive delay configured).
+  bool enforces_delay() const {
+    return options_.min_round_delay.count() > 0 ||
+           options_.max_jitter.count() > 0;
+  }
+
+  /// Rounds started through this policy.
+  uint64_t rounds() const { return rounds_; }
+
+  /// Total time spent sleeping for politeness.
+  std::chrono::nanoseconds total_waited() const { return total_waited_; }
+
+ private:
+  PolitenessOptions options_;
+  Clock* clock_;
+  Rng jitter_rng_;
+  uint64_t rounds_ = 0;
+  std::chrono::nanoseconds last_round_start_{0};
+  std::chrono::nanoseconds total_waited_{0};
 };
 
 }  // namespace hdc

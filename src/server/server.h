@@ -11,6 +11,35 @@
 
 namespace hdc {
 
+/// Transport/load feedback a server exposes to adaptive batch sizing
+/// (CrawlOptions::batch_size == 0, see core/batch_sizer.h). Purely
+/// advisory: it never changes answers, billing, or batch semantics.
+struct ServerLoadHint {
+  /// True when every round crosses a high-latency boundary (a network
+  /// transport): latency-aware auto sizing may then grow rounds beyond
+  /// batch_parallelism() to amortize the per-round latency. In-process
+  /// servers leave this false, which keeps auto sizing exactly the
+  /// deterministic frontier-width-capped-by-parallelism rule.
+  bool latency_feedback = false;
+
+  /// Cumulative server-side queue wait attributable to this conversation,
+  /// in seconds (0 when unknown). A remote server piggybacks its session
+  /// lane's queue-wait total (util/worker_pool.h LaneStats) on each batch
+  /// reply; the sizer diffs successive readings to see how long the *last*
+  /// round sat behind other tenants — the congestion signal that tells a
+  /// polite client to shrink its rounds. A reading *smaller* than the
+  /// previous one means the conversation moved to a fresh server session
+  /// (reconnect); the sizer treats it as a reset, not as zero wait.
+  double queue_wait_total_seconds = 0;
+
+  /// Cumulative time this server has spent sleeping for client-side
+  /// politeness (PolitenessPolicy), in seconds. Latency-aware sizing
+  /// subtracts the per-round delta from its measured round-trip: a pacing
+  /// delay is a deliberate choice, not transport latency, and must not
+  /// shrink rounds.
+  double politeness_wait_total_seconds = 0;
+};
+
 /// The crawler-facing contract of a hidden database server: submit a form
 /// query, receive at most k tuples plus an overflow signal. Implementations:
 /// LocalServer (in-memory evaluation, the paper's Section 6 methodology) and
@@ -72,6 +101,11 @@ class HiddenDbServer {
   /// Adaptive batch sizing (CrawlOptions::batch_size == 0) caps its round
   /// size here; decorators forward the wrapped server's value.
   virtual unsigned batch_parallelism() const { return 1; }
+
+  /// Load/transport feedback for latency-aware batch sizing; decorators
+  /// forward the wrapped server's value. The default — no latency
+  /// feedback, no queue-wait signal — describes every in-process server.
+  virtual ServerLoadHint load_hint() const { return ServerLoadHint{}; }
 
   /// The data space the server exposes. A real crawler learns this from the
   /// search form (Section 1.3, "Domain values").

@@ -1,0 +1,22 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "util/clock.h"
+
+#include <thread>
+
+namespace hdc {
+
+RealClock* RealClock::Get() {
+  static RealClock clock;
+  return &clock;
+}
+
+std::chrono::nanoseconds RealClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now().time_since_epoch());
+}
+
+void RealClock::SleepFor(std::chrono::nanoseconds duration) {
+  if (duration.count() > 0) std::this_thread::sleep_for(duration);
+}
+
+}  // namespace hdc

@@ -1,0 +1,93 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Injectable time source. Everything in the library that measures latency
+// or paces itself against a remote interface — PolitenessPolicy,
+// latency-aware batch sizing — reads time and sleeps through a Clock*, so
+// tests substitute a FakeClock and assert *exact* schedules instead of
+// sleeping real wall-clock time and asserting "roughly".
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace hdc {
+
+/// Monotonic time source plus sleep facility. Implementations must be
+/// thread-safe: a politeness policy may sleep on one thread while a metrics
+/// sampler reads Now() on another.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic nanoseconds since an arbitrary (per-clock) epoch.
+  virtual std::chrono::nanoseconds Now() const = 0;
+
+  /// Blocks the calling thread for `duration` (no-op when <= 0).
+  virtual void SleepFor(std::chrono::nanoseconds duration) = 0;
+
+  /// Now() as fractional seconds — convenience for latency arithmetic.
+  double NowSeconds() const {
+    return std::chrono::duration<double>(Now()).count();
+  }
+};
+
+/// The process-wide real clock, backed by std::chrono::steady_clock.
+class RealClock : public Clock {
+ public:
+  /// Shared singleton; the default everywhere a Clock* is optional.
+  static RealClock* Get();
+
+  std::chrono::nanoseconds Now() const override;
+  void SleepFor(std::chrono::nanoseconds duration) override;
+};
+
+/// Deterministic manual clock for tests. Time advances only through
+/// Advance() and SleepFor() — a SleepFor is modelled as instantaneous
+/// advancement and recorded, so a pacing test asserts the exact sequence of
+/// sleeps a policy scheduled rather than waiting them out.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(
+      std::chrono::nanoseconds start = std::chrono::nanoseconds(0))
+      : now_(start) {}
+
+  std::chrono::nanoseconds Now() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return now_;
+  }
+
+  void SleepFor(std::chrono::nanoseconds duration) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (duration.count() > 0) now_ += duration;
+    sleeps_.push_back(duration.count() > 0 ? duration
+                                           : std::chrono::nanoseconds(0));
+  }
+
+  /// Moves time forward without recording a sleep (the "outside world"
+  /// taking time: a request in flight, a server evaluating a batch).
+  void Advance(std::chrono::nanoseconds duration) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_ += duration;
+  }
+
+  /// Every SleepFor() issued so far, in order (zero-length sleeps included,
+  /// recorded as 0 — "the policy decided no wait was needed").
+  std::vector<std::chrono::nanoseconds> sleeps() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sleeps_;
+  }
+
+  size_t sleep_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sleeps_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::chrono::nanoseconds now_;
+  std::vector<std::chrono::nanoseconds> sleeps_;
+};
+
+}  // namespace hdc

@@ -21,6 +21,8 @@ const char* StatusCodeName(Status::Code code) {
       return "NotFound";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -20,6 +20,10 @@ namespace hdc {
 ///  - `Unsolvable` is specific to Problem 1: some point of the data space
 ///    holds more than k tuples, so no algorithm can extract the full bag
 ///    (paper, Section 1.1).
+///  - `Unavailable` is a transport-level failure against a remote server
+///    (connection refused or dropped, truncated or malformed frame): like
+///    `Internal` it is transient and retryable, but it tells the caller the
+///    *wire* failed, not the server's own logic.
 class Status {
  public:
   enum class Code {
@@ -31,6 +35,7 @@ class Status {
     kUnsolvable,
     kNotFound,
     kInternal,
+    kUnavailable,
   };
 
   /// Default-constructed Status is OK.
@@ -58,11 +63,22 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsResourceExhausted() const { return code_ == Code::kResourceExhausted; }
   bool IsUnsolvable() const { return code_ == Code::kUnsolvable; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+
+  /// True for failures worth re-attempting verbatim: transient server
+  /// errors (kInternal) and transport outages (kUnavailable). Deliberate
+  /// refusals — budgets, bad arguments — are not transient.
+  bool IsTransient() const {
+    return code_ == Code::kInternal || code_ == Code::kUnavailable;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

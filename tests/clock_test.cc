@@ -1,0 +1,61 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// The injectable time source (util/clock.h): FakeClock advances only on
+// demand and records every sleep, RealClock is monotonic.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "util/clock.h"
+
+namespace hdc {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+
+TEST(FakeClockTest, AdvancesOnlyOnDemand) {
+  FakeClock clock(nanoseconds(100));
+  EXPECT_EQ(clock.Now(), nanoseconds(100));
+  EXPECT_EQ(clock.Now(), nanoseconds(100)) << "time must not flow on its own";
+  clock.Advance(milliseconds(5));
+  EXPECT_EQ(clock.Now(), nanoseconds(100) + nanoseconds(milliseconds(5)));
+}
+
+TEST(FakeClockTest, SleepAdvancesAndRecords) {
+  FakeClock clock;
+  clock.SleepFor(milliseconds(10));
+  clock.SleepFor(nanoseconds(0));
+  clock.SleepFor(milliseconds(3));
+  EXPECT_EQ(clock.Now(), nanoseconds(milliseconds(13)));
+  const auto sleeps = clock.sleeps();
+  ASSERT_EQ(sleeps.size(), 3u);
+  EXPECT_EQ(sleeps[0], nanoseconds(milliseconds(10)));
+  EXPECT_EQ(sleeps[1], nanoseconds(0));
+  EXPECT_EQ(sleeps[2], nanoseconds(milliseconds(3)));
+}
+
+TEST(FakeClockTest, NegativeSleepIsClampedToZero) {
+  FakeClock clock;
+  clock.SleepFor(nanoseconds(-5));
+  EXPECT_EQ(clock.Now(), nanoseconds(0));
+  ASSERT_EQ(clock.sleep_count(), 1u);
+  EXPECT_EQ(clock.sleeps()[0], nanoseconds(0));
+}
+
+TEST(FakeClockTest, NowSecondsConverts) {
+  FakeClock clock;
+  clock.Advance(milliseconds(1500));
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 1.5);
+}
+
+TEST(RealClockTest, MonotonicAndShared) {
+  Clock* clock = RealClock::Get();
+  EXPECT_EQ(clock, RealClock::Get()) << "singleton";
+  const nanoseconds a = clock->Now();
+  const nanoseconds b = clock->Now();
+  EXPECT_LE(a.count(), b.count());
+}
+
+}  // namespace
+}  // namespace hdc

@@ -2,7 +2,9 @@
 //
 // Failure injection: flaky connections, retry policies, and the crawl
 // framework's interruption semantics (transient failures never lose work
-// and never poison the resumable state).
+// and never poison the resumable state). Covers both transient flavours:
+// kInternal (server hiccup) and kUnavailable (transport outage, the typed
+// error net/remote_server.h surfaces).
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -15,6 +17,36 @@
 
 namespace hdc {
 namespace {
+
+/// FlakyServer's transport-layer sibling: every `period`-th attempt fails
+/// with kUnavailable *before* reaching the wrapped server, like a dropped
+/// loopback connection. Sequential-only (Issue path) — batch semantics are
+/// covered by the real transport in remote_transport_test.cc.
+class OutageServer : public ServerDecorator {
+ public:
+  OutageServer(HiddenDbServer* base, uint64_t period)
+      : ServerDecorator(base), period_(period) {}
+
+  Status Issue(const Query& query, Response* response) override {
+    ++attempts_;
+    if (period_ > 0 && attempts_ % period_ == 0) {
+      return Status::Unavailable("simulated transport outage");
+    }
+    return base_->Issue(query, response);
+  }
+
+  Status IssueBatch(const std::vector<Query>& queries,
+                    std::vector<Response>* responses) override {
+    // Sequential fallback keeps the per-attempt counting exact.
+    return HiddenDbServer::IssueBatch(queries, responses);
+  }
+
+  uint64_t attempts() const { return attempts_; }
+
+ private:
+  uint64_t period_;
+  uint64_t attempts_ = 0;
+};
 
 std::shared_ptr<Dataset> NumericData() {
   SyntheticNumericOptions gen;
@@ -74,6 +106,49 @@ TEST(RetryingServerTest, GivesUpAfterMaxRetries) {
   EXPECT_EQ(s.code(), Status::Code::kInternal);
   EXPECT_EQ(retrying.retries_performed(), 4u);
   EXPECT_EQ(always_down.attempts(), 5u);  // 1 try + 4 retries
+}
+
+TEST(RetryingServerTest, RetriesTransportOutages) {
+  auto data = NumericData();
+  LocalServer base(data, 8);
+  OutageServer outage(&base, /*period=*/2);  // every 2nd attempt drops
+  RetryingServer retrying(&outage, /*max_retries=*/3);
+  Response r;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(retrying.Issue(Query::FullSpace(base.schema()), &r).ok())
+        << "kUnavailable is transient and must be retried like kInternal";
+  }
+  EXPECT_GT(retrying.retries_performed(), 0u);
+}
+
+TEST(RetryingServerTest, TransientPredicateCoversBothFlavours) {
+  EXPECT_TRUE(Status::Internal("x").IsTransient());
+  EXPECT_TRUE(Status::Unavailable("x").IsTransient());
+  EXPECT_FALSE(Status::ResourceExhausted("x").IsTransient());
+  EXPECT_FALSE(Status::FailedPrecondition("x").IsTransient());
+  EXPECT_FALSE(Status::OK().IsTransient());
+}
+
+TEST(FailureInjectionTest, TransportOutageInterruptsButStaysResumable) {
+  auto data = NumericData();
+  const uint64_t k = std::max<uint64_t>(8, data->MaxPointMultiplicity());
+  LocalServer base(data, k);
+  OutageServer outage(&base, /*period=*/9);  // no retry layer
+
+  RankShrink crawler;
+  CrawlResult result = crawler.Crawl(&outage);
+  int interruptions = 0;
+  while (!result.status.ok() && interruptions < 10000) {
+    ASSERT_TRUE(result.status.IsUnavailable()) << result.status.ToString();
+    ASSERT_NE(result.resume_state, nullptr)
+        << "a transport outage must leave the crawl resumable";
+    ++interruptions;
+    result = crawler.Resume(&outage, result.resume_state);
+  }
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_GT(interruptions, 0);
+  EXPECT_TRUE(Dataset::MultisetEquals(result.extracted, *data));
+  EXPECT_EQ(result.queries_issued, base.queries_served());
 }
 
 TEST(RetryingServerTest, DoesNotRetryBudgetExhaustion) {

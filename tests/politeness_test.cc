@@ -1,0 +1,142 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// PolitenessPolicy pacing, asserted as *exact* schedules on a FakeClock:
+// no real sleeping, no "roughly 100ms" tolerances.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "server/politeness.h"
+#include "util/clock.h"
+#include "util/random.h"
+
+namespace hdc {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+
+PolitenessOptions Options(FakeClock* clock, milliseconds delay,
+                          milliseconds jitter = milliseconds(0),
+                          uint64_t seed = 7) {
+  PolitenessOptions options;
+  options.min_round_delay = delay;
+  options.max_jitter = jitter;
+  options.jitter_seed = seed;
+  options.clock = clock;
+  return options;
+}
+
+TEST(PolitenessPolicyTest, FirstRoundIsNeverDelayed) {
+  FakeClock clock;
+  PolitenessPolicy policy(Options(&clock, milliseconds(100)));
+  EXPECT_EQ(policy.AwaitRoundStart(), nanoseconds(0));
+  EXPECT_EQ(clock.sleep_count(), 0u);
+  EXPECT_EQ(policy.rounds(), 1u);
+}
+
+TEST(PolitenessPolicyTest, EnforcesExactMinimumGapBackToBack) {
+  FakeClock clock;
+  PolitenessPolicy policy(Options(&clock, milliseconds(100)));
+
+  policy.AwaitRoundStart();  // t = 0
+  // Rounds fired back-to-back: each must wait the full 100ms.
+  EXPECT_EQ(policy.AwaitRoundStart(), nanoseconds(milliseconds(100)));
+  EXPECT_EQ(clock.Now(), nanoseconds(milliseconds(100)));
+  EXPECT_EQ(policy.AwaitRoundStart(), nanoseconds(milliseconds(100)));
+  EXPECT_EQ(clock.Now(), nanoseconds(milliseconds(200)));
+
+  const auto sleeps = clock.sleeps();
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_EQ(sleeps[0], nanoseconds(milliseconds(100)));
+  EXPECT_EQ(sleeps[1], nanoseconds(milliseconds(100)));
+  EXPECT_EQ(policy.total_waited(), nanoseconds(milliseconds(200)));
+}
+
+TEST(PolitenessPolicyTest, SlowWorkAbsorbsTheDelay) {
+  FakeClock clock;
+  PolitenessPolicy policy(Options(&clock, milliseconds(100)));
+
+  policy.AwaitRoundStart();          // t = 0
+  clock.Advance(milliseconds(150));  // the round itself took 150ms
+  // The gap is already satisfied: no sleep at all.
+  EXPECT_EQ(policy.AwaitRoundStart(), nanoseconds(0));
+  EXPECT_EQ(clock.Now(), nanoseconds(milliseconds(150)));
+
+  clock.Advance(milliseconds(40));   // next round took only 40ms
+  // 60ms of the 100ms gap remain.
+  EXPECT_EQ(policy.AwaitRoundStart(), nanoseconds(milliseconds(60)));
+  EXPECT_EQ(clock.Now(), nanoseconds(milliseconds(250)));
+}
+
+TEST(PolitenessPolicyTest, JitterFollowsTheSeededStream) {
+  FakeClock clock;
+  PolitenessPolicy policy(
+      Options(&clock, milliseconds(100), milliseconds(50), /*seed=*/42));
+
+  // The policy draws jitter from Rng(42) in round order; replay the same
+  // stream to compute the exact expected schedule.
+  Rng expected_stream(42);
+  policy.AwaitRoundStart();  // round 1: free
+  for (int round = 2; round <= 5; ++round) {
+    const auto jitter = nanoseconds(static_cast<int64_t>(
+        expected_stream.UniformU64(
+            static_cast<uint64_t>(nanoseconds(milliseconds(50)).count()))));
+    EXPECT_EQ(policy.AwaitRoundStart(),
+              nanoseconds(milliseconds(100)) + jitter)
+        << "round " << round;
+  }
+  EXPECT_EQ(policy.rounds(), 5u);
+}
+
+/// A clock whose sleeps overshoot by a fixed amount — the OS never wakes
+/// a thread exactly on time.
+class OversleepingClock : public FakeClock {
+ public:
+  explicit OversleepingClock(std::chrono::nanoseconds overshoot)
+      : overshoot_(overshoot) {}
+  void SleepFor(std::chrono::nanoseconds duration) override {
+    FakeClock::SleepFor(duration + overshoot_);
+  }
+
+ private:
+  std::chrono::nanoseconds overshoot_;
+};
+
+TEST(PolitenessPolicyTest, OversleepPushesTheNextRoundOutToo) {
+  // Every sleep overshoots by 20ms. The minimum gap must be measured from
+  // the round's *actual* start (the late wake), not the scheduled one —
+  // otherwise round 3 would start only 80ms after round 2 really began.
+  OversleepingClock clock(milliseconds(20));
+  PolitenessPolicy policy(Options(&clock, milliseconds(100)));
+
+  policy.AwaitRoundStart();  // t = 0
+  EXPECT_EQ(policy.AwaitRoundStart(), nanoseconds(milliseconds(100)));
+  // Round 2 actually started at t = 120 (overslept). Round 3 must wait
+  // the full 100ms from there — not 80ms from the scheduled t = 100.
+  EXPECT_EQ(policy.AwaitRoundStart(), nanoseconds(milliseconds(100)));
+  EXPECT_EQ(clock.Now(), nanoseconds(milliseconds(240)));
+}
+
+TEST(PolitenessPolicyTest, ZeroConfigurationPacesNothing) {
+  FakeClock clock;
+  PolitenessPolicy policy(Options(&clock, milliseconds(0)));
+  EXPECT_FALSE(policy.enforces_delay());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(policy.AwaitRoundStart(), nanoseconds(0));
+  }
+  EXPECT_EQ(clock.sleep_count(), 0u) << "a no-op policy never touches the "
+                                        "clock's sleep path";
+  EXPECT_EQ(policy.total_waited(), nanoseconds(0));
+}
+
+TEST(PolitenessPolicyTest, DefaultClockIsTheRealClock) {
+  // Just the construction contract: a default policy (no clock injected)
+  // must bind to the process RealClock and pace nothing by default.
+  PolitenessPolicy policy;
+  EXPECT_FALSE(policy.enforces_delay());
+  EXPECT_EQ(policy.AwaitRoundStart(), nanoseconds(0));
+}
+
+}  // namespace
+}  // namespace hdc

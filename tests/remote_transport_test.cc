@@ -1,0 +1,459 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// End-to-end tests of the remote backend (net/): all six crawlers produce
+// identical extractions and query counts over a RemoteServer loopback
+// connection as over the in-process stack at batch sizes 1, 4 and auto;
+// transport faults — connection drop mid-batch, malformed frames, server
+// restart — surface as typed errors, never lose answered work, and the
+// crawl resumes through the existing checkpoint path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/crawlers.h"
+#include "gen/synthetic.h"
+#include "net/remote_server.h"
+#include "net/service_endpoint.h"
+#include "server/crawl_service.h"
+#include "server/decorators.h"
+#include "server/local_server.h"
+#include "util/clock.h"
+
+namespace hdc {
+namespace {
+
+struct TransportCase {
+  std::string label;
+  std::function<std::unique_ptr<Crawler>()> make_crawler;
+  std::function<Dataset()> make_data;
+  uint64_t k;
+};
+
+std::vector<TransportCase> MakeCases() {
+  std::vector<TransportCase> cases;
+  cases.push_back(
+      {"rank_shrink", [] { return std::make_unique<RankShrink>(); },
+       [] {
+         SyntheticNumericOptions gen;
+         gen.d = 2;
+         gen.n = 400;
+         gen.value_range = 250;
+         gen.seed = 61;
+         return GenerateSyntheticNumeric(gen);
+       },
+       8});
+  cases.push_back(
+      {"binary_shrink", [] { return std::make_unique<BinaryShrink>(); },
+       [] {
+         SyntheticNumericOptions gen;
+         gen.d = 2;
+         gen.n = 250;
+         gen.value_range = 128;
+         gen.seed = 62;
+         return GenerateSyntheticNumeric(gen);
+       },
+       8});
+  cases.push_back(
+      {"dfs", [] { return std::make_unique<DfsCrawler>(); },
+       [] {
+         SyntheticCategoricalOptions gen;
+         gen.domain_sizes = {5, 5, 4};
+         gen.n = 400;
+         gen.seed = 63;
+         return GenerateSyntheticCategorical(gen);
+       },
+       8});
+  cases.push_back(
+      {"slice_cover",
+       [] { return std::make_unique<SliceCoverCrawler>(false); },
+       [] {
+         SyntheticCategoricalOptions gen;
+         gen.domain_sizes = {5, 5, 4};
+         gen.n = 400;
+         gen.seed = 64;
+         return GenerateSyntheticCategorical(gen);
+       },
+       8});
+  cases.push_back(
+      {"lazy_slice_cover",
+       [] { return std::make_unique<SliceCoverCrawler>(true); },
+       [] {
+         SyntheticCategoricalOptions gen;
+         gen.domain_sizes = {5, 5, 4};
+         gen.n = 400;
+         gen.seed = 65;
+         return GenerateSyntheticCategorical(gen);
+       },
+       8});
+  cases.push_back(
+      {"hybrid", [] { return std::make_unique<HybridCrawler>(); },
+       [] {
+         SyntheticMixedOptions gen;
+         gen.domain_sizes = {4, 5};
+         gen.num_numeric = 1;
+         gen.n = 400;
+         gen.value_range = 100;
+         gen.seed = 66;
+         return GenerateSyntheticMixed(gen);
+       },
+       8});
+  return cases;
+}
+
+/// A live service + endpoint + fresh clients over one dataset.
+class RemoteStack {
+ public:
+  RemoteStack(std::shared_ptr<const Dataset> dataset, uint64_t k,
+              net::ServiceEndpointOptions endpoint_options = {},
+              unsigned max_parallelism = 2) {
+    CrawlServiceOptions options;
+    options.max_parallelism = max_parallelism;
+    service_ =
+        std::make_unique<CrawlService>(std::move(dataset), k, nullptr,
+                                       options);
+    endpoint_ = std::make_unique<net::ServiceEndpoint>(service_.get(),
+                                                       endpoint_options);
+    Status s = endpoint_->Start();
+    HDC_CHECK_OK(s);
+  }
+
+  std::unique_ptr<net::RemoteServer> Connect(
+      net::RemoteServerOptions options = {}) {
+    std::unique_ptr<net::RemoteServer> client;
+    Status s = net::RemoteServer::Connect("127.0.0.1", endpoint_->port(),
+                                          options, &client);
+    HDC_CHECK_OK(s);
+    return client;
+  }
+
+  CrawlService* service() { return service_.get(); }
+  net::ServiceEndpoint* endpoint() { return endpoint_.get(); }
+
+ private:
+  std::unique_ptr<CrawlService> service_;
+  std::unique_ptr<net::ServiceEndpoint> endpoint_;
+};
+
+// --- equivalence: six crawlers, batch sizes 1 / 4 / auto --------------------
+
+TEST(RemoteEquivalenceTest, AllSixCrawlersMatchInProcessAtEveryBatchSize) {
+  for (const TransportCase& test_case : MakeCases()) {
+    SCOPED_TRACE(test_case.label);
+    auto data = std::make_shared<const Dataset>(test_case.make_data());
+    const uint64_t k =
+        std::max<uint64_t>(test_case.k, data->MaxPointMultiplicity());
+
+    // In-process ground truth: the classic sequential conversation.
+    LocalServer local(data, k);
+    auto crawler = test_case.make_crawler();
+    CrawlResult truth = crawler->Crawl(&local);
+    ASSERT_TRUE(truth.status.ok()) << truth.status.ToString();
+    ASSERT_TRUE(Dataset::MultisetEquals(truth.extracted, *data));
+
+    RemoteStack stack(data, k);
+    for (uint32_t batch_size : {1u, 4u, 0u}) {
+      SCOPED_TRACE("batch_size=" + std::to_string(batch_size));
+      auto client = stack.Connect();
+      CrawlOptions options;
+      options.batch_size = batch_size;
+      auto remote_crawler = test_case.make_crawler();
+      CrawlResult remote = remote_crawler->Crawl(client.get(), options);
+      ASSERT_TRUE(remote.status.ok()) << remote.status.ToString();
+      EXPECT_TRUE(Dataset::MultisetEquals(remote.extracted, truth.extracted))
+          << "remote extraction differs from in-process";
+      EXPECT_EQ(remote.queries_issued, truth.queries_issued)
+          << "the transport must not change the paper's cost metric";
+      EXPECT_EQ(remote.rows_seen, truth.rows_seen);
+    }
+  }
+}
+
+// --- fault: connection dropped mid-batch ------------------------------------
+
+TEST(RemoteFaultTest, MidBatchDropYieldsTypedErrorAndValidPrefix) {
+  SyntheticCategoricalOptions gen;
+  gen.domain_sizes = {8, 4};
+  gen.n = 300;
+  gen.seed = 71;
+  auto data = std::make_shared<const Dataset>(
+      GenerateSyntheticCategorical(gen));
+
+  net::ServiceEndpointOptions faulty;
+  faulty.drop_connection_after_responses = 5;
+  RemoteStack stack(data, /*k=*/8, faulty);
+  auto client = stack.Connect();
+
+  // Eight slice queries; the connection dies after answer #5.
+  std::vector<Query> batch;
+  for (Value c = 1; c <= 8; ++c) {
+    batch.push_back(
+        Query::FullSpace(client->schema()).WithCategoricalEquals(0, c));
+  }
+  std::vector<Response> responses;
+  Status s = client->IssueBatch(batch, &responses);
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+  ASSERT_EQ(responses.size(), 5u)
+      << "the answered prefix must survive the drop";
+  EXPECT_TRUE(client->disconnected());
+
+  // The prefix holds real answers: cross-check against in-process truth.
+  LocalServer reference(data, 8);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    Response want;
+    ASSERT_TRUE(reference.Issue(batch[i], &want).ok());
+    ASSERT_EQ(responses[i].size(), want.size());
+    EXPECT_EQ(responses[i].overflow, want.overflow);
+    for (size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ(responses[i].tuples[j].hidden_id, want.tuples[j].hidden_id);
+      EXPECT_EQ(responses[i].tuples[j].tuple, want.tuples[j].tuple);
+    }
+  }
+
+  // The next call reconnects transparently and answers the suffix.
+  const std::vector<Query> suffix(batch.begin() + 5, batch.end());
+  std::vector<Response> rest;
+  ASSERT_TRUE(client->IssueBatch(suffix, &rest).ok());
+  EXPECT_EQ(rest.size(), 3u);
+  EXPECT_EQ(client->reconnects(), 1u);
+}
+
+TEST(RemoteFaultTest, CrawlSurvivesRepeatedDropsViaResume) {
+  SyntheticNumericOptions gen;
+  gen.d = 2;
+  gen.n = 350;
+  gen.value_range = 200;
+  gen.seed = 72;
+  auto data =
+      std::make_shared<const Dataset>(GenerateSyntheticNumeric(gen));
+
+  LocalServer local(data, 8);
+  RankShrink truth_crawler;
+  CrawlResult truth = truth_crawler.Crawl(&local);
+  ASSERT_TRUE(truth.status.ok());
+
+  // Every connection dies after 7 answers; the crawl keeps losing its
+  // connection mid-batch and must make progress anyway.
+  net::ServiceEndpointOptions faulty;
+  faulty.drop_connection_after_responses = 7;
+  RemoteStack stack(data, 8, faulty);
+  auto client = stack.Connect();
+
+  RankShrink crawler;
+  CrawlOptions options;
+  options.batch_size = 4;
+  CrawlResult result = crawler.Crawl(client.get(), options);
+  int interruptions = 0;
+  while (!result.status.ok() && interruptions < 10000) {
+    ASSERT_TRUE(result.status.IsUnavailable()) << result.status.ToString();
+    ASSERT_NE(result.resume_state, nullptr)
+        << "a transport fault must leave the crawl resumable";
+    ++interruptions;
+    result = crawler.Resume(client.get(), result.resume_state, options);
+  }
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_GT(interruptions, 0);
+  EXPECT_GT(client->reconnects(), 0u);
+  EXPECT_TRUE(Dataset::MultisetEquals(result.extracted, *data));
+  EXPECT_EQ(result.queries_issued, truth.queries_issued)
+      << "client-side accounting never double-bills re-submitted work";
+}
+
+TEST(RemoteFaultTest, RetryingServerAbsorbsDropsTransparently) {
+  SyntheticCategoricalOptions gen;
+  gen.domain_sizes = {6, 5};
+  gen.n = 300;
+  gen.seed = 73;
+  auto data = std::make_shared<const Dataset>(
+      GenerateSyntheticCategorical(gen));
+
+  net::ServiceEndpointOptions faulty;
+  faulty.drop_connection_after_responses = 9;
+  RemoteStack stack(data,
+                    std::max<uint64_t>(8, data->MaxPointMultiplicity()),
+                    faulty);
+  auto client = stack.Connect();
+  RetryingServer retrying(client.get(), /*max_retries=*/3);
+
+  SliceCoverCrawler crawler(/*lazy=*/true);
+  CrawlResult result = crawler.Crawl(&retrying);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(Dataset::MultisetEquals(result.extracted, *data));
+  EXPECT_GT(retrying.retries_performed(), 0u);
+  EXPECT_GT(client->reconnects(), 0u);
+}
+
+// --- fault: server restart + checkpoint resume ------------------------------
+
+TEST(RemoteFaultTest, ServerRestartResumesFromCheckpoint) {
+  SyntheticNumericOptions gen;
+  gen.d = 2;
+  gen.n = 400;
+  gen.value_range = 250;
+  gen.seed = 61;  // same space as the equivalence case
+  auto data =
+      std::make_shared<const Dataset>(GenerateSyntheticNumeric(gen));
+
+  LocalServer local(data, 8);
+  RankShrink truth_crawler;
+  CrawlResult truth = truth_crawler.Crawl(&local);
+  ASSERT_TRUE(truth.status.ok());
+
+  CrawlServiceOptions service_options;
+  service_options.max_parallelism = 2;
+  CrawlService service(data, 8, nullptr, service_options);
+
+  auto first_endpoint = std::make_unique<net::ServiceEndpoint>(&service);
+  ASSERT_TRUE(first_endpoint->Start().ok());
+  const uint16_t port = first_endpoint->port();
+
+  std::unique_ptr<net::RemoteServer> client;
+  ASSERT_TRUE(
+      net::RemoteServer::Connect("127.0.0.1", port, {}, &client).ok());
+
+  // Spend a small client-side budget, then checkpoint mid-crawl.
+  RankShrink crawler;
+  CrawlOptions options;
+  options.batch_size = 4;
+  options.max_queries = 25;
+  CrawlResult partial = crawler.Crawl(client.get(), options);
+  ASSERT_TRUE(partial.status.IsResourceExhausted())
+      << partial.status.ToString();
+  ASSERT_NE(partial.resume_state, nullptr);
+  std::stringstream checkpoint;
+  ASSERT_TRUE(
+      SaveCheckpoint(*partial.resume_state, *client->schema(), &checkpoint)
+          .ok());
+
+  // The server process "restarts": the old endpoint dies, a new one comes
+  // up on the same port over the same service.
+  first_endpoint.reset();
+  net::ServiceEndpointOptions rebind;
+  rebind.port = port;
+  net::ServiceEndpoint second_endpoint(&service, rebind);
+  ASSERT_TRUE(second_endpoint.Start().ok());
+
+  // Load the checkpoint and resume. The client's first call rides the
+  // dead connection (typed Unavailable), then reconnects; a RetryingServer
+  // absorbs exactly that hiccup.
+  std::shared_ptr<CrawlState> resumed;
+  ASSERT_TRUE(
+      LoadCheckpoint(&checkpoint, client->schema(), &resumed).ok());
+  RetryingServer retrying(client.get(), /*max_retries=*/2);
+  CrawlOptions rest;
+  rest.batch_size = 4;
+  CrawlResult result = crawler.Resume(&retrying, resumed, rest);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(Dataset::MultisetEquals(result.extracted, *data));
+  EXPECT_EQ(result.queries_issued, truth.queries_issued);
+  EXPECT_EQ(client->reconnects(), 1u);
+}
+
+// --- fault: malformed frames, both directions -------------------------------
+
+TEST(RemoteFaultTest, GarbageFromServerIsTypedError) {
+  // A fake "server" that accepts the handshake and then speaks garbage: an
+  // oversized length prefix. The client must fail typed, not hang or trust
+  // the length.
+  net::Listener listener;
+  ASSERT_TRUE(net::Listener::Listen("127.0.0.1", 0, &listener).ok());
+  std::thread fake_server([&listener] {
+    net::Socket conn;
+    if (!listener.Accept(&conn).ok()) return;
+    net::Frame hello;
+    if (!net::RecvFrame(&conn, &hello).ok()) return;
+    // 0xFFFFFFFF length prefix: far beyond kMaxFramePayload.
+    const unsigned char garbage[] = {0xff, 0xff, 0xff, 0xff, 0x02};
+    conn.SendAll(garbage, sizeof(garbage));
+  });
+
+  std::unique_ptr<net::RemoteServer> client;
+  Status s = net::RemoteServer::Connect("127.0.0.1", listener.port(), {},
+                                        &client);
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+  fake_server.join();
+}
+
+TEST(RemoteFaultTest, EndpointSurvivesGarbageSpeakers) {
+  SyntheticCategoricalOptions gen;
+  gen.domain_sizes = {4, 4};
+  gen.n = 200;
+  gen.seed = 74;
+  auto data = std::make_shared<const Dataset>(
+      GenerateSyntheticCategorical(gen));
+  RemoteStack stack(data, 8);
+
+  {
+    // Not even a frame: an HTTP request walks into a binary protocol.
+    net::Socket raw;
+    ASSERT_TRUE(
+        net::Socket::Connect("127.0.0.1", stack.endpoint()->port(), &raw)
+            .ok());
+    const std::string http = "GET / HTTP/1.1\r\nHost: hdc\r\n\r\n";
+    ASSERT_TRUE(raw.SendAll(http.data(), http.size()).ok());
+    // The endpoint must hang up on us (EOF), not crash.
+    char byte;
+    EXPECT_FALSE(raw.RecvAll(&byte, 1).ok());
+  }
+  {
+    // A well-formed frame of the wrong type as an opener.
+    net::Socket raw;
+    ASSERT_TRUE(
+        net::Socket::Connect("127.0.0.1", stack.endpoint()->port(), &raw)
+            .ok());
+    ASSERT_TRUE(
+        net::SendFrame(&raw, net::FrameType::kStatsRequest, "").ok());
+    char byte;
+    EXPECT_FALSE(raw.RecvAll(&byte, 1).ok());
+  }
+
+  // After both abuses, a legitimate client still gets served.
+  auto client = stack.Connect();
+  Response response;
+  ASSERT_TRUE(
+      client->Issue(Query::FullSpace(client->schema()), &response).ok());
+  EXPECT_EQ(response.size(), 8u);
+  EXPECT_GE(stack.endpoint()->connections_accepted(), 3u);
+}
+
+// --- politeness over the live transport -------------------------------------
+
+TEST(RemotePolitenessTest, PacesWireRoundsOnTheInjectedClock) {
+  SyntheticCategoricalOptions gen;
+  gen.domain_sizes = {4, 4};
+  gen.n = 200;
+  gen.seed = 75;
+  auto data = std::make_shared<const Dataset>(
+      GenerateSyntheticCategorical(gen));
+  RemoteStack stack(data, 8);
+
+  FakeClock clock;
+  net::RemoteServerOptions options;
+  options.politeness.min_round_delay = std::chrono::milliseconds(200);
+  options.politeness.clock = &clock;
+  auto client = stack.Connect(options);
+
+  Response response;
+  const Query full = Query::FullSpace(client->schema());
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(client->Issue(full, &response).ok());
+  }
+  // Round 1 free, rounds 2 and 3 each waited the full 200ms (the real
+  // wire time is invisible to the fake clock).
+  EXPECT_EQ(client->politeness().rounds(), 3u);
+  ASSERT_EQ(clock.sleep_count(), 2u);
+  EXPECT_EQ(clock.sleeps()[0],
+            std::chrono::nanoseconds(std::chrono::milliseconds(200)));
+  EXPECT_EQ(clock.sleeps()[1],
+            std::chrono::nanoseconds(std::chrono::milliseconds(200)));
+}
+
+}  // namespace
+}  // namespace hdc

@@ -1,0 +1,339 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// The HiddenDbServer conformance suite: one reusable, value-parameterized
+// battery of contract tests that every server backend must pass — the
+// in-process LocalServer, a decorated metering stack, a CrawlService
+// ServerSession, the RemoteServer loopback transport, and any future
+// backend (HTTP, sharded, cached): implement a BackendFactory, add one
+// INSTANTIATE_TEST_SUITE_P line, and the whole contract is enforced.
+//
+// What the contract covers (server/server.h):
+//   - the top-k interface: overflow flagging, exactly-k truncation, fixed
+//     deterministic ranking;
+//   - IssueBatch prefix semantics: in-order responses, one-element batch
+//     == Issue, budget truncation mid-batch with a valid paid-for prefix,
+//     refill + suffix resubmission losing nothing;
+//   - stats accounting: the backend bills exactly the answered queries;
+//   - conversation fidelity: a full crawl drives the backend through the
+//     byte-identical conversation a reference LocalServer produces.
+//
+// Every factory builds its backend over the *same* canonical dataset,
+// ranking seed and k, so "identical to the reference" is well-defined
+// across process and wire boundaries.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/crawlers.h"
+#include "gen/synthetic.h"
+#include "server/decorators.h"
+#include "server/local_server.h"
+#include "server/server.h"
+
+namespace hdc {
+namespace conformance {
+
+/// Budget argument meaning "no budget".
+inline constexpr uint64_t kNoBudget = UINT64_MAX;
+
+/// The canonical data space: 2 categorical + 1 numeric attributes, 500
+/// tuples, mild skew — small enough for fast suites, rich enough to
+/// produce overflows, thin slices and empty regions at k = 8.
+inline constexpr uint64_t kConformanceK = 8;
+
+inline std::shared_ptr<const Dataset> ConformanceDataset() {
+  static const std::shared_ptr<const Dataset> dataset = [] {
+    SyntheticMixedOptions gen;
+    gen.domain_sizes = {4, 6};
+    gen.num_numeric = 1;
+    gen.n = 500;
+    gen.value_range = 200;
+    gen.zipf_s = 0.7;
+    gen.seed = 97;
+    return std::make_shared<const Dataset>(GenerateSyntheticMixed(gen));
+  }();
+  return dataset;
+}
+
+/// One backend instance under test plus whatever owns it (index, service,
+/// endpoint, live connection...). Destroying the handle tears the whole
+/// backend down.
+class BackendHandle {
+ public:
+  virtual ~BackendHandle() = default;
+
+  /// The server the tests talk to. Owned by the handle.
+  virtual HiddenDbServer* server() = 0;
+
+  /// Queries the backend has billed this conversation (its own
+  /// accounting, fetched over the wire for remote backends).
+  virtual uint64_t queries_served() = 0;
+
+  /// Grants a fresh budget allotment. Only called on handles created with
+  /// a budget.
+  virtual void RefillBudget(uint64_t max_queries) = 0;
+};
+
+/// A named way to build fresh backends over the canonical dataset.
+struct BackendFactory {
+  std::string name;
+
+  /// `budget` is kNoBudget or a hard query budget the backend must
+  /// enforce with BudgetServer semantics.
+  std::function<std::unique_ptr<BackendHandle>(uint64_t budget)> make;
+};
+
+// --- helpers ----------------------------------------------------------------
+
+/// Deterministic mixed query script covering resolved, overflowing, thin
+/// and empty responses. Used for sequential-vs-batched comparisons.
+inline std::vector<Query> ConformanceScript(const SchemaPtr& schema) {
+  std::vector<Query> script;
+  script.push_back(Query::FullSpace(schema));          // overflow
+  for (Value c = 1; c <= 3; ++c) {                     // slices
+    script.push_back(
+        Query::FullSpace(schema).WithCategoricalEquals(0, c));
+  }
+  script.push_back(Query::FullSpace(schema)
+                       .WithCategoricalEquals(0, 2)
+                       .WithCategoricalEquals(1, 3));  // thin slice pair
+  script.push_back(
+      Query::FullSpace(schema).WithNumericRange(2, 0, 40));   // band
+  script.push_back(
+      Query::FullSpace(schema).WithNumericRange(2, -500, -1));  // empty
+  script.push_back(Query::FullSpace(schema)
+                       .WithCategoricalEquals(0, 1)
+                       .WithCategoricalEquals(1, 1)
+                       .WithNumericRange(2, 0, 199));  // near-point
+  return script;
+}
+
+/// Compact digest of a response: overflow flag, size, and every tuple
+/// (hidden id + values) in server order. Equal digests == identical
+/// response bytes.
+inline std::string Digest(const Response& response) {
+  std::ostringstream out;
+  out << (response.overflow ? "OVERFLOW" : "resolved") << ' '
+      << response.size();
+  for (const ReturnedTuple& rt : response.tuples) {
+    out << " #" << rt.hidden_id << rt.tuple.ToString();
+  }
+  return out.str();
+}
+
+/// Digest of a whole conversation transcript.
+inline std::string Digest(const std::vector<Response>& responses) {
+  std::ostringstream out;
+  for (size_t i = 0; i < responses.size(); ++i) {
+    out << i << ": " << Digest(responses[i]) << '\n';
+  }
+  return out.str();
+}
+
+/// A fresh reference LocalServer over the canonical dataset — the fixture
+/// every backend's answers are compared against.
+inline std::unique_ptr<LocalServer> ReferenceServer() {
+  return std::make_unique<LocalServer>(ConformanceDataset(), kConformanceK);
+}
+
+// --- the suite --------------------------------------------------------------
+
+class ServerConformanceTest : public ::testing::TestWithParam<BackendFactory> {
+ protected:
+  std::unique_ptr<BackendHandle> Make(uint64_t budget = kNoBudget) {
+    return GetParam().make(budget);
+  }
+};
+
+TEST_P(ServerConformanceTest, DeclaresTheCanonicalDataSpace) {
+  auto backend = Make();
+  HiddenDbServer* server = backend->server();
+  EXPECT_EQ(server->k(), kConformanceK);
+  EXPECT_TRUE(*server->schema() == *ConformanceDataset()->schema())
+      << "backend must present the canonical schema: "
+      << server->schema()->ToString();
+  EXPECT_GE(server->batch_parallelism(), 1u);
+}
+
+TEST_P(ServerConformanceTest, TopKOverflowFlagging) {
+  auto backend = Make();
+  HiddenDbServer* server = backend->server();
+  auto reference = ReferenceServer();
+
+  for (const Query& query : ConformanceScript(server->schema())) {
+    const uint64_t matches = reference->CountMatches(query);
+    Response response;
+    ASSERT_TRUE(server->Issue(query, &response).ok());
+    if (matches > kConformanceK) {
+      EXPECT_TRUE(response.overflow) << query.ToString();
+      EXPECT_EQ(response.size(), kConformanceK) << query.ToString();
+    } else {
+      EXPECT_FALSE(response.overflow) << query.ToString();
+      EXPECT_EQ(response.size(), matches) << query.ToString();
+    }
+  }
+}
+
+TEST_P(ServerConformanceTest, RankingIsDeterministic) {
+  auto backend = Make();
+  HiddenDbServer* server = backend->server();
+  const Query full = Query::FullSpace(server->schema());
+  Response first, second;
+  ASSERT_TRUE(server->Issue(full, &first).ok());
+  ASSERT_TRUE(server->Issue(full, &second).ok());
+  EXPECT_EQ(Digest(first), Digest(second))
+      << "re-issuing a query must return the same k tuples in the same "
+         "order";
+}
+
+TEST_P(ServerConformanceTest, AnswersMatchReferenceLocalServer) {
+  auto backend = Make();
+  HiddenDbServer* server = backend->server();
+  auto reference = ReferenceServer();
+
+  for (const Query& query : ConformanceScript(server->schema())) {
+    Response got, want;
+    ASSERT_TRUE(server->Issue(query, &got).ok());
+    ASSERT_TRUE(reference->Issue(query, &want).ok());
+    EXPECT_EQ(Digest(got), Digest(want)) << query.ToString();
+  }
+}
+
+TEST_P(ServerConformanceTest, BatchEqualsSequentialConversation) {
+  const std::vector<Query> script =
+      ConformanceScript(ConformanceDataset()->schema());
+
+  auto sequential = Make();
+  std::vector<Response> expected;
+  for (const Query& query : script) {
+    Response response;
+    ASSERT_TRUE(sequential->server()->Issue(query, &response).ok());
+    expected.push_back(std::move(response));
+  }
+
+  auto batched = Make();
+  std::vector<Response> got;
+  ASSERT_TRUE(batched->server()->IssueBatch(script, &got).ok());
+  ASSERT_EQ(got.size(), script.size());
+  EXPECT_EQ(Digest(got), Digest(expected));
+}
+
+TEST_P(ServerConformanceTest, OneElementBatchIsExactlyIssue) {
+  auto backend = Make();
+  HiddenDbServer* server = backend->server();
+  const Query full = Query::FullSpace(server->schema());
+
+  Response via_issue;
+  ASSERT_TRUE(server->Issue(full, &via_issue).ok());
+  std::vector<Response> via_batch;
+  ASSERT_TRUE(server->IssueBatch({full}, &via_batch).ok());
+  ASSERT_EQ(via_batch.size(), 1u);
+  EXPECT_EQ(Digest(via_batch[0]), Digest(via_issue));
+  EXPECT_EQ(backend->queries_served(), 2u);
+}
+
+TEST_P(ServerConformanceTest, BudgetTruncatesMidBatchWithValidPrefix) {
+  const std::vector<Query> script =
+      ConformanceScript(ConformanceDataset()->schema());
+  ASSERT_GE(script.size(), 4u);
+  const uint64_t budget = script.size() / 2;
+
+  auto backend = Make(budget);
+  std::vector<Response> prefix;
+  Status s = backend->server()->IssueBatch(script, &prefix);
+  EXPECT_TRUE(s.IsResourceExhausted()) << s.ToString();
+  ASSERT_EQ(prefix.size(), budget)
+      << "the affordable prefix must be answered and returned";
+
+  // The prefix is valid, paid-for work: it matches the reference answers.
+  auto reference = ReferenceServer();
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    Response want;
+    ASSERT_TRUE(reference->Issue(script[i], &want).ok());
+    EXPECT_EQ(Digest(prefix[i]), Digest(want)) << "member " << i;
+  }
+  EXPECT_EQ(backend->queries_served(), budget);
+
+  // A further call is refused outright...
+  std::vector<Response> refused;
+  EXPECT_TRUE(backend->server()
+                  ->IssueBatch({script.back()}, &refused)
+                  .IsResourceExhausted());
+  EXPECT_TRUE(refused.empty());
+
+  // ...until a refill; resubmitting the unanswered suffix completes the
+  // conversation with nothing lost or double-spent.
+  backend->RefillBudget(script.size());
+  const std::vector<Query> suffix(script.begin() + prefix.size(),
+                                  script.end());
+  std::vector<Response> rest;
+  ASSERT_TRUE(backend->server()->IssueBatch(suffix, &rest).ok());
+  ASSERT_EQ(rest.size(), suffix.size());
+  for (size_t i = 0; i < rest.size(); ++i) {
+    Response want;
+    ASSERT_TRUE(reference->Issue(suffix[i], &want).ok());
+    EXPECT_EQ(Digest(rest[i]), Digest(want)) << "suffix member " << i;
+  }
+  EXPECT_EQ(backend->queries_served(), script.size());
+}
+
+TEST_P(ServerConformanceTest, StatsBillExactlyTheAnsweredQueries) {
+  auto backend = Make();
+  HiddenDbServer* server = backend->server();
+  const std::vector<Query> script = ConformanceScript(server->schema());
+
+  EXPECT_EQ(backend->queries_served(), 0u);
+  std::vector<Response> responses;
+  ASSERT_TRUE(server->IssueBatch(script, &responses).ok());
+  EXPECT_EQ(backend->queries_served(), script.size());
+  Response one;
+  ASSERT_TRUE(server->Issue(script[0], &one).ok());
+  EXPECT_EQ(backend->queries_served(), script.size() + 1);
+}
+
+TEST_P(ServerConformanceTest, FullCrawlIsByteIdenticalToReference) {
+  // Drive a complete optimal crawl through the backend and through the
+  // reference server, recording both conversations query by query. The
+  // transcripts — queries asked, tuples returned, overflow flags, in
+  // order — must be identical: a backend that answers correctly but
+  // perturbs the conversation would silently change every cost result in
+  // the paper's reproduction.
+  auto record_conversation = [](HiddenDbServer* server, std::string* log) {
+    ObservedServer observed(server, [log](const Query& q, const Response& r) {
+      *log += q.ToString() + " -> " + Digest(r) + "\n";
+    });
+    std::unique_ptr<Crawler> crawler =
+        MakeOptimalCrawler(*server->schema());
+    return crawler->Crawl(&observed);
+  };
+
+  auto backend = Make();
+  std::string backend_log;
+  const CrawlResult backend_result =
+      record_conversation(backend->server(), &backend_log);
+  ASSERT_TRUE(backend_result.status.ok())
+      << backend_result.status.ToString();
+
+  auto reference = ReferenceServer();
+  std::string reference_log;
+  const CrawlResult reference_result =
+      record_conversation(reference.get(), &reference_log);
+  ASSERT_TRUE(reference_result.status.ok());
+
+  EXPECT_TRUE(
+      Dataset::MultisetEquals(backend_result.extracted, *ConformanceDataset()))
+      << "extraction must be the exact multiset";
+  EXPECT_EQ(backend_result.queries_issued, reference_result.queries_issued);
+  EXPECT_EQ(backend_log, reference_log);
+  EXPECT_EQ(backend->queries_served(), reference_result.queries_issued);
+}
+
+}  // namespace conformance
+}  // namespace hdc

@@ -1,0 +1,179 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Instantiates the HiddenDbServer conformance suite (server_conformance.h)
+// over every server shape in the tree:
+//
+//   local    — a plain LocalServer (the paper's Section 6 methodology);
+//   decorated— an owned metering stack Budget(Counting(Observed(Local)));
+//   session  — a CrawlService ServerSession on a shared index + pool;
+//   remote   — a RemoteServer talking to a ServiceEndpoint over TCP
+//              loopback (a live CrawlService behind a real socket).
+//
+// A future backend (HTTP, sharded, cached) conforms by adding a factory
+// here — the suite itself never changes.
+#include "server_conformance.h"
+
+#include <memory>
+#include <utility>
+
+#include "net/remote_server.h"
+#include "net/service_endpoint.h"
+#include "server/crawl_service.h"
+#include "util/macros.h"
+
+namespace hdc {
+namespace conformance {
+namespace {
+
+// --- local ------------------------------------------------------------------
+
+class LocalBackend : public BackendHandle {
+ public:
+  explicit LocalBackend(uint64_t budget) {
+    server_ = std::make_unique<LocalServer>(ConformanceDataset(),
+                                            kConformanceK);
+    if (budget != kNoBudget) {
+      budget_ = std::make_unique<BudgetServer>(server_.get(), budget);
+    }
+  }
+
+  HiddenDbServer* server() override {
+    return budget_ != nullptr ? static_cast<HiddenDbServer*>(budget_.get())
+                              : server_.get();
+  }
+  uint64_t queries_served() override { return server_->queries_served(); }
+  void RefillBudget(uint64_t max_queries) override {
+    HDC_CHECK(budget_ != nullptr);
+    budget_->Refill(max_queries);
+  }
+
+ private:
+  std::unique_ptr<LocalServer> server_;
+  std::unique_ptr<BudgetServer> budget_;
+};
+
+// --- decorated stack --------------------------------------------------------
+
+class DecoratedBackend : public BackendHandle {
+ public:
+  explicit DecoratedBackend(uint64_t budget) {
+    auto local = std::make_unique<LocalServer>(ConformanceDataset(),
+                                               kConformanceK);
+    auto counting = std::make_unique<CountingServer>(std::move(local),
+                                                     /*keep_trace=*/true);
+    counting_ = counting.get();
+    std::unique_ptr<HiddenDbServer> stack = std::move(counting);
+    if (budget != kNoBudget) {
+      auto budgeted =
+          std::make_unique<BudgetServer>(std::move(stack), budget);
+      budget_ = budgeted.get();
+      stack = std::move(budgeted);
+    }
+    top_ = std::move(stack);
+  }
+
+  HiddenDbServer* server() override { return top_.get(); }
+  uint64_t queries_served() override { return counting_->queries(); }
+  void RefillBudget(uint64_t max_queries) override {
+    HDC_CHECK(budget_ != nullptr);
+    budget_->Refill(max_queries);
+  }
+
+ private:
+  std::unique_ptr<HiddenDbServer> top_;
+  CountingServer* counting_ = nullptr;
+  BudgetServer* budget_ = nullptr;
+};
+
+// --- service session --------------------------------------------------------
+
+class SessionBackend : public BackendHandle {
+ public:
+  explicit SessionBackend(uint64_t budget) {
+    CrawlServiceOptions options;
+    options.max_parallelism = 2;  // exercise the pooled evaluation path
+    service_ = std::make_unique<CrawlService>(ConformanceDataset(),
+                                              kConformanceK, nullptr,
+                                              options);
+    SessionOptions session;
+    session.label = "conformance";
+    if (budget != kNoBudget) session.max_queries = budget;
+    session_ = service_->CreateSession(std::move(session));
+  }
+
+  HiddenDbServer* server() override { return session_.get(); }
+  uint64_t queries_served() override { return session_->queries_served(); }
+  void RefillBudget(uint64_t max_queries) override {
+    session_->RefillBudget(max_queries);
+  }
+
+ private:
+  std::unique_ptr<CrawlService> service_;
+  std::unique_ptr<ServerSession> session_;
+};
+
+// --- remote over loopback ---------------------------------------------------
+
+class RemoteBackend : public BackendHandle {
+ public:
+  explicit RemoteBackend(uint64_t budget) {
+    CrawlServiceOptions options;
+    options.max_parallelism = 2;
+    service_ = std::make_unique<CrawlService>(ConformanceDataset(),
+                                              kConformanceK, nullptr,
+                                              options);
+    endpoint_ = std::make_unique<net::ServiceEndpoint>(service_.get());
+    HDC_CHECK_OK(endpoint_->Start());
+    net::RemoteServerOptions remote;
+    remote.label = "conformance-remote";
+    remote.max_queries = budget;  // UINT64_MAX == unlimited, as kNoBudget
+    HDC_CHECK_OK(net::RemoteServer::Connect("127.0.0.1", endpoint_->port(),
+                                            remote, &client_));
+  }
+
+  ~RemoteBackend() override {
+    client_.reset();    // hang up before tearing the endpoint down
+    endpoint_->Stop();  // joins connection threads; sessions retire
+  }
+
+  HiddenDbServer* server() override { return client_.get(); }
+
+  uint64_t queries_served() override {
+    net::StatsMessage stats;
+    HDC_CHECK_OK(client_->FetchStats(&stats));
+    return stats.queries_served;
+  }
+
+  void RefillBudget(uint64_t max_queries) override {
+    HDC_CHECK_OK(client_->RefillBudget(max_queries));
+  }
+
+ private:
+  std::unique_ptr<CrawlService> service_;
+  std::unique_ptr<net::ServiceEndpoint> endpoint_;
+  std::unique_ptr<net::RemoteServer> client_;
+};
+
+template <typename Backend>
+BackendFactory MakeFactory(const std::string& name) {
+  BackendFactory factory;
+  factory.name = name;
+  factory.make = [](uint64_t budget) -> std::unique_ptr<BackendHandle> {
+    return std::make_unique<Backend>(budget);
+  };
+  return factory;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, ServerConformanceTest,
+    ::testing::Values(MakeFactory<LocalBackend>("local"),
+                      MakeFactory<DecoratedBackend>("decorated"),
+                      MakeFactory<SessionBackend>("session"),
+                      MakeFactory<RemoteBackend>("remote")),
+    [](const ::testing::TestParamInfo<BackendFactory>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace conformance
+}  // namespace hdc

@@ -9,6 +9,14 @@ must match the baseline exactly: any drift is a hard failure — it means an
 algorithm's conversation changed. Wall-time-like columns (header containing
 "seconds", "wall" or "time") are machine noise: drift there only warns.
 
+CSVs with a `transport` column (e.g. transport_roundtrip.csv, which times
+the same workload in-process and over the loopback wire) are compared per
+transport group: rows are matched only against baseline rows of the same
+transport, so a loopback wall-time is never judged against an in-process
+baseline (or vice versa). A transport present in the baseline but absent
+from the current run is a hard failure; a new transport in the current run
+is a warning until its rows are committed to the baseline.
+
 Every baseline CSV must have a matching current result: a baseline with no
 current file means a bench was deleted, renamed, or silently skipped — a
 hard failure, because a gate that compares nothing passes vacuously. The
@@ -50,21 +58,9 @@ def read_csv(path: Path):
     return rows[0], rows[1:]
 
 
-def compare_file(baseline: Path, current: Path, time_tolerance: float,
-                 failures: list, warnings: list) -> None:
-    name = baseline.name
-    base_header, base_rows = read_csv(baseline)
-    cur_header, cur_rows = read_csv(current)
-
-    if base_header != cur_header:
-        failures.append(f"{name}: header changed "
-                        f"{base_header} -> {cur_header}")
-        return
-    if len(base_rows) != len(cur_rows):
-        failures.append(f"{name}: row count changed "
-                        f"{len(base_rows)} -> {len(cur_rows)}")
-        return
-
+def compare_rows(name: str, header: list, base_rows: list, cur_rows: list,
+                 time_tolerance: float, failures: list,
+                 warnings: list) -> None:
     for row_idx, (base_row, cur_row) in enumerate(zip(base_rows, cur_rows)):
         if len(base_row) != len(cur_row):
             failures.append(f"{name} row {row_idx + 1}: cell count changed")
@@ -73,11 +69,11 @@ def compare_file(baseline: Path, current: Path, time_tolerance: float,
                 zip(base_row, cur_row)):
             if base_cell == cur_cell:
                 continue
-            header = (base_header[col_idx]
-                      if col_idx < len(base_header) else f"col{col_idx}")
-            where = f"{name} row {row_idx + 1} [{header}]"
+            col_name = (header[col_idx]
+                        if col_idx < len(header) else f"col{col_idx}")
+            where = f"{name} row {row_idx + 1} [{col_name}]"
             base_num, cur_num = as_float(base_cell), as_float(cur_cell)
-            if is_time_column(header):
+            if is_time_column(col_name):
                 if base_num is None or cur_num is None:
                     warnings.append(f"{where}: {base_cell!r} -> {cur_cell!r}")
                     continue
@@ -92,6 +88,62 @@ def compare_file(baseline: Path, current: Path, time_tolerance: float,
             # extraction sizes, bound ratios. Exact mismatch is a failure.
             failures.append(f"{where}: {base_cell!r} -> {cur_cell!r} "
                             "(query-cost drift)")
+
+
+def group_by_transport(rows: list, transport_idx: int) -> dict:
+    groups = {}
+    for row in rows:
+        key = row[transport_idx] if transport_idx < len(row) else ""
+        groups.setdefault(key, []).append(row)
+    return groups
+
+
+def compare_file(baseline: Path, current: Path, time_tolerance: float,
+                 failures: list, warnings: list) -> None:
+    name = baseline.name
+    base_header, base_rows = read_csv(baseline)
+    cur_header, cur_rows = read_csv(current)
+
+    if base_header != cur_header:
+        failures.append(f"{name}: header changed "
+                        f"{base_header} -> {cur_header}")
+        return
+
+    if "transport" in base_header:
+        # Same-transport comparison only: loopback wall-times must never be
+        # judged against in-process baselines. Rows are grouped by the
+        # transport tag and each group compared positionally.
+        transport_idx = base_header.index("transport")
+        base_groups = group_by_transport(base_rows, transport_idx)
+        cur_groups = group_by_transport(cur_rows, transport_idx)
+        for transport, base_group in base_groups.items():
+            cur_group = cur_groups.get(transport)
+            if cur_group is None:
+                failures.append(
+                    f"{name}: transport '{transport}' present in the "
+                    "baseline but missing from the current run")
+                continue
+            if len(base_group) != len(cur_group):
+                failures.append(
+                    f"{name} [transport={transport}]: row count changed "
+                    f"{len(base_group)} -> {len(cur_group)}")
+                continue
+            compare_rows(f"{name} [transport={transport}]", base_header,
+                         base_group, cur_group, time_tolerance, failures,
+                         warnings)
+        for transport in cur_groups:
+            if transport not in base_groups:
+                warnings.append(
+                    f"{name}: new transport '{transport}' has no baseline "
+                    "rows — commit them to put it under the gate")
+        return
+
+    if len(base_rows) != len(cur_rows):
+        failures.append(f"{name}: row count changed "
+                        f"{len(base_rows)} -> {len(cur_rows)}")
+        return
+    compare_rows(name, base_header, base_rows, cur_rows, time_tolerance,
+                 failures, warnings)
 
 
 def main() -> int:
