@@ -64,7 +64,7 @@ BENCHMARK(BM_YahooIndexedQuery);
 void BM_YahooScanQuery(benchmark::State& state) {
   auto data = YahooData();
   LocalServerOptions options;
-  options.use_index = false;
+  options.engine = IndexEngine::kScan;
   LocalServer server(data, 1000, nullptr, options);
   Rng rng(7);
   Response response;

@@ -31,6 +31,13 @@ int main() {
   LocalServer server(dataset, /*k=*/50);
   std::printf("hidden database: n = %zu tuples over [%s]\n", dataset->size(),
               dataset->schema()->ToString().c_str());
+  const IndexBuildStats& stats = server.index()->build_stats();
+  std::printf("index engine   : %s (%llu array + %llu bitset containers, "
+              "%llu zone-map blocks)\n",
+              IndexEngineName(server.index()->engine()),
+              static_cast<unsigned long long>(stats.array_containers),
+              static_cast<unsigned long long>(stats.bitset_containers),
+              static_cast<unsigned long long>(stats.zone_map_blocks));
 
   // 3. Crawl with the optimal algorithm for this space (here: hybrid).
   auto crawler = MakeOptimalCrawler(*dataset->schema());

@@ -257,7 +257,7 @@ class ServerSession : public HiddenDbServer {
   CountingServer* counting_ = nullptr;
   QueryLogServer* log_ = nullptr;
 
-  std::vector<uint32_t> scratch_;
+  EvalScratch scratch_;
   std::atomic<uint64_t> queries_served_{0};
   std::atomic<uint64_t> tuples_returned_{0};
   std::atomic<uint64_t> overflow_count_{0};

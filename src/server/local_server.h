@@ -29,9 +29,12 @@ namespace hdc {
 class WorkerPool;
 
 struct LocalServerOptions {
-  /// See LocalIndexOptions::use_index; false turns every query into a full
-  /// scan, the independent oracle used to cross-check the indexed path.
-  bool use_index = true;
+  /// Which LocalIndex evaluation engine answers queries (see
+  /// LocalIndexOptions::engine): kBitmap is the fast default; kLegacy and
+  /// kScan are the slower oracles the fast path is cross-checked against.
+  /// Only used by the dataset-taking constructor — a shared prebuilt index
+  /// brings its own engine.
+  IndexEngine engine = IndexEngine::kBitmap;
 
   /// Upper bound on threads (including the calling one) an IssueBatch call
   /// may use. Must be >= 1. 1 (default) evaluates batches sequentially on
@@ -105,7 +108,7 @@ class LocalServer : public HiddenDbServer {
   std::unique_ptr<WorkerPool> pool_;
 
   /// Issue-path scratch; IssueBatch workers use their own.
-  std::vector<uint32_t> scratch_;
+  EvalScratch scratch_;
 
   uint64_t queries_served_ = 0;
   uint64_t tuples_returned_ = 0;

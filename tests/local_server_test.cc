@@ -136,7 +136,7 @@ TEST(LocalServerTest, IndexedMatchesScanOnRandomQueries) {
   auto data = std::make_shared<Dataset>(GenerateSyntheticMixed(gen));
 
   LocalServerOptions scan_opts;
-  scan_opts.use_index = false;
+  scan_opts.engine = IndexEngine::kScan;
   LocalServer indexed(data, /*k=*/16, MakeRandomPriorityPolicy(5));
   LocalServer scan(data, /*k=*/16, MakeRandomPriorityPolicy(5), scan_opts);
 

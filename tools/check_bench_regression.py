@@ -9,13 +9,20 @@ must match the baseline exactly: any drift is a hard failure — it means an
 algorithm's conversation changed. Wall-time-like columns (header containing
 "seconds", "wall" or "time") are machine noise: drift there only warns.
 
-CSVs with a `transport` column (e.g. transport_roundtrip.csv, which times
-the same workload in-process and over the loopback wire) are compared per
-transport group: rows are matched only against baseline rows of the same
-transport, so a loopback wall-time is never judged against an in-process
-baseline (or vice versa). A transport present in the baseline but absent
-from the current run is a hard failure; a new transport in the current run
-is a warning until its rows are committed to the baseline.
+CSVs with a `transport` or `engine` column (e.g. transport_roundtrip.csv,
+which times the same workload in-process and over the loopback wire, or
+bench_index.csv, which times the same query script under each evaluation
+engine) are compared per group: rows are matched only against baseline rows
+of the same transport/engine, so a loopback wall-time is never judged
+against an in-process baseline (or vice versa). A group present in the
+baseline but absent from the current run is a hard failure; a new group in
+the current run is a warning until its rows are committed to the baseline.
+
+bench_index.csv additionally carries a speedup gate: on the headline
+"conjunction-selective" shape the bitmap engine must beat the legacy engine
+by at least 4x wall time. Falling under the floor is a hard failure even
+though the cells are wall times — the ratio is between two engines measured
+back-to-back on the same machine, so machine speed cancels out.
 
 Every baseline CSV must have a matching current result: a baseline with no
 current file means a bench was deleted, renamed, or silently skipped — a
@@ -90,12 +97,59 @@ def compare_rows(name: str, header: list, base_rows: list, cur_rows: list,
                             "(query-cost drift)")
 
 
-def group_by_transport(rows: list, transport_idx: int) -> dict:
+# Columns whose value partitions rows into separately-measured populations.
+# Rows are only ever compared within a group: a loopback wall-time against a
+# loopback baseline, a bitmap-engine row against a bitmap-engine baseline.
+GROUP_COLUMNS = ("transport", "engine")
+
+# bench_index speedup gate: on the headline shape the bitmap engine must
+# beat legacy by this factor. See bench/bench_index.cc.
+INDEX_SPEEDUP_FILE = "bench_index.csv"
+INDEX_SPEEDUP_SHAPE = "conjunction-selective"
+INDEX_SPEEDUP_FLOOR = 4.0
+
+
+def group_by_column(rows: list, key_idx: int) -> dict:
     groups = {}
     for row in rows:
-        key = row[transport_idx] if transport_idx < len(row) else ""
+        key = row[key_idx] if key_idx < len(row) else ""
         groups.setdefault(key, []).append(row)
     return groups
+
+
+def check_index_speedup(header: list, rows: list, failures: list) -> None:
+    """Hard-fails unless bitmap beats legacy by INDEX_SPEEDUP_FLOOR on the
+    headline shape. Operates on the *current* run: the ratio is between two
+    engines measured back-to-back, so machine speed cancels out and the
+    check stays meaningful even though the cells are wall times."""
+    try:
+        engine_idx = header.index("engine")
+        shape_idx = header.index("shape")
+        wall_idx = header.index("wall_seconds")
+    except ValueError:
+        failures.append(f"{INDEX_SPEEDUP_FILE}: expected engine/shape/"
+                        "wall_seconds columns for the speedup gate")
+        return
+    walls = {}
+    for row in rows:
+        if len(row) > max(engine_idx, shape_idx, wall_idx) and \
+                row[shape_idx] == INDEX_SPEEDUP_SHAPE:
+            walls[row[engine_idx]] = as_float(row[wall_idx])
+    legacy, bitmap = walls.get("legacy"), walls.get("bitmap")
+    if legacy is None or bitmap is None:
+        failures.append(
+            f"{INDEX_SPEEDUP_FILE}: shape '{INDEX_SPEEDUP_SHAPE}' lacks "
+            "legacy/bitmap wall times — cannot evaluate the speedup gate")
+        return
+    if bitmap <= 0:
+        return  # degenerate timer resolution; the ratio is vacuously fine
+    ratio = legacy / bitmap
+    if ratio < INDEX_SPEEDUP_FLOOR:
+        failures.append(
+            f"{INDEX_SPEEDUP_FILE} [{INDEX_SPEEDUP_SHAPE}]: bitmap is only "
+            f"{ratio:.2f}x faster than legacy (floor "
+            f"{INDEX_SPEEDUP_FLOOR:.1f}x; legacy {legacy:.6f}s, bitmap "
+            f"{bitmap:.6f}s)")
 
 
 def compare_file(baseline: Path, current: Path, time_tolerance: float,
@@ -109,33 +163,37 @@ def compare_file(baseline: Path, current: Path, time_tolerance: float,
                         f"{base_header} -> {cur_header}")
         return
 
-    if "transport" in base_header:
-        # Same-transport comparison only: loopback wall-times must never be
-        # judged against in-process baselines. Rows are grouped by the
-        # transport tag and each group compared positionally.
-        transport_idx = base_header.index("transport")
-        base_groups = group_by_transport(base_rows, transport_idx)
-        cur_groups = group_by_transport(cur_rows, transport_idx)
-        for transport, base_group in base_groups.items():
-            cur_group = cur_groups.get(transport)
+    group_col = next((c for c in GROUP_COLUMNS if c in base_header), None)
+    if group_col is not None:
+        # Same-group comparison only: loopback wall-times must never be
+        # judged against in-process baselines, nor bitmap-engine rows
+        # against legacy ones. Rows are grouped by the tag column and each
+        # group compared positionally.
+        key_idx = base_header.index(group_col)
+        base_groups = group_by_column(base_rows, key_idx)
+        cur_groups = group_by_column(cur_rows, key_idx)
+        for key, base_group in base_groups.items():
+            cur_group = cur_groups.get(key)
             if cur_group is None:
                 failures.append(
-                    f"{name}: transport '{transport}' present in the "
+                    f"{name}: {group_col} '{key}' present in the "
                     "baseline but missing from the current run")
                 continue
             if len(base_group) != len(cur_group):
                 failures.append(
-                    f"{name} [transport={transport}]: row count changed "
+                    f"{name} [{group_col}={key}]: row count changed "
                     f"{len(base_group)} -> {len(cur_group)}")
                 continue
-            compare_rows(f"{name} [transport={transport}]", base_header,
+            compare_rows(f"{name} [{group_col}={key}]", base_header,
                          base_group, cur_group, time_tolerance, failures,
                          warnings)
-        for transport in cur_groups:
-            if transport not in base_groups:
+        for key in cur_groups:
+            if key not in base_groups:
                 warnings.append(
-                    f"{name}: new transport '{transport}' has no baseline "
+                    f"{name}: new {group_col} '{key}' has no baseline "
                     "rows — commit them to put it under the gate")
+        if name == INDEX_SPEEDUP_FILE:
+            check_index_speedup(cur_header, cur_rows, failures)
         return
 
     if len(base_rows) != len(cur_rows):
