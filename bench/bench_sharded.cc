@@ -1,0 +1,196 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Sharded backend bench: the same deterministic workload driven through the
+// scatter-gather ShardedServer at 1, 2 and 4 shards, then at connection
+// scale — 64 concurrent scatter-gather clients, each dialing every shard's
+// epoll endpoint, so the 4-shard row holds 256 live sessions at once. The
+// CSV is shard-tagged (the `shards` column) so the regression gate compares
+// 4-shard wall-times only against 4-shard baselines
+// (tools/check_bench_regression.py groups rows by shards). Query and tuple
+// counts are deterministic and gated exactly; wall clocks only warn.
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/synthetic.h"
+#include "harness.h"
+#include "net/remote_server.h"
+#include "net/service_endpoint.h"
+#include "server/crawl_service.h"
+#include "server/sharding.h"
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace hdc {
+namespace bench {
+namespace {
+
+constexpr size_t kWorkload = 256;       // queries in the fixed script
+constexpr size_t kClients = 64;         // concurrent scatter-gather clients
+constexpr size_t kQueriesPerClient = 8; // each client's slice of the script
+
+std::shared_ptr<const Dataset> BenchData() {
+  SyntheticMixedOptions gen;
+  gen.domain_sizes = {8, 40};
+  gen.num_numeric = 1;
+  gen.n = 10000;
+  gen.value_range = 10000;
+  gen.seed = 29;
+  return std::make_shared<const Dataset>(GenerateSyntheticMixed(gen));
+}
+
+/// The fixed workload: kWorkload mixed queries, seeded.
+std::vector<Query> Workload(const SchemaPtr& schema) {
+  Rng rng(23);
+  std::vector<Query> queries;
+  queries.reserve(kWorkload);
+  for (size_t i = 0; i < kWorkload; ++i) {
+    Query q = Query::FullSpace(schema);
+    if (rng.Bernoulli(0.5)) {
+      q = q.WithCategoricalEquals(
+          0, rng.UniformInt(1, static_cast<Value>(schema->domain_size(0))));
+    }
+    if (rng.Bernoulli(0.7)) {
+      const Value lo = rng.UniformInt(0, 8000);
+      q = q.WithNumericRange(2, lo, lo + 1500);
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+/// Issues `workload` in rounds of `batch`; returns {answered, tuples, wall}.
+struct DriveStats {
+  uint64_t answered = 0;
+  uint64_t tuples = 0;
+  double seconds = 0.0;
+};
+
+DriveStats Drive(HiddenDbServer* server, size_t batch,
+                 const std::vector<Query>& workload) {
+  DriveStats stats;
+  std::vector<Response> responses;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t at = 0; at < workload.size(); at += batch) {
+    const size_t n = std::min(batch, workload.size() - at);
+    const std::vector<Query> round(workload.begin() + at,
+                                   workload.begin() + at + n);
+    HDC_CHECK_OK(server->IssueBatch(round, &responses));
+    stats.answered += responses.size();
+    for (const Response& r : responses) stats.tuples += r.size();
+  }
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return stats;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hdc
+
+int main() {
+  using namespace hdc;
+  using namespace hdc::bench;
+
+  Banner("sharded",
+         "scatter-gather over 1/2/4 shards: 256 mixed queries in-process, "
+         "then 64 concurrent clients dialing every shard's epoll endpoint "
+         "(4-shard row = 256 live sessions)");
+
+  auto data = BenchData();
+  const uint64_t k = std::max<uint64_t>(500, data->MaxPointMultiplicity());
+  const std::vector<Query> workload = Workload(data->schema());
+
+  FigureTable table("Sharded scatter-gather", "bench_sharded",
+                    {"shards", "mode", "sessions", "queries", "tuples",
+                     "wall seconds"});
+
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    ShardPlanOptions plan_options;
+    plan_options.num_shards = shards;
+    ShardPlan plan =
+        ShardPlan::Partition(data, k, nullptr, plan_options);
+
+    // --- one scatter-gather conversation over in-process shard indexes ---
+    {
+      auto sharded = ShardedServer::OverPlan(plan);
+      DriveStats stats = Drive(sharded.get(), /*batch=*/16, workload);
+      table.AddRow({std::to_string(shards), "scatter-gather", "1",
+                    std::to_string(stats.answered),
+                    std::to_string(stats.tuples),
+                    std::to_string(stats.seconds)});
+    }
+
+    // --- connection scale: kClients concurrent clients, each dialing every
+    // shard's live endpoint (kClients * shards concurrent sessions) ---
+    std::vector<std::unique_ptr<CrawlService>> services;
+    std::vector<std::unique_ptr<net::ServiceEndpoint>> endpoints;
+    for (size_t s = 0; s < plan.num_shards(); ++s) {
+      services.push_back(
+          std::make_unique<CrawlService>(plan.BuildShardIndex(s)));
+      endpoints.push_back(
+          std::make_unique<net::ServiceEndpoint>(services.back().get()));
+      HDC_CHECK_OK(endpoints.back()->Start());
+    }
+
+    // Connect every client's shard fan-out up front so all sessions are
+    // live simultaneously, then drive them concurrently.
+    std::vector<std::unique_ptr<ShardedServer>> clients;
+    clients.reserve(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      std::vector<ShardBackend> backends;
+      for (size_t s = 0; s < plan.num_shards(); ++s) {
+        net::RemoteServerOptions remote;
+        remote.label =
+            "bench-" + std::to_string(c) + "-" + std::to_string(s);
+        std::unique_ptr<net::RemoteServer> client;
+        HDC_CHECK_OK(net::RemoteServer::Connect(
+            "127.0.0.1", endpoints[s]->port(), remote, &client));
+        ShardBackend backend;
+        backend.server = std::move(client);
+        backend.global_ids = plan.shard_global_ids(s);
+        backends.push_back(std::move(backend));
+      }
+      clients.push_back(std::make_unique<ShardedServer>(
+          std::move(backends), plan.shared_global_priorities()));
+    }
+
+    std::vector<DriveStats> per_client(kClients);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        const size_t at = (c * kQueriesPerClient) % kWorkload;
+        const std::vector<Query> slice(
+            workload.begin() + at,
+            workload.begin() + at + kQueriesPerClient);
+        per_client[c] = Drive(clients[c].get(), /*batch=*/4, slice);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    uint64_t answered = 0, tuples = 0;
+    for (const DriveStats& stats : per_client) {
+      answered += stats.answered;
+      tuples += stats.tuples;
+    }
+    table.AddRow({std::to_string(shards), "endpoint-scale",
+                  std::to_string(kClients * shards),
+                  std::to_string(answered), std::to_string(tuples),
+                  std::to_string(wall)});
+
+    clients.clear();
+    for (auto& endpoint : endpoints) endpoint->Stop();
+  }
+
+  table.Emit();
+  return 0;
+}

@@ -15,21 +15,36 @@
 //       optimal algorithm — adaptive (latency-aware) batching, polite
 //       pacing between rounds — and prints the session accounting.
 //
+//   $ ./remote_crawl serve-sharded <shard> <num_shards> [port]
+//       Serves ONE shard of the hash-partitioned plan over the same
+//       database. Start num_shards of these (separate processes), then
+//       point crawl-sharded at all of them.
+//
+//   $ ./remote_crawl crawl-sharded <host> <port> [port...]
+//       Scatter-gather client: one RemoteServer per shard endpoint,
+//       merged by a ShardedServer, crawled with the optimal algorithm
+//       and verified against the source dataset — the sharded answers
+//       must be byte-identical to a single-index serve.
+//
 //   $ ./remote_crawl
 //       Both halves in one process over loopback, with verification
 //       against the source dataset. This is the tier-1 smoke mode; the
-//       nightly CI job runs the split server-process/client-process form.
+//       nightly CI job runs the split server-process/client-process form
+//       (plain and sharded).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/crawlers.h"
 #include "gen/synthetic.h"
 #include "net/remote_server.h"
 #include "net/service_endpoint.h"
 #include "server/crawl_service.h"
+#include "server/sharding.h"
 
 namespace {
 
@@ -77,6 +92,129 @@ int Serve(uint16_t port) {
   while (true) {
     std::this_thread::sleep_for(std::chrono::seconds(1));
   }
+}
+
+// Both sides of the sharded split rebuild the same plan from the same
+// seed, so shard membership and the global ranking agree across
+// processes without any wire-level coordination.
+
+int ServeShard(size_t shard, size_t num_shards, uint16_t port) {
+  auto dataset = ServiceDataset();
+  const uint64_t k = ServiceK(*dataset);
+  ShardPlanOptions plan_options;
+  plan_options.num_shards = num_shards;
+  ShardPlan plan =
+      ShardPlan::Partition(dataset, k, nullptr, plan_options);
+  if (shard >= plan.num_shards()) {
+    std::fprintf(stderr, "serve-sharded: shard %zu out of range (%zu)\n",
+                 shard, plan.num_shards());
+    return 2;
+  }
+
+  CrawlService service(plan.BuildShardIndex(shard));
+  net::ServiceEndpointOptions endpoint_options;
+  endpoint_options.port = port;
+  net::ServiceEndpoint endpoint(&service, endpoint_options);
+  Status s = endpoint.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "serve-sharded: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("%u\n", static_cast<unsigned>(endpoint.port()));
+  std::printf("serving shard %zu/%zu (%zu of %zu tuples, k = %llu) on "
+              "127.0.0.1:%u — kill to stop\n",
+              shard, plan.num_shards(), plan.shard_dataset(shard)->size(),
+              dataset->size(), static_cast<unsigned long long>(service.k()),
+              static_cast<unsigned>(endpoint.port()));
+  std::fflush(stdout);
+  while (true) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+}
+
+int CrawlSharded(const std::string& host,
+                 const std::vector<uint16_t>& ports, bool verify) {
+  auto dataset = ServiceDataset();
+  ShardPlanOptions plan_options;
+  plan_options.num_shards = ports.size();
+  ShardPlan plan = ShardPlan::Partition(dataset, ServiceK(*dataset),
+                                        nullptr, plan_options);
+
+  std::vector<ShardBackend> backends;
+  std::vector<net::RemoteServer*> shard_clients;
+  for (size_t s = 0; s < ports.size(); ++s) {
+    net::RemoteServerOptions options;
+    options.label = "remote-crawl-shard-" + std::to_string(s);
+    options.politeness.min_round_delay = std::chrono::milliseconds(1);
+    options.politeness.max_jitter = std::chrono::milliseconds(1);
+    std::unique_ptr<net::RemoteServer> client;
+    Status status = net::RemoteServer::Connect(host, ports[s], options,
+                                               &client);
+    if (!status.ok()) {
+      std::fprintf(stderr, "connect shard %zu: %s\n", s,
+                   status.ToString().c_str());
+      return 1;
+    }
+    shard_clients.push_back(client.get());
+    ShardBackend backend;
+    backend.server = std::move(client);
+    backend.global_ids = plan.shard_global_ids(s);
+    backends.push_back(std::move(backend));
+  }
+  ShardedServer sharded(std::move(backends),
+                        plan.shared_global_priorities());
+  std::printf("connected %zu shard backends, k = %llu, schema [%s]\n",
+              ports.size(),
+              static_cast<unsigned long long>(sharded.k()),
+              sharded.schema()->ToString().c_str());
+
+  auto crawler = MakeOptimalCrawler(*sharded.schema());
+  CrawlOptions crawl_options;
+  crawl_options.batch_size = 0;  // auto: reacts to the slowest shard
+  const auto start = std::chrono::steady_clock::now();
+  CrawlResult result = crawler->Crawl(&sharded, crawl_options);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "crawl: %s\n", result.status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("algorithm         : %s\n", crawler->name().c_str());
+  std::printf("tuples extracted  : %zu\n", result.extracted.size());
+  std::printf("queries (client)  : %llu\n",
+              static_cast<unsigned long long>(result.queries_issued));
+  std::printf("merged overflows  : %llu\n",
+              static_cast<unsigned long long>(sharded.merged_overflows()));
+  uint64_t server_total = 0;
+  for (size_t s = 0; s < shard_clients.size(); ++s) {
+    net::StatsMessage stats;
+    if (!shard_clients[s]->FetchStats(&stats).ok()) {
+      stats = net::StatsMessage{};
+    }
+    server_total += stats.queries_served;
+    std::printf("shard %zu (server)  : %llu queries\n", s,
+                static_cast<unsigned long long>(stats.queries_served));
+  }
+  std::printf("wall time         : %.2f s\n", seconds);
+
+  if (verify) {
+    const bool exact = Dataset::MultisetEquals(result.extracted, *dataset);
+    std::printf("verification      : %s\n",
+                exact ? "exact multiset" : "MISMATCH");
+    if (!exact) return 1;
+    // Every member of every wire round reaches every shard exactly once.
+    if (server_total != result.queries_issued * ports.size()) {
+      std::printf("accounting        : MISMATCH (client %llu * %zu shards "
+                  "!= server %llu)\n",
+                  static_cast<unsigned long long>(result.queries_issued),
+                  ports.size(),
+                  static_cast<unsigned long long>(server_total));
+      return 1;
+    }
+  }
+  return 0;
 }
 
 int Crawl(const std::string& host, uint16_t port, bool verify) {
@@ -159,12 +297,32 @@ int main(int argc, char** argv) {
     return Crawl(argv[2], static_cast<uint16_t>(std::atoi(argv[3])),
                  /*verify=*/false);
   }
+  if (argc >= 4 && std::string(argv[1]) == "serve-sharded") {
+    const size_t shard = static_cast<size_t>(std::atoi(argv[2]));
+    const size_t num_shards = static_cast<size_t>(std::atoi(argv[3]));
+    const uint16_t port =
+        argc >= 5 ? static_cast<uint16_t>(std::atoi(argv[4])) : 0;
+    if (num_shards == 0) {
+      std::fprintf(stderr, "serve-sharded: num_shards must be >= 1\n");
+      return 2;
+    }
+    return ServeShard(shard, num_shards, port);
+  }
+  if (argc >= 4 && std::string(argv[1]) == "crawl-sharded") {
+    std::vector<uint16_t> ports;
+    for (int i = 3; i < argc; ++i) {
+      ports.push_back(static_cast<uint16_t>(std::atoi(argv[i])));
+    }
+    return CrawlSharded(argv[2], ports, /*verify=*/true);
+  }
   if (argc != 1) {
     std::fprintf(stderr,
                  "usage: %s                 # in-process smoke\n"
                  "       %s serve [port]    # server process\n"
-                 "       %s crawl <host> <port>\n",
-                 argv[0], argv[0], argv[0]);
+                 "       %s crawl <host> <port>\n"
+                 "       %s serve-sharded <shard> <num_shards> [port]\n"
+                 "       %s crawl-sharded <host> <port> [port...]\n",
+                 argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
 

@@ -18,20 +18,51 @@ AdaptiveBatchSizer::AdaptiveBatchSizer(const AdaptiveBatchOptions& options,
   limit_ = std::min(limit_, options_.max_round);
 }
 
-void AdaptiveBatchSizer::RecordRound(size_t round_size, double rtt_seconds,
-                                     double queue_wait_total_seconds) {
-  ++rounds_recorded_;
+double AdaptiveBatchSizer::DiffReading(double reading, double* last) {
   // The reading is cumulative per server session; a *decrease* means the
   // conversation moved to a fresh session (reconnect), whose total is
   // entirely wait incurred since — re-seed instead of clamping to zero,
   // or a congested server would get no back-off for the whole catch-up
   // window.
-  const double wait_delta =
-      queue_wait_total_seconds < last_queue_wait_total_
-          ? queue_wait_total_seconds
-          : queue_wait_total_seconds - last_queue_wait_total_;
-  last_queue_wait_total_ = queue_wait_total_seconds;
+  const double delta = reading < *last ? reading : reading - *last;
+  *last = reading;
+  return delta;
+}
 
+void AdaptiveBatchSizer::RecordRound(size_t round_size, double rtt_seconds,
+                                     double queue_wait_total_seconds) {
+  RecordDelta(round_size, rtt_seconds,
+              DiffReading(queue_wait_total_seconds, &last_queue_wait_total_));
+}
+
+void AdaptiveBatchSizer::RecordRound(size_t round_size, double rtt_seconds,
+                                     const ServerLoadHint& hint) {
+  if (hint.shard_queue_wait_seconds.empty()) {
+    RecordRound(round_size, rtt_seconds, hint.queue_wait_total_seconds);
+    return;
+  }
+  // Sharded backend: the round completed when its slowest shard did, so
+  // congestion is the worst per-shard wait delta, not the sum — N-1 idle
+  // shards must not dilute one straggler below the back-off threshold.
+  if (last_shard_waits_.size() != hint.shard_queue_wait_seconds.size()) {
+    last_shard_waits_.assign(hint.shard_queue_wait_seconds.size(), 0.0);
+  }
+  double max_delta = 0;
+  for (size_t s = 0; s < hint.shard_queue_wait_seconds.size(); ++s) {
+    max_delta = std::max(
+        max_delta,
+        DiffReading(hint.shard_queue_wait_seconds[s], &last_shard_waits_[s]));
+  }
+  // Keep the aggregate tracker coherent in case the conversation later
+  // degrades to unsharded hints (e.g. a proxy stops forwarding the
+  // per-shard vector).
+  last_queue_wait_total_ = hint.queue_wait_total_seconds;
+  RecordDelta(round_size, rtt_seconds, max_delta);
+}
+
+void AdaptiveBatchSizer::RecordDelta(size_t round_size, double rtt_seconds,
+                                     double wait_delta) {
+  ++rounds_recorded_;
   // Congestion first: a server that parked this round behind other tenants
   // gets smaller rounds regardless of how fast the wire is.
   if (rtt_seconds > 0 &&

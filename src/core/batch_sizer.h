@@ -29,6 +29,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
+
+#include "server/server.h"
 
 namespace hdc {
 
@@ -62,6 +65,15 @@ class AdaptiveBatchSizer {
   void RecordRound(size_t round_size, double rtt_seconds,
                    double queue_wait_total_seconds);
 
+  /// Load-hint form: against a sharded backend (server/sharding.h) the
+  /// hint carries one cumulative queue wait per shard, and the congestion
+  /// signal is the *maximum* per-shard delta — a scattered round is as
+  /// slow as its slowest shard, so one congested shard among idle ones
+  /// must back the round size off even though the summed wait looks mild.
+  /// Falls back to the aggregate reading for unsharded hints.
+  void RecordRound(size_t round_size, double rtt_seconds,
+                   const ServerLoadHint& hint);
+
   /// Current limit on how many frontier items the next round may carry.
   size_t limit() const { return limit_; }
 
@@ -72,9 +84,18 @@ class AdaptiveBatchSizer {
   uint64_t congestion_backoffs() const { return congestion_backoffs_; }
 
  private:
+  /// The shared decision core, fed the last round's queue-wait *delta*.
+  void RecordDelta(size_t round_size, double rtt_seconds, double wait_delta);
+
+  /// Cumulative-reading diff with the reconnect rule: a reading smaller
+  /// than the previous one re-seeds (fresh session) instead of clamping.
+  static double DiffReading(double reading, double* last);
+
   AdaptiveBatchOptions options_;
   size_t limit_;
   double last_queue_wait_total_ = 0;
+  /// Previous per-shard readings (sharded conversations only).
+  std::vector<double> last_shard_waits_;
   uint64_t rounds_recorded_ = 0;
   uint64_t grow_events_ = 0;
   uint64_t shrink_events_ = 0;

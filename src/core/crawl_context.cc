@@ -126,7 +126,7 @@ std::vector<CrawlContext::Outcome> CrawlContext::IssueBatch(
         0.0, hint.politeness_wait_total_seconds - politeness_before);
     const double rtt =
         std::max(0.0, clock_->NowSeconds() - round_start - paced);
-    sizer_->RecordRound(batch->size(), rtt, hint.queue_wait_total_seconds);
+    sizer_->RecordRound(batch->size(), rtt, hint);
   }
   HDC_CHECK_MSG(answered.size() <= batch->size(),
                 "server answered more members than submitted");

@@ -1,0 +1,66 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// A thin RAII epoll wrapper — the readiness engine under the event-driven
+// ServiceEndpoint. One loop multiplexes one listening socket plus
+// thousands of nonblocking connections on a single thread; a cheap
+// eventfd wake channel lets other threads (dispatch workers finishing a
+// batch, Stop()) nudge the loop out of its wait.
+//
+// This is deliberately not a general-purpose reactor: no timers, no
+// callback registry, no ownership of the fds it watches. The endpoint
+// owns its connections and interprets readiness itself; the loop only
+// answers "which fds can make progress?" without burning a thread per
+// connection to find out.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <sys/epoll.h>
+
+#include "util/status.h"
+
+namespace hdc {
+namespace net {
+
+/// One epoll instance plus its wake eventfd. Not thread-safe except for
+/// Wake(), which any thread may call.
+class EventLoop {
+ public:
+  EventLoop() = default;
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll instance and the wake channel. Must be called
+  /// (successfully) before anything else.
+  Status Init();
+
+  bool valid() const { return epoll_fd_ >= 0; }
+
+  /// Registers `fd` with an interest set (EPOLLIN / EPOLLOUT / ...);
+  /// `data` comes back verbatim in the ready events. Level-triggered —
+  /// the endpoint re-arms interest explicitly, which keeps the state
+  /// machine simple and unmissable.
+  Status Add(int fd, uint32_t events, uint64_t data);
+  Status Modify(int fd, uint32_t events, uint64_t data);
+  Status Remove(int fd);
+
+  /// Blocks up to `timeout_ms` (-1 = forever) for readiness; fills `out`
+  /// with the ready events, wake-channel events already consumed and
+  /// filtered out. Returns OK on timeout with an empty `out`.
+  Status Wait(int timeout_ms, std::vector<epoll_event>* out);
+
+  /// Makes the current (or next) Wait() return promptly. Callable from
+  /// any thread, async-signal-unsafe-free, never blocks.
+  void Wake();
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::vector<epoll_event> scratch_;
+};
+
+}  // namespace net
+}  // namespace hdc

@@ -1,12 +1,51 @@
 // Copyright (c) hdc authors. Apache-2.0 license.
 #include "net/service_endpoint.h"
 
+#include <cstring>
 #include <utility>
 
+#include "server/metrics_text.h"
 #include "util/macros.h"
 
 namespace hdc {
 namespace net {
+
+namespace {
+
+/// Epoll event data for the listening socket; connections use their id.
+/// (The loop's own wake channel claims UINT64_MAX.)
+constexpr uint64_t kListenerData = UINT64_MAX - 1;
+
+/// Stop reading while a connection's unparsed input exceeds this — a
+/// peer pumping frames faster than its requests complete buffers at most
+/// one oversized frame beyond the cap, not unbounded memory.
+constexpr size_t kInbufSoftCap = 2 * (static_cast<size_t>(kMaxFramePayload) + 5);
+
+/// Serializes one frame (header + payload) onto `out`.
+void AppendFrame(std::string* out, FrameType type,
+                 const std::string& payload) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((len >> shift) & 0xff));
+  }
+  out->push_back(static_cast<char>(type));
+  out->append(payload);
+}
+
+std::string HttpResponse(const char* status_line, const std::string& body) {
+  std::string out;
+  out.reserve(128 + body.size());
+  out.append("HTTP/1.0 ");
+  out.append(status_line);
+  out.append("\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8");
+  out.append("\r\nContent-Length: ");
+  out.append(std::to_string(body.size()));
+  out.append("\r\nConnection: close\r\n\r\n");
+  out.append(body);
+  return out;
+}
+
+}  // namespace
 
 ServiceEndpoint::ServiceEndpoint(CrawlService* service,
                                  ServiceEndpointOptions options)
@@ -18,95 +57,228 @@ ServiceEndpoint::~ServiceEndpoint() { Stop(); }
 
 Status ServiceEndpoint::Start() {
   HDC_CHECK_MSG(!running_, "endpoint already started");
-  Status s = Listener::Listen(options_.host, options_.port, &listener_);
+  Status s = loop_.Init();
   if (!s.ok()) return s;
+  s = Listener::Listen(options_.host, options_.port, &listener_);
+  if (!s.ok()) return s;
+  s = listener_.SetNonBlocking(true);
+  if (!s.ok()) return s;
+  s = loop_.Add(listener_.fd(), EPOLLIN, kListenerData);
+  if (!s.ok()) return s;
+
   running_ = true;
-  acceptor_ = std::thread([this] { AcceptLoop(); });
+  queue_stopped_ = false;
+  const unsigned dispatchers = std::max(1u, options_.dispatch_threads);
+  dispatchers_.reserve(dispatchers);
+  for (unsigned i = 0; i < dispatchers; ++i) {
+    dispatchers_.emplace_back([this] { DispatchLoop(); });
+  }
+  io_thread_ = std::thread([this] { IoLoop(); });
   return Status::OK();
 }
 
 void ServiceEndpoint::Stop() {
   if (!running_.exchange(false)) return;
-  // Wake the acceptor first so no new connection threads appear while we
-  // join the existing ones.
+  // Wake the IO thread out of epoll_wait; it exits its loop on the next
+  // iteration. No new connections or dispatches appear after that.
   listener_.Shutdown();
-  if (acceptor_.joinable()) acceptor_.join();
+  loop_.Wake();
+  if (io_thread_.joinable()) io_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    for (auto& [id, socket] : live_connections_) socket->Shutdown();
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_stopped_ = true;
+    queue_.clear();  // undispatched requests die with their connections
   }
-  std::vector<std::thread> to_join;
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    to_join.reserve(connection_threads_.size());
-    for (auto& [id, thread] : connection_threads_) {
-      to_join.push_back(std::move(thread));
-    }
-    connection_threads_.clear();
-    finished_.clear();
-  }
-  for (std::thread& t : to_join) {
+  queue_cv_.notify_all();
+  for (std::thread& t : dispatchers_) {
     if (t.joinable()) t.join();
   }
+  dispatchers_.clear();
+  // Single-threaded from here: destroying a connection closes its socket
+  // and retires its session.
+  connections_.clear();
+  completed_.clear();
   listener_.Close();
 }
 
-void ServiceEndpoint::ReapFinishedConnections() {
-  std::vector<std::thread> to_join;
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    to_join.reserve(finished_.size());
-    for (uint64_t id : finished_) {
-      auto it = connection_threads_.find(id);
-      if (it == connection_threads_.end()) continue;
-      to_join.push_back(std::move(it->second));
-      connection_threads_.erase(it);
+void ServiceEndpoint::DispatchLoop() {
+  while (true) {
+    std::pair<Connection*, Frame> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return queue_stopped_ || !queue_.empty(); });
+      if (queue_stopped_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
     }
-    finished_.clear();
-  }
-  // Join outside the lock: the thread's final instructions finish in
-  // nanoseconds (it announced completion as its last locked action).
-  for (std::thread& t : to_join) {
-    if (t.joinable()) t.join();
+    ExecuteRequest(job.first, std::move(job.second));
   }
 }
 
-void ServiceEndpoint::AcceptLoop() {
+void ServiceEndpoint::IoLoop() {
+  std::vector<epoll_event> events;
+  while (running_) {
+    if (!loop_.Wait(-1, &events).ok()) return;
+
+    // Finished requests first: clear busy flags (possibly re-enabling
+    // parse/dispatch of pipelined input) before handling new readiness.
+    std::vector<uint64_t> done;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      done.swap(completed_);
+    }
+    for (uint64_t id : done) {
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;
+      Connection* conn = it->second.get();
+      conn->busy = false;
+      if (conn->defunct) {
+        DestroyConnection(conn);
+        continue;
+      }
+      WriteReady(conn);
+      if (connections_.find(id) == connections_.end()) continue;
+      while (!conn->busy && ConsumeInput(conn)) {
+      }
+      if (connections_.find(id) != connections_.end()) {
+        UpdateInterest(conn);
+      }
+    }
+
+    for (const epoll_event& ev : events) {
+      if (!running_) break;
+      if (ev.data.u64 == kListenerData) {
+        AcceptReady();
+        continue;
+      }
+      // The connection may have died while we processed earlier events
+      // of this same batch — resolve through the registry, never trust
+      // the stale pointerless id.
+      auto it = connections_.find(ev.data.u64);
+      if (it == connections_.end()) continue;
+      Connection* conn = it->second.get();
+      if (ev.events & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
+        ReadReady(conn);
+        if (connections_.find(ev.data.u64) == connections_.end()) continue;
+      }
+      if (ev.events & EPOLLOUT) {
+        WriteReady(conn);
+      }
+    }
+  }
+}
+
+void ServiceEndpoint::AcceptReady() {
   while (running_) {
     Socket socket;
-    Status s = listener_.Accept(&socket);
-    if (!s.ok()) return;  // listener shut down (or hard failure): exit
+    bool accepted = false;
+    Status s = listener_.TryAccept(&socket, &accepted);
+    if (!s.ok() || !accepted) return;
+    if (!socket.SetNonBlocking(true).ok()) continue;  // drop this one
     ++connections_accepted_;
-    // Reap exited connection threads so a long-running endpoint never
-    // accumulates dead thread handles.
-    ReapFinishedConnections();
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    const uint64_t id = next_connection_id_++;
-    connection_threads_.emplace(
-        id, std::thread([this, id, sock = std::move(socket)]() mutable {
-          // Register before the first read, deregister before the socket
-          // dies: Stop() can always sever a blocked connection and never
-          // touches a reused fd.
-          {
-            std::lock_guard<std::mutex> reg(connections_mutex_);
-            live_connections_.emplace(id, &sock);
-          }
-          if (running_) ServeConnection(id, &sock);
-          std::lock_guard<std::mutex> dereg(connections_mutex_);
-          live_connections_.erase(id);
-          finished_.push_back(id);
-        }));
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_connection_id_++;
+    conn->socket = std::move(socket);
+    conn->interest = EPOLLIN;
+    if (!loop_.Add(conn->socket.fd(), EPOLLIN, conn->id).ok()) continue;
+    connections_.emplace(conn->id, std::move(conn));
   }
 }
 
-void ServiceEndpoint::ServeConnection(uint64_t connection_id,
-                                      Socket* socket) {
-  // Handshake: the very first frame must be a well-formed hello.
+void ServiceEndpoint::ReadReady(Connection* conn) {
+  const uint64_t id = conn->id;
+  char buf[16384];
+  while (true) {
+    size_t got = 0;
+    Status s = conn->socket.RecvSome(buf, sizeof(buf), &got);
+    if (!s.ok()) {
+      // Peer gone (EOF or reset). A busy connection cannot be torn down
+      // under its in-flight request; mark it and let completion reap it.
+      if (conn->busy) {
+        conn->defunct = true;
+      } else {
+        DestroyConnection(conn);
+      }
+      return;
+    }
+    if (got == 0) break;  // drained: would block
+    conn->inbuf.append(buf, got);
+    if (conn->inbuf.size() >= kInbufSoftCap) break;
+  }
+  while (!conn->busy && ConsumeInput(conn)) {
+  }
+  if (connections_.find(id) != connections_.end()) {
+    WriteReady(conn);
+  }
+}
+
+bool ServiceEndpoint::ConsumeInput(Connection* conn) {
+  // Order matters: while busy a dispatch worker may be writing the
+  // close_after_flush flag, so busy must short-circuit first.
+  if (conn->busy || conn->defunct) return false;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mutex);
+    if (conn->close_after_flush) return false;
+  }
+
+  if (!conn->saw_hello && !conn->is_http && conn->inbuf.size() >= 4 &&
+      std::memcmp(conn->inbuf.data(), "GET ", 4) == 0) {
+    // Plain HTTP, not the frame protocol (a frame header reading "GET "
+    // would declare a payload far beyond kMaxFramePayload). One request,
+    // one response, close.
+    conn->is_http = true;
+  }
+  if (conn->is_http) {
+    if (conn->inbuf.find("\r\n\r\n") != std::string::npos) {
+      HandleHttp(conn);
+    }
+    return false;
+  }
+
+  if (conn->inbuf.size() < 5) return false;
+  uint32_t len = 0;
+  for (int shift = 0, i = 0; shift < 32; shift += 8, ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(conn->inbuf[i]))
+           << shift;
+  }
+  if (len > kMaxFramePayload) {
+    // Malformed length prefix: sever, never allocate the claimed size.
+    std::lock_guard<std::mutex> lock(conn->out_mutex);
+    conn->close_after_flush = true;
+    return false;
+  }
+  if (conn->inbuf.size() < size_t{5} + len) return false;
+
   Frame frame;
+  frame.type = static_cast<FrameType>(conn->inbuf[4]);
+  frame.payload.assign(conn->inbuf, 5, len);
+  conn->inbuf.erase(0, size_t{5} + len);
+
+  if (!conn->saw_hello) {
+    conn->saw_hello = true;
+    if (!HandleHello(conn, frame)) {
+      std::lock_guard<std::mutex> lock(conn->out_mutex);
+      conn->close_after_flush = true;
+      return false;
+    }
+    return true;
+  }
+
+  conn->busy = true;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.emplace_back(conn, std::move(frame));
+  }
+  queue_cv_.notify_one();
+  return true;  // the busy flag stops the caller's loop
+}
+
+bool ServiceEndpoint::HandleHello(Connection* conn, const Frame& frame) {
   HelloMessage hello;
-  if (!RecvFrame(socket, &frame).ok() || frame.type != FrameType::kHello ||
+  if (frame.type != FrameType::kHello ||
       !DecodeHello(frame.payload, &hello).ok()) {
-    return;  // not our protocol: close without a session
+    return false;  // not our protocol: close without a session
   }
 
   SessionOptions session_options;
@@ -114,69 +286,85 @@ void ServiceEndpoint::ServeConnection(uint64_t connection_id,
   session_options.weight = hello.weight;
   session_options.max_lane_parallelism = hello.max_lane_parallelism;
   session_options.label = hello.label.empty()
-                              ? "remote-" + std::to_string(connection_id)
+                              ? "remote-" + std::to_string(conn->id)
                               : hello.label;
-  std::unique_ptr<ServerSession> session =
-      service_->CreateSession(std::move(session_options));
+  conn->session = service_->CreateSession(std::move(session_options));
+  conn->session_budget = hello.max_queries;
 
   WelcomeMessage welcome;
-  welcome.session_id = session->id();
-  welcome.k = session->k();
-  welcome.batch_parallelism = session->batch_parallelism();
-  const SchemaPtr& schema = session->schema();
+  welcome.session_id = conn->session->id();
+  welcome.k = conn->session->k();
+  welcome.batch_parallelism = conn->session->batch_parallelism();
+  const SchemaPtr& schema = conn->session->schema();
   welcome.attributes.reserve(schema->num_attributes());
   for (size_t i = 0; i < schema->num_attributes(); ++i) {
     welcome.attributes.push_back(schema->attribute(i));
   }
-  if (!SendFrame(socket, FrameType::kWelcome, EncodeWelcome(welcome))
-           .ok()) {
-    return;
-  }
-
-  uint64_t responses_sent = 0;
-  while (running_ &&
-         HandleFrame(socket, session.get(), hello.max_queries,
-                     &responses_sent)) {
-  }
+  std::string out;
+  AppendFrame(&out, FrameType::kWelcome, EncodeWelcome(welcome));
+  QueueOutput(conn, out);
+  return true;
 }
 
-bool ServiceEndpoint::HandleFrame(Socket* socket, ServerSession* session,
-                                  uint64_t session_budget,
-                                  uint64_t* responses_sent) {
-  Frame frame;
-  if (!RecvFrame(socket, &frame).ok()) return false;  // client gone
+void ServiceEndpoint::HandleHttp(Connection* conn) {
+  // Request line: "GET <path> HTTP/1.x". Only the path matters.
+  const size_t line_end = conn->inbuf.find("\r\n");
+  const std::string line = conn->inbuf.substr(0, line_end);
+  const size_t path_start = 4;  // after "GET "
+  const size_t path_end = line.find(' ', path_start);
+  const std::string path =
+      path_end == std::string::npos
+          ? line.substr(path_start)
+          : line.substr(path_start, path_end - path_start);
+
+  std::string response;
+  if (path == "/metrics") {
+    response = HttpResponse(
+        "200 OK", FormatPrometheusMetrics(service_->MetricsSnapshot()));
+  } else {
+    response = HttpResponse("404 Not Found", "not found\n");
+  }
+  QueueOutput(conn, response);
+  std::lock_guard<std::mutex> lock(conn->out_mutex);
+  conn->close_after_flush = true;
+}
+
+void ServiceEndpoint::ExecuteRequest(Connection* conn, Frame frame) {
+  ServerSession* session = conn->session.get();
+  std::string out;
+  bool sever = false;
 
   switch (frame.type) {
     case FrameType::kIssueBatch: {
       std::vector<Query> queries;
       if (!DecodeQueryBatch(frame.payload, session->schema(), &queries)
                .ok()) {
-        return false;  // malformed batch: sever, never evaluate
+        sever = true;  // malformed batch: sever, never evaluate
+        break;
       }
       std::vector<Response> responses;
       Status batch_status = session->IssueBatch(queries, &responses);
       for (const Response& response : responses) {
         if (options_.drop_connection_after_responses > 0 &&
-            *responses_sent >= options_.drop_connection_after_responses) {
+            conn->responses_sent >=
+                options_.drop_connection_after_responses) {
           // Injected fault: sever mid-batch, leaving the client a valid
           // answered prefix.
-          socket->Shutdown();
-          return false;
+          sever = true;
+          break;
         }
-        if (!SendFrame(socket, FrameType::kResponse,
-                       EncodeResponse(response))
-                 .ok()) {
-          return false;
-        }
-        ++*responses_sent;
+        AppendFrame(&out, FrameType::kResponse, EncodeResponse(response));
+        ++conn->responses_sent;
       }
-      BatchEndMessage end;
-      end.code = batch_status.code();
-      end.message = batch_status.message();
-      end.queue_wait_total_seconds =
-          session->load_hint().queue_wait_total_seconds;
-      return SendFrame(socket, FrameType::kBatchEnd, EncodeBatchEnd(end))
-          .ok();
+      if (!sever) {
+        BatchEndMessage end;
+        end.code = batch_status.code();
+        end.message = batch_status.message();
+        end.queue_wait_total_seconds =
+            session->load_hint().queue_wait_total_seconds;
+        AppendFrame(&out, FrameType::kBatchEnd, EncodeBatchEnd(end));
+      }
+      break;
     }
 
     case FrameType::kStatsRequest: {
@@ -185,26 +373,106 @@ bool ServiceEndpoint::HandleFrame(Socket* socket, ServerSession* session,
       stats.tuples_returned = session->tuples_returned();
       stats.overflow_count = session->overflow_count();
       stats.budget_remaining = session->budget_remaining();
-      return SendFrame(socket, FrameType::kStatsReply, EncodeStats(stats))
-          .ok();
+      AppendFrame(&out, FrameType::kStatsReply, EncodeStats(stats));
+      break;
     }
 
     case FrameType::kRefillBudget: {
       uint64_t max_queries;
-      if (!DecodeRefill(frame.payload, &max_queries).ok()) return false;
+      if (!DecodeRefill(frame.payload, &max_queries).ok()) {
+        sever = true;
+        break;
+      }
       Status ack = Status::OK();
-      if (session_budget == kUnlimitedQueries) {
+      if (conn->session_budget == kUnlimitedQueries) {
         ack = Status::FailedPrecondition(
             "session was created without a budget");
       } else {
         session->RefillBudget(max_queries);
       }
-      return SendFrame(socket, FrameType::kRefillAck, EncodeAck(ack)).ok();
+      AppendFrame(&out, FrameType::kRefillAck, EncodeAck(ack));
+      break;
     }
 
     default:
-      return false;  // protocol violation: sever
+      sever = true;  // protocol violation
+      break;
   }
+
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mutex);
+    conn->outbuf.append(out);
+    if (sever) conn->close_after_flush = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    completed_.push_back(conn->id);
+  }
+  loop_.Wake();
+}
+
+void ServiceEndpoint::QueueOutput(Connection* conn,
+                                  const std::string& bytes) {
+  std::lock_guard<std::mutex> lock(conn->out_mutex);
+  conn->outbuf.append(bytes);
+}
+
+void ServiceEndpoint::WriteReady(Connection* conn) {
+  bool close_now = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mutex);
+    while (conn->out_flushed < conn->outbuf.size()) {
+      size_t sent = 0;
+      Status s = conn->socket.SendSome(
+          conn->outbuf.data() + conn->out_flushed,
+          conn->outbuf.size() - conn->out_flushed, &sent);
+      if (!s.ok()) {
+        // Peer gone mid-flush: nothing left to deliver.
+        conn->outbuf.clear();
+        conn->out_flushed = 0;
+        conn->close_after_flush = true;
+        break;
+      }
+      if (sent == 0) break;  // kernel buffer full: wait for EPOLLOUT
+      conn->out_flushed += sent;
+    }
+    if (conn->out_flushed == conn->outbuf.size()) {
+      conn->outbuf.clear();
+      conn->out_flushed = 0;
+      close_now = conn->close_after_flush;
+    }
+  }
+  if (close_now) {
+    if (conn->busy) {
+      conn->defunct = true;
+    } else {
+      DestroyConnection(conn);
+    }
+    return;
+  }
+  UpdateInterest(conn);
+}
+
+void ServiceEndpoint::UpdateInterest(Connection* conn) {
+  bool pending_output;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mutex);
+    pending_output = conn->out_flushed < conn->outbuf.size();
+  }
+  uint32_t wanted = 0;
+  // Backpressure: a soft-capped input buffer pauses reads until the
+  // in-flight request drains it.
+  if (conn->inbuf.size() < kInbufSoftCap) wanted |= EPOLLIN;
+  if (pending_output) wanted |= EPOLLOUT;
+  if (wanted == conn->interest) return;
+  if (loop_.Modify(conn->socket.fd(), wanted, conn->id).ok()) {
+    conn->interest = wanted;
+  }
+}
+
+void ServiceEndpoint::DestroyConnection(Connection* conn) {
+  loop_.Remove(conn->socket.fd());  // best effort; fd closes either way
+  connections_.erase(conn->id);
 }
 
 }  // namespace net

@@ -4,6 +4,7 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -22,6 +23,17 @@ Status ResolveLoopbackish(const std::string& host, in_addr* out) {
   const std::string effective = host == "localhost" ? "127.0.0.1" : host;
   if (inet_pton(AF_INET, effective.c_str(), out) != 1) {
     return Status::InvalidArgument("unparseable IPv4 address: " + host);
+  }
+  return Status::OK();
+}
+
+Status SetFdNonBlocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int wanted =
+      nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted != flags && ::fcntl(fd, F_SETFL, wanted) != 0) {
+    return Errno("fcntl(F_SETFL)");
   }
   return Status::OK();
 }
@@ -92,6 +104,42 @@ Status Socket::RecvAll(void* data, size_t n) {
   return Status::OK();
 }
 
+Status Socket::SetNonBlocking(bool nonblocking) {
+  if (fd_ < 0) return Status::Unavailable("fcntl on closed socket");
+  return SetFdNonBlocking(fd_, nonblocking);
+}
+
+Status Socket::RecvSome(void* data, size_t cap, size_t* got) {
+  *got = 0;
+  if (fd_ < 0) return Status::Unavailable("recv on closed socket");
+  while (true) {
+    const ssize_t n = ::recv(fd_, data, cap, 0);
+    if (n > 0) {
+      *got = static_cast<size_t>(n);
+      return Status::OK();
+    }
+    if (n == 0) return Status::Unavailable("connection closed");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+    return Errno("recv");
+  }
+}
+
+Status Socket::SendSome(const void* data, size_t n, size_t* sent) {
+  *sent = 0;
+  if (fd_ < 0) return Status::Unavailable("send on closed socket");
+  while (true) {
+    const ssize_t wrote = ::send(fd_, data, n, MSG_NOSIGNAL);
+    if (wrote >= 0) {
+      *sent = static_cast<size_t>(wrote);
+      return Status::OK();
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+    return Errno("send");
+  }
+}
+
 void Socket::Shutdown() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
@@ -138,7 +186,20 @@ Status Listener::Listen(const std::string& host, uint16_t port,
 Status Listener::Accept(Socket* out) {
   if (fd_ < 0) return Status::Unavailable("accept on closed listener");
   while (true) {
+    // The shutdown flag is checked both before and after accept(): a
+    // Shutdown() racing this call may land before we block (the wakeup
+    // then manifests as an instant failure) or even hand us a connection
+    // that was already queued — either way the caller asked us to stop,
+    // so the answer is the typed closed status, never the accepted
+    // connection and never whatever errno the platform chose.
+    if (is_shut_down()) {
+      return Status::Unavailable(kListenerShutDownMessage);
+    }
     const int fd = ::accept(fd_, nullptr, nullptr);
+    if (is_shut_down()) {
+      if (fd >= 0) ::close(fd);
+      return Status::Unavailable(kListenerShutDownMessage);
+    }
     if (fd >= 0) {
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -150,7 +211,43 @@ Status Listener::Accept(Socket* out) {
   }
 }
 
+Status Listener::SetNonBlocking(bool nonblocking) {
+  if (fd_ < 0) return Status::Unavailable("fcntl on closed listener");
+  return SetFdNonBlocking(fd_, nonblocking);
+}
+
+Status Listener::TryAccept(Socket* out, bool* accepted) {
+  *accepted = false;
+  if (fd_ < 0) return Status::Unavailable("accept on closed listener");
+  while (true) {
+    if (is_shut_down()) {
+      return Status::Unavailable(kListenerShutDownMessage);
+    }
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (is_shut_down()) {
+      if (fd >= 0) ::close(fd);
+      return Status::Unavailable(kListenerShutDownMessage);
+    }
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      *out = Socket(fd);
+      *accepted = true;
+      return Status::OK();
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+    // A connection aborted between queueing and accept is the peer's
+    // fault, not the listener's: keep accepting.
+    if (errno == ECONNABORTED) continue;
+    return Errno("accept");
+  }
+}
+
 void Listener::Shutdown() {
+  // Order matters: the flag must be visible before the kernel wakes any
+  // blocked accept, so the woken thread always sees it.
+  shutdown_.store(true, std::memory_order_release);
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 

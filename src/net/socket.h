@@ -18,6 +18,7 @@
 // reuse.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -51,6 +52,19 @@ class Socket {
   /// Reads exactly n bytes; a clean peer close mid-read is Unavailable.
   Status RecvAll(void* data, size_t n);
 
+  /// Flips O_NONBLOCK. The event-driven endpoint runs every connection
+  /// nonblocking; RemoteServer's dialed sockets stay blocking.
+  Status SetNonBlocking(bool nonblocking);
+
+  /// Nonblocking read: fills at most `cap` bytes, reports the count in
+  /// `*got`. OK with *got == 0 means "would block, try after readiness";
+  /// a peer close is Unavailable("connection closed") like RecvAll.
+  Status RecvSome(void* data, size_t cap, size_t* got);
+
+  /// Nonblocking write: sends at most `n` bytes, reports the count in
+  /// `*sent` (0 when the kernel buffer is full — wait for writability).
+  Status SendSome(const void* data, size_t n, size_t* sent);
+
   /// Half-duplex teardown, safe cross-thread (see file header).
   void Shutdown();
 
@@ -69,6 +83,8 @@ class Listener {
   ~Listener() { Close(); }
 
   Listener(Listener&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+    shutdown_.store(other.shutdown_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
     other.fd_ = -1;
     other.port_ = 0;
   }
@@ -77,6 +93,8 @@ class Listener {
       Close();
       fd_ = other.fd_;
       port_ = other.port_;
+      shutdown_.store(other.shutdown_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
       other.fd_ = -1;
       other.port_ = 0;
     }
@@ -91,11 +109,29 @@ class Listener {
                        Listener* out);
 
   bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
   uint16_t port() const { return port_; }
 
-  /// Blocks for one connection. Fails with Unavailable once Shutdown()
-  /// has been called (the accept loop's exit signal).
+  /// Blocks for one connection. Once Shutdown() has been called, fails
+  /// with the typed closed status — Unavailable and message
+  /// "listener shut down" — regardless of *how* the kernel surfaced the
+  /// wakeup. (Platforms disagree here: a shutdown() on a listening socket
+  /// may fail the pending accept with EINVAL, deliver ECONNABORTED, or
+  /// even hand back a dead connection first. Callers match the typed
+  /// status, never errno text, to tell an orderly stop from a fault.)
   Status Accept(Socket* out);
+
+  /// True once Shutdown() has been called.
+  bool is_shut_down() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Flips O_NONBLOCK on the listening fd (for event-loop accept).
+  Status SetNonBlocking(bool nonblocking);
+
+  /// Nonblocking accept: *accepted = false with OK means no connection is
+  /// pending. The typed shutdown status applies exactly as in Accept().
+  Status TryAccept(Socket* out, bool* accepted);
 
   /// Wakes a blocked Accept() from another thread.
   void Shutdown();
@@ -105,7 +141,13 @@ class Listener {
  private:
   int fd_ = -1;
   uint16_t port_ = 0;
+  std::atomic<bool> shutdown_{false};
 };
+
+/// The stable message Listener's typed closed status carries. Accept loops
+/// match `status.message() == kListenerShutDownMessage` (or call
+/// is_shut_down()) to distinguish an orderly stop from a transport fault.
+inline constexpr const char* kListenerShutDownMessage = "listener shut down";
 
 /// Writes one frame: u32 payload length, u8 type, payload bytes.
 Status SendFrame(Socket* socket, FrameType type, const std::string& payload);

@@ -1,0 +1,134 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "server/metrics_text.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace hdc {
+
+namespace {
+
+void AppendHeader(std::string* out, const char* name, const char* type,
+                  const char* help) {
+  out->append("# HELP ");
+  out->append(name);
+  out->push_back(' ');
+  out->append(help);
+  out->push_back('\n');
+  out->append("# TYPE ");
+  out->append(name);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+void AppendCounter(std::string* out, const char* name, uint64_t value) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "%s %" PRIu64 "\n", name, value);
+  out->append(line);
+}
+
+void AppendGauge(std::string* out, const char* name, double value) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "%s %.9g\n", name, value);
+  out->append(line);
+}
+
+/// Label values are quoted strings: backslash, quote and newline must be
+/// escaped per the exposition format.
+void AppendEscapedLabel(std::string* out, const std::string& value) {
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (c == '\n') {
+      out->append("\\n");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendSessionSample(std::string* out, const char* name,
+                         const SessionMetrics& session, double value,
+                         bool integral) {
+  out->append(name);
+  out->append("{session_id=\"");
+  char id[32];
+  std::snprintf(id, sizeof(id), "%" PRIu64, session.id);
+  out->append(id);
+  out->append("\",label=\"");
+  AppendEscapedLabel(out, session.label);
+  out->append("\"} ");
+  char v[64];
+  if (integral) {
+    std::snprintf(v, sizeof(v), "%" PRIu64 "\n",
+                  static_cast<uint64_t>(value));
+  } else {
+    std::snprintf(v, sizeof(v), "%.9g\n", value);
+  }
+  out->append(v);
+}
+
+}  // namespace
+
+std::string FormatPrometheusMetrics(const CrawlServiceMetrics& metrics) {
+  std::string out;
+  out.reserve(2048 + metrics.sessions.size() * 512);
+
+  AppendHeader(&out, "hdc_sessions_created_total", "counter",
+               "Sessions minted since service start.");
+  AppendCounter(&out, "hdc_sessions_created_total",
+                metrics.sessions_created);
+  AppendHeader(&out, "hdc_sessions_active", "gauge",
+               "Sessions alive right now.");
+  AppendCounter(&out, "hdc_sessions_active", metrics.sessions_active);
+  AppendHeader(&out, "hdc_queries_served_total", "counter",
+               "Queries answered across all sessions, including retired.");
+  AppendCounter(&out, "hdc_queries_served_total", metrics.queries_served);
+  AppendHeader(&out, "hdc_tuples_returned_total", "counter",
+               "Tuples shipped across all sessions, including retired.");
+  AppendCounter(&out, "hdc_tuples_returned_total", metrics.tuples_returned);
+  AppendHeader(&out, "hdc_uptime_seconds", "gauge",
+               "Service uptime in seconds.");
+  AppendGauge(&out, "hdc_uptime_seconds", metrics.uptime_seconds);
+  AppendHeader(&out, "hdc_queries_per_second", "gauge",
+               "Lifetime query throughput.");
+  AppendGauge(&out, "hdc_queries_per_second", metrics.queries_per_second);
+  AppendHeader(&out, "hdc_pool_threads", "gauge",
+               "Helper workers in the shared pool.");
+  AppendCounter(&out, "hdc_pool_threads", metrics.pool_threads);
+  AppendHeader(&out, "hdc_pool_busy", "gauge",
+               "Pool workers running batch items right now.");
+  AppendCounter(&out, "hdc_pool_busy", metrics.pool_busy);
+
+  if (!metrics.sessions.empty()) {
+    AppendHeader(&out, "hdc_session_queries_served_total", "counter",
+                 "Queries answered for one live session.");
+    for (const SessionMetrics& s : metrics.sessions) {
+      AppendSessionSample(&out, "hdc_session_queries_served_total", s,
+                          static_cast<double>(s.queries_served), true);
+    }
+    AppendHeader(&out, "hdc_session_overflow_total", "counter",
+                 "Answered queries that overflowed, per live session.");
+    for (const SessionMetrics& s : metrics.sessions) {
+      AppendSessionSample(&out, "hdc_session_overflow_total", s,
+                          static_cast<double>(s.overflow_count), true);
+    }
+    AppendHeader(&out, "hdc_session_queue_wait_seconds_total", "counter",
+                 "Cumulative lane queue wait, per live session.");
+    for (const SessionMetrics& s : metrics.sessions) {
+      AppendSessionSample(&out, "hdc_session_queue_wait_seconds_total", s,
+                          s.queue_wait_total_seconds, false);
+    }
+    AppendHeader(&out, "hdc_session_queue_wait_seconds_max", "gauge",
+                 "Largest single lane queue wait, per live session.");
+    for (const SessionMetrics& s : metrics.sessions) {
+      AppendSessionSample(&out, "hdc_session_queue_wait_seconds_max", s,
+                          s.queue_wait_max_seconds, false);
+    }
+  }
+  return out;
+}
+
+}  // namespace hdc

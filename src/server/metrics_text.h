@@ -1,0 +1,22 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Prometheus-style text rendering of a CrawlServiceMetrics snapshot — the
+// payload behind the endpoint's `GET /metrics` (net/service_endpoint.h).
+// Plain exposition format, version 0.0.4: `# HELP` / `# TYPE` headers,
+// one `name{labels} value` line per sample, labels for the per-session
+// series. No client library, no registry — a snapshot in, a string out,
+// so the formatter is trivially testable and the endpoint stays free of
+// scrape-time state.
+#pragma once
+
+#include <string>
+
+#include "server/crawl_service.h"
+
+namespace hdc {
+
+/// Renders `metrics` in Prometheus text exposition format. Deterministic
+/// for a given snapshot (sessions appear in snapshot order, ascending id).
+std::string FormatPrometheusMetrics(const CrawlServiceMetrics& metrics);
+
+}  // namespace hdc

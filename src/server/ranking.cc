@@ -42,6 +42,13 @@ std::string ByAttributePolicy::name() const {
          (ascending_ ? "-asc" : "-desc");
 }
 
+std::vector<uint64_t> FixedPriorityPolicy::AssignPriorities(
+    const Dataset& dataset) {
+  HDC_CHECK_MSG(priorities_.size() == dataset.size(),
+                "FixedPriorityPolicy: one priority per tuple required");
+  return priorities_;
+}
+
 std::unique_ptr<RankingPolicy> MakeRandomPriorityPolicy(uint64_t seed) {
   return std::make_unique<RandomPriorityPolicy>(seed);
 }
@@ -51,6 +58,10 @@ std::unique_ptr<RankingPolicy> MakeIdOrderPolicy(bool ascending) {
 std::unique_ptr<RankingPolicy> MakeByAttributePolicy(size_t attribute,
                                                      bool ascending) {
   return std::make_unique<ByAttributePolicy>(attribute, ascending);
+}
+std::unique_ptr<RankingPolicy> MakeFixedPriorityPolicy(
+    std::vector<uint64_t> priorities) {
+  return std::make_unique<FixedPriorityPolicy>(std::move(priorities));
 }
 
 }  // namespace hdc

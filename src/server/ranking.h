@@ -71,9 +71,28 @@ class ByAttributePolicy : public RankingPolicy {
   bool ascending_;
 };
 
+/// Explicit priorities, one per tuple in row order. Two production uses: a
+/// shard index must rank its rows by the *global* ranking of the unsharded
+/// dataset (server/sharding.h hands each shard its slice of the global
+/// priority table), and tests reproduce the paper's worked examples where
+/// specific tuples must be returned first.
+class FixedPriorityPolicy : public RankingPolicy {
+ public:
+  explicit FixedPriorityPolicy(std::vector<uint64_t> priorities)
+      : priorities_(std::move(priorities)) {}
+  /// Aborts unless `priorities` matches the dataset size exactly.
+  std::vector<uint64_t> AssignPriorities(const Dataset& dataset) override;
+  std::string name() const override { return "fixed"; }
+
+ private:
+  std::vector<uint64_t> priorities_;
+};
+
 std::unique_ptr<RankingPolicy> MakeRandomPriorityPolicy(uint64_t seed);
 std::unique_ptr<RankingPolicy> MakeIdOrderPolicy(bool ascending);
 std::unique_ptr<RankingPolicy> MakeByAttributePolicy(size_t attribute,
                                                      bool ascending);
+std::unique_ptr<RankingPolicy> MakeFixedPriorityPolicy(
+    std::vector<uint64_t> priorities);
 
 }  // namespace hdc

@@ -38,6 +38,14 @@ struct ServerLoadHint {
   /// delay is a deliberate choice, not transport latency, and must not
   /// shrink rounds.
   double politeness_wait_total_seconds = 0;
+
+  /// Per-shard cumulative queue waits for scatter-gather servers
+  /// (server/sharding.h), one entry per shard, same semantics as
+  /// queue_wait_total_seconds. Empty for unsharded servers. A scattered
+  /// round is as slow as its slowest shard, so adaptive sizing reacts to
+  /// the *maximum* per-shard delta rather than the sum — one congested
+  /// shard among idle ones must still shrink rounds.
+  std::vector<double> shard_queue_wait_seconds;
 };
 
 /// The crawler-facing contract of a hidden database server: submit a form

@@ -116,6 +116,48 @@ TEST(AdaptiveBatchSizerTest, QueueWaitResetOnReconnectIsNotMuted) {
   EXPECT_EQ(sizer.limit(), 2u);
 }
 
+TEST(AdaptiveBatchSizerTest, ShardedHintBacksOffOnTheStragglerShard) {
+  AdaptiveBatchSizer sizer(Options(0.2), 8);
+  // Four shards; only shard 2 is congested. Its per-round wait delta is
+  // 0.04s on a 0.05s round-trip — congestion on its own, even though the
+  // other three shards report zero and would dilute a summed-or-averaged
+  // signal below the 0.5 * rtt threshold.
+  ServerLoadHint hint;
+  hint.latency_feedback = true;
+  hint.shard_queue_wait_seconds = {0.0, 0.0, 0.04, 0.0};
+  hint.queue_wait_total_seconds = 0.04;
+  sizer.RecordRound(8, /*rtt_seconds=*/0.05, hint);
+  EXPECT_EQ(sizer.congestion_backoffs(), 1u);
+  EXPECT_EQ(sizer.limit(), 4u);
+
+  // The straggler catches up: no new wait anywhere, a fast full round
+  // grows again. The per-shard baselines must have been remembered, or
+  // the unchanged cumulative 0.04 would read as fresh congestion.
+  hint.shard_queue_wait_seconds = {0.0, 0.0, 0.04, 0.0};
+  sizer.RecordRound(4, 0.05, hint);
+  EXPECT_EQ(sizer.congestion_backoffs(), 1u);
+  EXPECT_EQ(sizer.limit(), 8u);
+
+  // One shard reconnects (its cumulative reading restarts low): the fresh
+  // reading is that shard's wait since reconnect, not a zero delta.
+  hint.shard_queue_wait_seconds = {0.0, 0.0, 0.03, 0.0};
+  sizer.RecordRound(8, 0.05, hint);
+  EXPECT_EQ(sizer.congestion_backoffs(), 2u);
+  EXPECT_EQ(sizer.limit(), 4u);
+}
+
+TEST(AdaptiveBatchSizerTest, EmptyShardVectorFallsBackToTheAggregate) {
+  AdaptiveBatchSizer sizer(Options(0.2), 4);
+  // A hint without per-shard waits (every unsharded server) must behave
+  // exactly like the scalar overload, including the reconnect rule.
+  ServerLoadHint hint;
+  hint.latency_feedback = true;
+  hint.queue_wait_total_seconds = 0.04;
+  sizer.RecordRound(4, 0.05, hint);
+  EXPECT_EQ(sizer.congestion_backoffs(), 1u);
+  EXPECT_EQ(sizer.limit(), 2u);
+}
+
 TEST(AdaptiveBatchSizerTest, ZeroRttRoundsNeverCountAsCongested) {
   AdaptiveBatchSizer sizer(Options(0.2), 2);
   // rtt == 0 (e.g. a FakeClock that was not advanced): the congestion

@@ -1,0 +1,239 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Connection-scale tests for the epoll-driven ServiceEndpoint: hundreds of
+// concurrent sessions multiplexed onto one IO thread and a small dispatch
+// pool, the Prometheus /metrics scrape riding the same port, and the
+// Listener shutdown/accept race surfacing the typed closed status.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/synthetic.h"
+#include "net/remote_server.h"
+#include "net/service_endpoint.h"
+#include "net/socket.h"
+#include "server/crawl_service.h"
+#include "server/local_server.h"
+
+namespace hdc {
+namespace {
+
+std::shared_ptr<const Dataset> ScaleData() {
+  SyntheticCategoricalOptions gen;
+  gen.domain_sizes = {6, 5};
+  gen.n = 300;
+  gen.seed = 81;
+  return std::make_shared<const Dataset>(GenerateSyntheticCategorical(gen));
+}
+
+// --- ≥256 concurrent sessions on one endpoint -------------------------------
+
+TEST(EndpointScaleTest, SustainsHundredsOfConcurrentSessions) {
+  constexpr size_t kSessions = 256;
+  auto data = ScaleData();
+  const uint64_t k = std::max<uint64_t>(8, data->MaxPointMultiplicity());
+
+  CrawlServiceOptions service_options;
+  service_options.max_parallelism = 4;
+  CrawlService service(data, k, nullptr, service_options);
+  net::ServiceEndpointOptions endpoint_options;
+  endpoint_options.dispatch_threads = 4;
+  net::ServiceEndpoint endpoint(&service, endpoint_options);
+  ASSERT_TRUE(endpoint.Start().ok());
+
+  // Ground truth for the probes every session will issue.
+  LocalServer reference(data, k);
+  const Query full = Query::FullSpace(reference.schema());
+  Response want_full, want_slice;
+  ASSERT_TRUE(reference.Issue(full, &want_full).ok());
+  ASSERT_TRUE(
+      reference.Issue(full.WithCategoricalEquals(0, 3), &want_slice).ok());
+
+  // All sessions connect and stay open together: the endpoint must hold
+  // kSessions live connections at once, not serve them one at a time.
+  std::vector<std::unique_ptr<net::RemoteServer>> clients;
+  clients.reserve(kSessions);
+  for (size_t i = 0; i < kSessions; ++i) {
+    net::RemoteServerOptions options;
+    options.label = "scale-" + std::to_string(i);
+    std::unique_ptr<net::RemoteServer> client;
+    ASSERT_TRUE(net::RemoteServer::Connect("127.0.0.1", endpoint.port(),
+                                           options, &client)
+                    .ok())
+        << "connect #" << i;
+    clients.push_back(std::move(client));
+  }
+  EXPECT_GE(endpoint.connections_accepted(), kSessions);
+  EXPECT_GE(service.MetricsSnapshot().sessions_active, kSessions);
+
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kSessions);
+  for (size_t i = 0; i < kSessions; ++i) {
+    workers.emplace_back([&, i] {
+      net::RemoteServer* client = clients[i].get();
+      for (int round = 0; round < 3; ++round) {
+        Response got;
+        const bool slice = (static_cast<int>(i) + round) % 2 == 0;
+        const Response& want = slice ? want_slice : want_full;
+        Query q = slice ? full.WithCategoricalEquals(0, 3) : full;
+        if (!client->Issue(q, &got).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        bool same =
+            got.overflow == want.overflow && got.size() == want.size();
+        for (size_t j = 0; same && j < want.size(); ++j) {
+          same = got.tuples[j].hidden_id == want.tuples[j].hidden_id &&
+                 got.tuples[j].tuple == want.tuples[j].tuple;
+        }
+        if (!same) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  const CrawlServiceMetrics metrics = service.MetricsSnapshot();
+  EXPECT_GE(metrics.sessions_created, kSessions);
+  EXPECT_GE(metrics.queries_served, kSessions * 3);
+
+  // Hang everything up; the endpoint retires every session.
+  clients.clear();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.MetricsSnapshot().sessions_active > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(service.MetricsSnapshot().sessions_active, 0u);
+  endpoint.Stop();
+}
+
+// --- Prometheus scrape on the same port -------------------------------------
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  net::Socket raw;
+  if (!net::Socket::Connect("127.0.0.1", port, &raw).ok()) return "";
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: hdc\r\n\r\n";
+  if (!raw.SendAll(request.data(), request.size()).ok()) return "";
+  std::string reply;
+  char byte;
+  while (raw.RecvAll(&byte, 1).ok()) reply.push_back(byte);
+  return reply;
+}
+
+TEST(EndpointScaleTest, MetricsEndpointServesPrometheusText) {
+  auto data = ScaleData();
+  const uint64_t k = std::max<uint64_t>(8, data->MaxPointMultiplicity());
+  CrawlService service(data, k);
+  net::ServiceEndpoint endpoint(&service);
+  ASSERT_TRUE(endpoint.Start().ok());
+
+  // Give the scrape something to report: one live session, a few queries.
+  std::unique_ptr<net::RemoteServer> client;
+  net::RemoteServerOptions options;
+  options.label = "scrape-me";
+  ASSERT_TRUE(net::RemoteServer::Connect("127.0.0.1", endpoint.port(),
+                                         options, &client)
+                  .ok());
+  Response response;
+  const Query full = Query::FullSpace(client->schema());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client->Issue(full, &response).ok());
+  }
+
+  const std::string reply = HttpGet(endpoint.port(), "/metrics");
+  ASSERT_FALSE(reply.empty());
+  EXPECT_EQ(reply.substr(0, 12), "HTTP/1.0 200");
+  EXPECT_NE(reply.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  // The service-wide gauges and counters, in exposition format.
+  EXPECT_NE(reply.find("# TYPE hdc_sessions_active gauge"),
+            std::string::npos);
+  EXPECT_NE(reply.find("hdc_sessions_created_total 1"), std::string::npos);
+  EXPECT_NE(reply.find("hdc_queries_served_total 4"), std::string::npos);
+  EXPECT_NE(reply.find("hdc_pool_threads"), std::string::npos);
+  // Per-session series carry the session label.
+  EXPECT_NE(reply.find("hdc_session_queries_served_total{session_id=\"0\","
+                       "label=\"scrape-me\"} 4"),
+            std::string::npos);
+
+  // Unknown paths stay 404 and the frame protocol is unaffected.
+  const std::string missing = HttpGet(endpoint.port(), "/nope");
+  EXPECT_EQ(missing.substr(0, 12), "HTTP/1.0 404");
+  ASSERT_TRUE(client->Issue(full, &response).ok());
+
+  client.reset();
+  endpoint.Stop();
+}
+
+// --- satellite: the Shutdown()/Accept() race is a typed status --------------
+
+TEST(ListenerShutdownTest, AcceptRacingShutdownReturnsTypedStatus) {
+  net::Listener listener;
+  ASSERT_TRUE(net::Listener::Listen("127.0.0.1", 0, &listener).ok());
+
+  Status from_accept = Status::OK();
+  std::thread blocked([&] {
+    net::Socket conn;
+    from_accept = listener.Accept(&conn);
+  });
+  // Let the thread park inside ::accept() before pulling the rug.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  listener.Shutdown();
+  blocked.join();
+
+  EXPECT_TRUE(from_accept.IsUnavailable()) << from_accept.ToString();
+  EXPECT_EQ(from_accept.message(), net::kListenerShutDownMessage)
+      << "the race must surface the typed closed status, not raw errno";
+
+  // Every accept after shutdown reports the same typed status.
+  net::Socket conn;
+  Status again = listener.Accept(&conn);
+  EXPECT_TRUE(again.IsUnavailable());
+  EXPECT_EQ(again.message(), net::kListenerShutDownMessage);
+
+  bool accepted = true;
+  Status try_again = listener.TryAccept(&conn, &accepted);
+  EXPECT_TRUE(try_again.IsUnavailable());
+  EXPECT_EQ(try_again.message(), net::kListenerShutDownMessage);
+}
+
+TEST(ListenerShutdownTest, ShutdownRaceNeverLeaksAJustAcceptedPeer) {
+  // Tight loop alternative of the race above: a client connects at the
+  // same moment Shutdown() lands. Whatever the kernel does — hands the
+  // connection out or fails the accept — the caller sees either a clean
+  // accept or the typed closed status, never an errno-dependent surprise.
+  for (int round = 0; round < 20; ++round) {
+    net::Listener listener;
+    ASSERT_TRUE(net::Listener::Listen("127.0.0.1", 0, &listener).ok());
+    const uint16_t port = listener.port();
+
+    std::thread dialer([port] {
+      net::Socket conn;
+      (void)net::Socket::Connect("127.0.0.1", port, &conn);
+    });
+    std::thread closer([&listener] { listener.Shutdown(); });
+
+    net::Socket conn;
+    Status s = listener.Accept(&conn);
+    if (!s.ok()) {
+      EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+      EXPECT_EQ(s.message(), net::kListenerShutDownMessage);
+    }
+    dialer.join();
+    closer.join();
+  }
+}
+
+}  // namespace
+}  // namespace hdc

@@ -391,16 +391,21 @@ TEST(RemoteFaultTest, EndpointSurvivesGarbageSpeakers) {
   RemoteStack stack(data, 8);
 
   {
-    // Not even a frame: an HTTP request walks into a binary protocol.
+    // Plain HTTP on the frame port is sniffed, not mistaken for a frame:
+    // an unknown path earns a 404 and a close, never a crash.
     net::Socket raw;
     ASSERT_TRUE(
         net::Socket::Connect("127.0.0.1", stack.endpoint()->port(), &raw)
             .ok());
     const std::string http = "GET / HTTP/1.1\r\nHost: hdc\r\n\r\n";
     ASSERT_TRUE(raw.SendAll(http.data(), http.size()).ok());
-    // The endpoint must hang up on us (EOF), not crash.
+    char head[12];
+    ASSERT_TRUE(raw.RecvAll(head, sizeof(head)).ok());
+    EXPECT_EQ(std::string(head, sizeof(head)), "HTTP/1.0 404");
+    // Drain until the endpoint hangs up (Connection: close).
     char byte;
-    EXPECT_FALSE(raw.RecvAll(&byte, 1).ok());
+    while (raw.RecvAll(&byte, 1).ok()) {
+    }
   }
   {
     // A well-formed frame of the wrong type as an opener.

@@ -7,18 +7,24 @@
 //   decorated— an owned metering stack Budget(Counting(Observed(Local)));
 //   session  — a CrawlService ServerSession on a shared index + pool;
 //   remote   — a RemoteServer talking to a ServiceEndpoint over TCP
-//              loopback (a live CrawlService behind a real socket).
+//              loopback (a live CrawlService behind a real socket);
+//   sharded  — a ShardedServer scatter-gathering over three in-process
+//              shard backends of a hash-partitioned plan;
+//   sharded_remote — the same scatter-gather where every shard backend is
+//              a RemoteServer dialing its own live endpoint.
 //
-// A future backend (HTTP, sharded, cached) conforms by adding a factory
-// here — the suite itself never changes.
+// A future backend (HTTP, cached) conforms by adding a factory here — the
+// suite itself never changes.
 #include "server_conformance.h"
 
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "net/remote_server.h"
 #include "net/service_endpoint.h"
 #include "server/crawl_service.h"
+#include "server/sharding.h"
 #include "util/macros.h"
 
 namespace hdc {
@@ -154,6 +160,93 @@ class RemoteBackend : public BackendHandle {
   std::unique_ptr<net::RemoteServer> client_;
 };
 
+// --- sharded scatter-gather -------------------------------------------------
+
+class ShardedBackend : public BackendHandle {
+ public:
+  explicit ShardedBackend(uint64_t budget) {
+    ShardPlanOptions plan_options;
+    plan_options.num_shards = 3;
+    ShardPlan plan = ShardPlan::Partition(ConformanceDataset(),
+                                          kConformanceK, nullptr,
+                                          plan_options);
+    sharded_ = ShardedServer::OverPlan(plan);
+    if (budget != kNoBudget) {
+      budget_ = std::make_unique<BudgetServer>(sharded_.get(), budget);
+    }
+  }
+
+  HiddenDbServer* server() override {
+    return budget_ != nullptr ? static_cast<HiddenDbServer*>(budget_.get())
+                              : sharded_.get();
+  }
+  uint64_t queries_served() override { return sharded_->queries_answered(); }
+  void RefillBudget(uint64_t max_queries) override {
+    HDC_CHECK(budget_ != nullptr);
+    budget_->Refill(max_queries);
+  }
+
+ private:
+  std::unique_ptr<ShardedServer> sharded_;
+  std::unique_ptr<BudgetServer> budget_;
+};
+
+// --- sharded over live remote shards ----------------------------------------
+
+class ShardedRemoteBackend : public BackendHandle {
+ public:
+  explicit ShardedRemoteBackend(uint64_t budget) {
+    ShardPlanOptions plan_options;
+    plan_options.num_shards = 2;
+    ShardPlan plan = ShardPlan::Partition(ConformanceDataset(),
+                                          kConformanceK, nullptr,
+                                          plan_options);
+    std::vector<ShardBackend> backends;
+    for (size_t s = 0; s < plan.num_shards(); ++s) {
+      services_.push_back(
+          std::make_unique<CrawlService>(plan.BuildShardIndex(s)));
+      endpoints_.push_back(std::make_unique<net::ServiceEndpoint>(
+          services_.back().get()));
+      HDC_CHECK_OK(endpoints_.back()->Start());
+      net::RemoteServerOptions remote;
+      remote.label = "conformance-shard-" + std::to_string(s);
+      std::unique_ptr<net::RemoteServer> client;
+      HDC_CHECK_OK(net::RemoteServer::Connect(
+          "127.0.0.1", endpoints_.back()->port(), remote, &client));
+      ShardBackend backend;
+      backend.server = std::move(client);
+      backend.global_ids = plan.shard_global_ids(s);
+      backends.push_back(std::move(backend));
+    }
+    sharded_ = std::make_unique<ShardedServer>(
+        std::move(backends), plan.shared_global_priorities());
+    if (budget != kNoBudget) {
+      budget_ = std::make_unique<BudgetServer>(sharded_.get(), budget);
+    }
+  }
+
+  ~ShardedRemoteBackend() override {
+    sharded_.reset();  // hang the shard clients up first
+    for (auto& endpoint : endpoints_) endpoint->Stop();
+  }
+
+  HiddenDbServer* server() override {
+    return budget_ != nullptr ? static_cast<HiddenDbServer*>(budget_.get())
+                              : sharded_.get();
+  }
+  uint64_t queries_served() override { return sharded_->queries_answered(); }
+  void RefillBudget(uint64_t max_queries) override {
+    HDC_CHECK(budget_ != nullptr);
+    budget_->Refill(max_queries);
+  }
+
+ private:
+  std::vector<std::unique_ptr<CrawlService>> services_;
+  std::vector<std::unique_ptr<net::ServiceEndpoint>> endpoints_;
+  std::unique_ptr<ShardedServer> sharded_;
+  std::unique_ptr<BudgetServer> budget_;
+};
+
 template <typename Backend>
 BackendFactory MakeFactory(const std::string& name) {
   BackendFactory factory;
@@ -169,7 +262,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(MakeFactory<LocalBackend>("local"),
                       MakeFactory<DecoratedBackend>("decorated"),
                       MakeFactory<SessionBackend>("session"),
-                      MakeFactory<RemoteBackend>("remote")),
+                      MakeFactory<RemoteBackend>("remote"),
+                      MakeFactory<ShardedBackend>("sharded"),
+                      MakeFactory<ShardedRemoteBackend>("sharded_remote")),
     [](const ::testing::TestParamInfo<BackendFactory>& info) {
       return info.param.name;
     });

@@ -9,11 +9,13 @@ must match the baseline exactly: any drift is a hard failure — it means an
 algorithm's conversation changed. Wall-time-like columns (header containing
 "seconds", "wall" or "time") are machine noise: drift there only warns.
 
-CSVs with a `transport` or `engine` column (e.g. transport_roundtrip.csv,
-which times the same workload in-process and over the loopback wire, or
-bench_index.csv, which times the same query script under each evaluation
-engine) are compared per group: rows are matched only against baseline rows
-of the same transport/engine, so a loopback wall-time is never judged
+CSVs with a `transport`, `engine` or `shards` column (e.g.
+transport_roundtrip.csv, which times the same workload in-process and over
+the loopback wire; bench_index.csv, which times the same query script under
+each evaluation engine; or bench_sharded.csv, which drives the same script
+through 1-, 2- and 4-shard scatter-gather backends) are compared per group:
+rows are matched only against baseline rows of the same
+transport/engine/shard-count, so a loopback wall-time is never judged
 against an in-process baseline (or vice versa). A group present in the
 baseline but absent from the current run is a hard failure; a new group in
 the current run is a warning until its rows are committed to the baseline.
@@ -99,8 +101,9 @@ def compare_rows(name: str, header: list, base_rows: list, cur_rows: list,
 
 # Columns whose value partitions rows into separately-measured populations.
 # Rows are only ever compared within a group: a loopback wall-time against a
-# loopback baseline, a bitmap-engine row against a bitmap-engine baseline.
-GROUP_COLUMNS = ("transport", "engine")
+# loopback baseline, a bitmap-engine row against a bitmap-engine baseline, a
+# 4-shard scatter-gather row against a 4-shard baseline.
+GROUP_COLUMNS = ("transport", "engine", "shards")
 
 # bench_index speedup gate: on the headline shape the bitmap engine must
 # beat legacy by this factor. See bench/bench_index.cc.
