@@ -1,0 +1,200 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Answer-cache / delta re-crawl bench: how many server queries does it cost
+// to bring a finished extraction back in sync after the hidden database
+// mutates? For each mutation rate the same post-mutation state is crawled
+// twice — from scratch (cache=full) and incrementally through the seeded
+// answer cache (cache=delta) — and both extractions are verified equal
+// before any number is printed. The CSV is cache-tagged so the regression
+// gate compares full rows only against full baselines and delta rows only
+// against delta baselines (tools/check_bench_regression.py groups by the
+// `cache` column); the same script enforces the headline claim on the
+// current run: at the 1% row, delta must bill at least 10x fewer queries
+// than full. Query/region counts are deterministic (seeded) and gated
+// exactly; wall clocks only warn.
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/delta_crawl.h"
+#include "gen/synthetic.h"
+#include "harness.h"
+#include "server/mutating_server.h"
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace hdc {
+namespace bench {
+namespace {
+
+constexpr size_t kRows = 10000;
+constexpr uint64_t kK = 20;
+constexpr Value kValueRange = 100000;
+
+std::shared_ptr<const Dataset> BenchData() {
+  SyntheticMixedOptions gen;
+  gen.domain_sizes = {6};
+  gen.num_numeric = 2;
+  gen.n = kRows;
+  gen.value_range = kValueRange;
+  gen.zipf_s = 0.0;
+  gen.seed = 31;
+  return std::make_shared<const Dataset>(GenerateSyntheticMixed(gen));
+}
+
+Tuple RandomTuple(const SchemaPtr& schema, Rng* rng) {
+  std::vector<Value> values(schema->num_attributes());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (schema->IsCategorical(i)) {
+      values[i] =
+          rng->UniformInt(1, static_cast<Value>(schema->domain_size(i)));
+    } else {
+      values[i] = rng->UniformInt(0, kValueRange - 1);
+    }
+  }
+  return Tuple(std::move(values));
+}
+
+/// A burst touching ~`changed` rows: 40% deletes, 40% inserts, 20%
+/// value-jitter updates (numeric attributes nudged in place, so an update
+/// stays near its old rectangle — the "edited listing" case, vs. the
+/// delete+insert pair a cross-space move costs).
+std::vector<Mutation> MakeBurst(const MutatingLocalServer& server,
+                                size_t changed, Rng* rng) {
+  const auto rows = server.Rows();
+  const SchemaPtr& schema = server.schema();
+  std::vector<Mutation> burst;
+  burst.reserve(changed);
+  for (size_t i = 0; i < changed; ++i) {
+    const double dice = static_cast<double>(i % 5);
+    if (dice < 2) {  // delete
+      const auto& victim = rows[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(rows.size()) - 1))];
+      burst.push_back(Mutation::Delete(victim.first));
+    } else if (dice < 4) {  // insert
+      burst.push_back(Mutation::Insert(RandomTuple(schema, rng)));
+    } else {  // jitter update
+      const auto& victim = rows[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(rows.size()) - 1))];
+      std::vector<Value> values;
+      for (size_t a = 0; a < schema->num_attributes(); ++a) {
+        Value v = victim.second[a];
+        if (schema->IsNumeric(a)) {
+          v = std::min<Value>(kValueRange - 1,
+                              std::max<Value>(0, v + rng->UniformInt(-50, 50)));
+        }
+        values.push_back(v);
+      }
+      burst.push_back(Mutation::Update(victim.first, Tuple(std::move(values))));
+    }
+  }
+  // A delete may name an id another entry of the burst already deleted;
+  // Apply validates the whole burst, so drop duplicate victims here.
+  std::vector<Mutation> deduped;
+  std::vector<uint64_t> dead;
+  for (Mutation& m : burst) {
+    if (m.kind != Mutation::Kind::kInsert) {
+      bool seen = false;
+      for (uint64_t id : dead) seen = seen || id == m.stable_id;
+      if (seen) continue;
+      dead.push_back(m.stable_id);
+    }
+    deduped.push_back(std::move(m));
+  }
+  return deduped;
+}
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Checks the two post-mutation extractions agree row-for-row; a delta
+/// crawl that diverges from the from-scratch crawl must not print numbers.
+void CheckSameExtraction(const CrawlRecord& full, const CrawlRecord& delta) {
+  const CrawlDelta diff = DiffRecords(full, delta);
+  HDC_CHECK_MSG(diff.empty(),
+                "delta crawl extraction diverged from the full re-crawl");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hdc
+
+int main() {
+  using namespace hdc;
+  using namespace hdc::bench;
+
+  Banner("cache",
+         "delta re-crawl vs full re-crawl of a mutated hidden database: "
+         "10000 mixed rows, k=20, mutation bursts at 0% / 0.1% / 1% / 10% "
+         "of rows; billed = misses + changed-content revalidations");
+
+  auto data = BenchData();
+
+  FigureTable table("Answer cache: re-crawl cost after mutation",
+                    "bench_cache",
+                    {"cache", "rate", "changed", "billed queries",
+                     "cheap revalidations", "regions", "extracted",
+                     "wall seconds"});
+
+  const std::vector<std::pair<std::string, double>> rates = {
+      {"0", 0.0}, {"0.001", 0.001}, {"0.01", 0.01}, {"0.1", 0.1}};
+
+  for (const auto& [rate_label, rate] : rates) {
+    MutatingLocalServer server(data, kK);
+
+    // Prior extraction: the crawl whose record the delta pass reuses.
+    CrawlRecord prior;
+    HDC_CHECK_OK(BuildCrawlRecord(&server, &prior));
+
+    const size_t changed = static_cast<size_t>(
+        rate * static_cast<double>(kRows));
+    if (changed > 0) {
+      Rng rng(0xca5e + static_cast<uint64_t>(changed));
+      HDC_CHECK_OK(server.Apply(MakeBurst(server, changed, &rng)));
+    }
+
+    // Full re-crawl of the post-mutation state, from scratch.
+    DeltaCrawlStats full_stats;
+    CrawlRecord full_record;
+    const auto full_start = std::chrono::steady_clock::now();
+    HDC_CHECK_OK(BuildCrawlRecord(&server, &full_record, &full_stats));
+    const double full_wall = Seconds(full_start);
+
+    // Delta re-crawl of the same state through the seeded cache.
+    DeltaCrawlStats delta_stats;
+    CrawlRecord delta_record;
+    CrawlDelta delta;
+    const auto delta_start = std::chrono::steady_clock::now();
+    HDC_CHECK_OK(
+        DeltaCrawl(&server, prior, &delta_record, &delta, &delta_stats));
+    const double delta_wall = Seconds(delta_start);
+
+    CheckSameExtraction(full_record, delta_record);
+    // The emitted delta must be exactly the full re-crawl diff.
+    const CrawlDelta reference = DiffRecords(prior, full_record);
+    HDC_CHECK_MSG(reference.inserted.size() == delta.inserted.size() &&
+                      reference.deleted.size() == delta.deleted.size() &&
+                      reference.updated.size() == delta.updated.size(),
+                  "emitted delta diverged from the full re-crawl diff");
+
+    table.AddRow({"full", rate_label, std::to_string(changed),
+                  std::to_string(full_stats.billed_queries),
+                  std::to_string(full_stats.cheap_revalidations),
+                  std::to_string(full_record.regions.size()),
+                  std::to_string(full_record.TupleCount()),
+                  std::to_string(full_wall)});
+    table.AddRow({"delta", rate_label, std::to_string(changed),
+                  std::to_string(delta_stats.billed_queries),
+                  std::to_string(delta_stats.cheap_revalidations),
+                  std::to_string(delta_record.regions.size()),
+                  std::to_string(delta_record.TupleCount()),
+                  std::to_string(delta_wall)});
+  }
+
+  table.Emit();
+  return 0;
+}

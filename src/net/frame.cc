@@ -3,6 +3,8 @@
 
 #include <cstring>
 
+#include "server/answer_cache.h"
+
 namespace hdc {
 namespace net {
 
@@ -199,6 +201,7 @@ std::string EncodeWelcome(const WelcomeMessage& msg) {
   w.PutU64(msg.session_id);
   w.PutU64(msg.k);
   w.PutU32(msg.batch_parallelism);
+  w.PutU64(msg.db_version);
   w.PutU32(static_cast<uint32_t>(msg.attributes.size()));
   for (const AttributeSpec& attr : msg.attributes) {
     w.PutU8(attr.is_categorical() ? 1 : 0);
@@ -214,7 +217,8 @@ Status DecodeWelcome(const std::string& payload, WelcomeMessage* out) {
   WireReader r(payload);
   uint32_t num_attrs;
   if (!r.GetU64(&out->session_id) || !r.GetU64(&out->k) ||
-      !r.GetU32(&out->batch_parallelism) || !r.GetU32(&num_attrs)) {
+      !r.GetU32(&out->batch_parallelism) || !r.GetU64(&out->db_version) ||
+      !r.GetU32(&num_attrs)) {
     return Malformed("welcome");
   }
   if (out->k == 0 || out->batch_parallelism == 0 || num_attrs == 0 ||
@@ -301,9 +305,12 @@ Status DecodeQueryBatch(const std::string& payload, const SchemaPtr& schema,
   return Status::OK();
 }
 
-std::string EncodeResponse(const Response& response) {
+std::string EncodeResponse(const Response& response,
+                           const uint64_t* content_hash) {
   WireWriter w;
   w.PutU8(response.overflow ? 1 : 0);
+  w.PutU8(content_hash != nullptr ? 1 : 0);
+  if (content_hash != nullptr) w.PutU64(*content_hash);
   w.PutU32(static_cast<uint32_t>(response.tuples.size()));
   for (const ReturnedTuple& rt : response.tuples) {
     w.PutU64(rt.hidden_id);
@@ -313,14 +320,17 @@ std::string EncodeResponse(const Response& response) {
 }
 
 Status DecodeResponse(const std::string& payload, size_t arity,
-                      Response* out) {
+                      Response* out, uint64_t* content_hash) {
   WireReader r(payload);
   uint8_t overflow;
+  uint8_t has_hash;
+  uint64_t wire_hash = 0;
   uint32_t count;
-  if (!r.GetU8(&overflow) || !r.GetU32(&count)) {
+  if (!r.GetU8(&overflow) || !r.GetU8(&has_hash) || has_hash > 1 ||
+      (has_hash != 0 && !r.GetU64(&wire_hash)) || !r.GetU32(&count)) {
     return Malformed("response header");
   }
-  if (payload.size() < 5 + static_cast<size_t>(count) * (8 + arity * 8)) {
+  if (payload.size() < 6 + static_cast<size_t>(count) * (8 + arity * 8)) {
     return Malformed("response: count exceeds payload");
   }
   out->overflow = overflow != 0;
@@ -337,6 +347,12 @@ Status DecodeResponse(const std::string& payload, size_t arity,
     out->tuples.push_back(std::move(rt));
   }
   if (!r.AtEnd()) return Malformed("response: trailing bytes");
+  if (has_hash != 0 && HashResponse(*out) != wire_hash) {
+    // A hash the decoded answer does not reproduce means the frame was
+    // corrupted or tampered with in flight; it must never seed a cache.
+    return Malformed("response: content hash mismatch");
+  }
+  if (content_hash != nullptr) *content_hash = wire_hash;
   return Status::OK();
 }
 
@@ -345,6 +361,7 @@ std::string EncodeBatchEnd(const BatchEndMessage& msg) {
   w.PutU8(static_cast<uint8_t>(msg.code));
   w.PutString(msg.message);
   w.PutDouble(msg.queue_wait_total_seconds);
+  w.PutU64(msg.db_version);
   return w.Take();
 }
 
@@ -352,7 +369,8 @@ Status DecodeBatchEnd(const std::string& payload, BatchEndMessage* out) {
   WireReader r(payload);
   uint8_t wire;
   if (!r.GetU8(&wire) || !r.GetString(&out->message) ||
-      !r.GetDouble(&out->queue_wait_total_seconds) || !r.AtEnd() ||
+      !r.GetDouble(&out->queue_wait_total_seconds) ||
+      !r.GetU64(&out->db_version) || !r.AtEnd() ||
       !StatusCodeFromWire(wire, &out->code)) {
     return Malformed("batch end");
   }

@@ -56,8 +56,13 @@ namespace hdc {
 namespace net {
 
 /// "HDC" + protocol generation; a peer speaking anything else is refused.
+/// v2 piggybacks the server's monotonic db_version on the welcome and on
+/// every batch-end frame (so a client-side answer cache can prove cached
+/// answers fresh across reconnects) and adds an optional per-answer
+/// content hash to response frames (integrity-checked at decode; the
+/// cache's conditional-re-ask fingerprint).
 inline constexpr uint32_t kProtocolMagic = 0x48444301;
-inline constexpr uint32_t kProtocolVersion = 1;
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// Hard cap on one frame's payload. Generous: the largest legitimate frame
 /// is a kResponse of k tuples (k ~ 1000, d ~ dozens => a few hundred KB).
@@ -142,6 +147,9 @@ struct WelcomeMessage {
   uint64_t session_id = 0;
   uint64_t k = 0;
   uint32_t batch_parallelism = 1;
+  /// The backend's data version at session creation (0 = frozen backend);
+  /// see HiddenDbServer::db_version().
+  uint64_t db_version = 0;
   std::vector<AttributeSpec> attributes;
 };
 
@@ -152,6 +160,9 @@ struct BatchEndMessage {
   Status::Code code = Status::Code::kOk;
   std::string message;
   double queue_wait_total_seconds = 0;
+  /// The backend's data version after the batch — keeps the client's view
+  /// current without a dedicated poll round trip.
+  uint64_t db_version = 0;
 };
 
 /// Server-side per-session accounting, mirrored to the client on request.
@@ -186,11 +197,18 @@ std::string EncodeQueryBatch(const std::vector<Query>& queries);
 Status DecodeQueryBatch(const std::string& payload, const SchemaPtr& schema,
                         std::vector<Query>* out);
 
-/// kResponse payload: overflow u8, u32 tuple count, each tuple as a u64
-/// hidden id plus d i64 values.
-std::string EncodeResponse(const Response& response);
+/// kResponse payload: overflow u8, hash-present u8 (+ u64 content hash
+/// when set), u32 tuple count, each tuple as a u64 hidden id plus d i64
+/// values. `content_hash` attaches the answer's 64-bit truncated SHA-256
+/// (server/answer_cache.h HashResponse); nullptr omits it.
+std::string EncodeResponse(const Response& response,
+                           const uint64_t* content_hash = nullptr);
+/// When the payload carries a content hash, the decoded answer is hashed
+/// and verified against it — a mismatch is a malformed frame, so a
+/// corrupted or tampered answer never reaches a cache. `content_hash`
+/// (optional) receives the verified hash, or 0 when absent.
 Status DecodeResponse(const std::string& payload, size_t arity,
-                      Response* out);
+                      Response* out, uint64_t* content_hash = nullptr);
 
 /// kRefillBudget payload: u64 allotment. kRefillAck payload: status.
 std::string EncodeRefill(uint64_t max_queries);

@@ -74,6 +74,7 @@ Status RemoteServer::EnsureConnected() {
   }
   batch_parallelism_ = welcome.batch_parallelism;
   session_id_ = welcome.session_id;
+  db_version_ = welcome.db_version;
   socket_ = std::move(socket);
   return Status::OK();
 }
@@ -149,6 +150,7 @@ Status RemoteServer::IssueBatch(const std::vector<Query>& queries,
       s = DecodeBatchEnd(frame.payload, &end);
       if (!s.ok()) return Drop(s);
       queue_wait_total_seconds_ = end.queue_wait_total_seconds;
+      db_version_ = end.db_version;
       const bool complete = responses->size() == queries.size();
       if (end.code == Status::Code::kOk) {
         if (!complete) {

@@ -96,6 +96,11 @@ class RemoteServer : public HiddenDbServer {
   Status RefillBudget(uint64_t max_queries);
 
   /// Server-side id of the current session (changes on reconnect).
+  /// The service's data version as last piggybacked on the welcome or a
+  /// batch-end frame — a client-side answer cache's freshness proof, valid
+  /// across reconnects (the welcome refreshes it).
+  uint64_t db_version() const override { return db_version_; }
+
   uint64_t session_id() const { return session_id_; }
 
   /// Successful re-handshakes after the initial connection.
@@ -126,6 +131,7 @@ class RemoteServer : public HiddenDbServer {
   Socket socket_;
   bool ever_connected_ = false;
   uint64_t session_id_ = 0;
+  uint64_t db_version_ = 0;
   uint64_t reconnects_ = 0;
 
   uint64_t k_ = 0;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "server/answer_cache.h"
 #include "server/metrics_text.h"
 #include "util/macros.h"
 
@@ -295,6 +296,7 @@ bool ServiceEndpoint::HandleHello(Connection* conn, const Frame& frame) {
   welcome.session_id = conn->session->id();
   welcome.k = conn->session->k();
   welcome.batch_parallelism = conn->session->batch_parallelism();
+  welcome.db_version = conn->session->db_version();
   const SchemaPtr& schema = conn->session->schema();
   welcome.attributes.reserve(schema->num_attributes());
   for (size_t i = 0; i < schema->num_attributes(); ++i) {
@@ -353,7 +355,13 @@ void ServiceEndpoint::ExecuteRequest(Connection* conn, Frame frame) {
           sever = true;
           break;
         }
-        AppendFrame(&out, FrameType::kResponse, EncodeResponse(response));
+        if (options_.attach_content_hashes) {
+          const uint64_t hash = HashResponse(response);
+          AppendFrame(&out, FrameType::kResponse,
+                      EncodeResponse(response, &hash));
+        } else {
+          AppendFrame(&out, FrameType::kResponse, EncodeResponse(response));
+        }
         ++conn->responses_sent;
       }
       if (!sever) {
@@ -362,6 +370,7 @@ void ServiceEndpoint::ExecuteRequest(Connection* conn, Frame frame) {
         end.message = batch_status.message();
         end.queue_wait_total_seconds =
             session->load_hint().queue_wait_total_seconds;
+        end.db_version = session->db_version();
         AppendFrame(&out, FrameType::kBatchEnd, EncodeBatchEnd(end));
       }
       break;

@@ -82,6 +82,12 @@ struct ServiceEndpointOptions {
   /// right before it would send its (N+1)-th response frame — a
   /// deterministic mid-batch connection drop. 0 never drops.
   uint64_t drop_connection_after_responses = 0;
+
+  /// Attach each response's 64-bit truncated SHA-256 content hash to its
+  /// frame (protocol v2). Clients verify it at decode, so a corrupted
+  /// answer can never seed a client-side cache. One hash pass per
+  /// response — noise next to the round trip it protects.
+  bool attach_content_hashes = true;
 };
 
 /// One listening endpoint over one CrawlService.

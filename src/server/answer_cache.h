@@ -1,0 +1,152 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Shared answer store behind CachingServer and the CrawlService-wide
+// response cache. The design mirrors the conditional-request idiom of the
+// related hidden-web crawlers (ETag / Last-Modified + content-hash dedup,
+// SNIPPETS.md): each entry remembers the full answer, a 64-bit truncated
+// SHA-256 of its content, the server's db_version at fill time, and the
+// fill clock reading. A Probe classifies a lookup as
+//
+//   kHit         — serve the stored answer, zero server queries;
+//   kRevalidate  — the entry exists but the policy cannot prove it fresh:
+//                  re-ask the server *conditionally*. If the new answer's
+//                  content hash matches the stored one, the round trip is
+//                  billed as a cheap revalidation (the wire analogue of a
+//                  304 Not Modified), not a full query;
+//   kMiss        — no entry; ask the server and Store the answer.
+//
+// Keys are canonicalized queries: Query already normalizes an arbitrary
+// predicate set into schema-ordered per-attribute interval slots, so two
+// syntactically different but semantically equal queries (predicates
+// applied in any order, explicit full-range predicates vs. wildcards)
+// produce one identical slot vector — the "sorted predicate rectangle".
+// The key packs every slot, never eliding wildcard or full-range slots, so
+// a narrowed schema view (SchemaOverrideServer) can never collide with the
+// full space.
+//
+// Thread-safe: CrawlService shares one instance across all sessions.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "query/query.h"
+#include "server/response.h"
+#include "util/clock.h"
+
+namespace hdc {
+
+/// How a cached entry may be served without contacting the server.
+enum class RevalidationPolicy {
+  /// Never serve from cache: every probe is a miss. The mode under which
+  /// CachingServer must be byte-identical to the undecorated conversation
+  /// (conformance suite).
+  kAlwaysFresh,
+  /// Serve entries younger than `ttl` on the injected Clock; older entries
+  /// require a conditional re-ask.
+  kTtl,
+  /// Serve entries whose fill-time db_version equals the server's current
+  /// db_version — exact freshness proof on version-reporting servers.
+  /// Entries from older versions require a conditional re-ask.
+  kVersionCheck,
+};
+
+const char* RevalidationPolicyName(RevalidationPolicy policy);
+
+struct AnswerCacheOptions {
+  RevalidationPolicy policy = RevalidationPolicy::kVersionCheck;
+  /// TTL for kTtl, measured on `clock` (nullptr -> RealClock::Get()).
+  std::chrono::nanoseconds ttl{0};
+  Clock* clock = nullptr;
+  /// Entry cap; 0 = unbounded. Eviction is FIFO by fill order — the cache
+  /// protects re-crawls that replay whole rectangle sets, where recency
+  /// has no signal worth an LRU chain.
+  size_t max_entries = 0;
+};
+
+/// Monotonic counters. `revalidations_matched` round trips moved no data
+/// ("304"s); billed full queries are misses + revalidations_changed.
+struct AnswerCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t revalidations_matched = 0;
+  uint64_t revalidations_changed = 0;
+
+  uint64_t revalidations() const {
+    return revalidations_matched + revalidations_changed;
+  }
+};
+
+/// The canonical cache key: every per-attribute (lo, hi) extent of the
+/// schema-ordered slot vector, packed little-endian. Exposed for tests and
+/// for the delta-crawl record codec.
+std::string CanonicalQueryKey(const Query& query);
+
+/// 64-bit truncated SHA-256 over the answer's content: the overflow flag
+/// and each returned (hidden_id, tuple values) in rank order. Ranked
+/// answers are ordered deterministically, so equal content implies equal
+/// hash and the converse holds up to SHA-256 collisions.
+uint64_t HashResponse(const Response& response);
+
+class AnswerCache {
+ public:
+  explicit AnswerCache(AnswerCacheOptions options = {});
+
+  enum class ProbeResult { kMiss, kHit, kRevalidate };
+
+  /// Looks up `query`. On kHit, `*out` receives the stored answer. On
+  /// kRevalidate, `*cached_hash` receives the stored content hash for the
+  /// caller's conditional re-ask. `server_version` is the server's current
+  /// db_version (used by kVersionCheck). Counts hits; misses and
+  /// revalidation outcomes are counted by Store/Observe below so only
+  /// completed round trips move those counters.
+  ProbeResult Probe(const Query& query, uint64_t server_version,
+                    Response* out, uint64_t* cached_hash);
+
+  /// Records a freshly fetched answer after a kMiss probe (counts a miss).
+  void StoreMiss(const Query& query, const Response& response,
+                 uint64_t server_version);
+
+  /// Records the outcome of a conditional re-ask after a kRevalidate
+  /// probe: refreshes the entry's version/timestamp, replaces the content
+  /// if it changed, and counts matched vs. changed. Returns true when the
+  /// content hash matched (the cheap-revalidation case).
+  bool StoreRevalidation(const Query& query, const Response& response,
+                         uint64_t server_version);
+
+  /// Inserts an entry wholesale — used to seed a delta crawl's cache from
+  /// a prior crawl record. Does not touch the counters.
+  void Seed(const Query& query, const Response& response, uint64_t hash,
+            uint64_t version);
+
+  /// Drops every entry (counters survive — they are lifetime totals).
+  void Clear();
+
+  size_t size() const;
+  AnswerCacheStats stats() const;
+  const AnswerCacheOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    Response response;
+    uint64_t hash = 0;
+    uint64_t version = 0;
+    std::chrono::nanoseconds fill_time{0};
+  };
+
+  void InsertLocked(const std::string& key, Entry entry);
+
+  AnswerCacheOptions options_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::deque<std::string> fill_order_;
+  AnswerCacheStats stats_;
+};
+
+}  // namespace hdc

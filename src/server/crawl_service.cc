@@ -10,20 +10,77 @@ namespace hdc {
 
 // --- ServerSession::Core ----------------------------------------------------
 
+namespace {
+
+/// The statistics one answered query folds into its session, whether it
+/// was evaluated or served from the shared cache. Evaluation is pure given
+/// the index, so for the same query these are exactly the stats an
+/// evaluation would have produced — billing is cache-invisible.
+QueryStats StatsFor(const Response& response) {
+  QueryStats stats;
+  stats.queries = 1;
+  stats.tuples = response.size();
+  stats.overflows = response.overflow ? 1 : 0;
+  return stats;
+}
+
+/// The shared service cache sits over a frozen index, which never moves
+/// off db_version 0.
+constexpr uint64_t kFrozenVersion = 0;
+
+}  // namespace
+
 Status ServerSession::Core::Issue(const Query& query, Response* response) {
+  AnswerCache* cache = session_->service_->answer_cache();
+  if (cache != nullptr &&
+      cache->Probe(query, kFrozenVersion, response, nullptr) ==
+          AnswerCache::ProbeResult::kHit) {
+    session_->Fold(StatsFor(*response));
+    return Status::OK();
+  }
   QueryStats stats;
   session_->index_->AnswerQuery(query, response, &session_->scratch_, &stats);
   session_->Fold(stats);
+  if (cache != nullptr) cache->StoreMiss(query, *response, kFrozenVersion);
   return Status::OK();
 }
 
 Status ServerSession::Core::IssueBatch(const std::vector<Query>& queries,
                                        std::vector<Response>* responses) {
   HDC_CHECK(responses != nullptr);
-  QueryStats stats;
-  EvaluateBatch(*session_->index_, session_->pool_, queries, responses,
-                &stats, session_->lane_);
-  session_->Fold(stats);
+  AnswerCache* cache = session_->service_->answer_cache();
+  if (cache == nullptr) {
+    QueryStats stats;
+    EvaluateBatch(*session_->index_, session_->pool_, queries, responses,
+                  &stats, session_->lane_);
+    session_->Fold(stats);
+    return Status::OK();
+  }
+  // Serve what the cache holds, evaluate only the misses (one sub-batch,
+  // still fanned out over the pool), then merge back in member order.
+  responses->assign(queries.size(), Response{});
+  std::vector<size_t> miss_indices;
+  std::vector<Query> miss_queries;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (cache->Probe(queries[i], kFrozenVersion, &(*responses)[i], nullptr) ==
+        AnswerCache::ProbeResult::kHit) {
+      session_->Fold(StatsFor((*responses)[i]));
+    } else {
+      miss_indices.push_back(i);
+      miss_queries.push_back(queries[i]);
+    }
+  }
+  if (!miss_queries.empty()) {
+    QueryStats stats;
+    std::vector<Response> miss_responses;
+    EvaluateBatch(*session_->index_, session_->pool_, miss_queries,
+                  &miss_responses, &stats, session_->lane_);
+    session_->Fold(stats);
+    for (size_t j = 0; j < miss_indices.size(); ++j) {
+      cache->StoreMiss(miss_queries[j], miss_responses[j], kFrozenVersion);
+      (*responses)[miss_indices[j]] = std::move(miss_responses[j]);
+    }
+  }
   return Status::OK();
 }
 
@@ -124,6 +181,15 @@ CrawlService::CrawlService(std::shared_ptr<const LocalIndex> index,
   if (options_.max_parallelism > 1) {
     pool_ = std::make_unique<WorkerPool>(options_.max_parallelism - 1);
   }
+  if (options_.enable_answer_cache) {
+    // The index is immutable (version 0 forever), so version-check mode
+    // serves every stored entry as a hit; TTL/revalidation churn would be
+    // pure waste here.
+    AnswerCacheOptions cache_options;
+    cache_options.policy = RevalidationPolicy::kVersionCheck;
+    cache_options.max_entries = options_.answer_cache_max_entries;
+    answer_cache_ = std::make_unique<AnswerCache>(cache_options);
+  }
 }
 
 CrawlService::CrawlService(std::shared_ptr<const Dataset> dataset, uint64_t k,
@@ -172,6 +238,13 @@ CrawlServiceMetrics CrawlService::MetricsSnapshot() const {
           .count();
   metrics.pool_threads = pool_ != nullptr ? pool_->threads() : 0;
   metrics.pool_busy = pool_ != nullptr ? pool_->busy_workers() : 0;
+  if (answer_cache_ != nullptr) {
+    const AnswerCacheStats cache_stats = answer_cache_->stats();
+    metrics.cache_hits = cache_stats.hits;
+    metrics.cache_misses = cache_stats.misses;
+    metrics.cache_revalidations = cache_stats.revalidations();
+    metrics.cache_entries = answer_cache_->size();
+  }
 
   std::lock_guard<std::mutex> lock(sessions_mutex_);
   metrics.sessions_active = live_sessions_.size();

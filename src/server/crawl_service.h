@@ -47,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "server/answer_cache.h"
 #include "server/decorators.h"
 #include "server/local_index.h"
 #include "server/server.h"
@@ -65,6 +66,20 @@ struct CrawlServiceOptions {
   /// The pool is shared: concurrent sessions' batches interleave on it,
   /// dealt fairly across their lanes.
   unsigned max_parallelism = 1;
+
+  /// When true, the service keeps one shared AnswerCache over the
+  /// immutable index: a canonical query any session asked before is
+  /// answered from the cache instead of re-evaluated. Billing is
+  /// unchanged — a hit folds the same per-query statistics an evaluation
+  /// would (evaluation is pure, so they are provably equal) — every
+  /// session's conversation, budget, log and trace are byte-identical
+  /// with the cache on or off; only evaluation CPU is saved. The
+  /// hit/miss counters surface in MetricsSnapshot and /metrics.
+  bool enable_answer_cache = false;
+
+  /// Entry cap for the shared answer cache (0 = unbounded, FIFO eviction
+  /// beyond the cap).
+  size_t answer_cache_max_entries = 0;
 };
 
 /// Per-session metering and admission, fixed at session-creation time.
@@ -142,6 +157,15 @@ struct CrawlServiceMetrics {
   /// items right now (the pool occupancy).
   unsigned pool_threads = 0;
   unsigned pool_busy = 0;
+  /// Shared answer cache (CrawlServiceOptions::enable_answer_cache):
+  /// queries answered from cache, queries that filled it, conditional
+  /// re-asks, and live entries. All zero when the cache is disabled —
+  /// revalidations stay zero over a frozen index and only move on
+  /// version-reporting mutable backends.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_revalidations = 0;
+  uint64_t cache_entries = 0;
   /// One entry per live session, ascending id.
   std::vector<SessionMetrics> sessions;
 };
@@ -292,6 +316,10 @@ class CrawlService {
   CrawlServiceMetrics MetricsSnapshot() const;
 
   const std::shared_ptr<const LocalIndex>& index() const { return index_; }
+
+  /// The shared answer cache, or nullptr when disabled.
+  AnswerCache* answer_cache() const { return answer_cache_.get(); }
+
   uint64_t k() const { return index_->k(); }
   const SchemaPtr& schema() const { return index_->schema(); }
   unsigned max_parallelism() const { return options_.max_parallelism; }
@@ -310,6 +338,7 @@ class CrawlService {
   std::shared_ptr<const LocalIndex> index_;
   CrawlServiceOptions options_;
   std::unique_ptr<WorkerPool> pool_;  // max_parallelism - 1 workers
+  std::unique_ptr<AnswerCache> answer_cache_;  // null when disabled
   std::atomic<uint64_t> next_session_id_{0};
   std::chrono::steady_clock::time_point start_;
 

@@ -68,6 +68,7 @@ class ServerDecorator : public HiddenDbServer {
     return base_->batch_parallelism();
   }
   ServerLoadHint load_hint() const override { return base_->load_hint(); }
+  uint64_t db_version() const override { return base_->db_version(); }
 
  protected:
   HiddenDbServer* base_;

@@ -101,6 +101,19 @@ std::string FormatPrometheusMetrics(const CrawlServiceMetrics& metrics) {
   AppendHeader(&out, "hdc_pool_busy", "gauge",
                "Pool workers running batch items right now.");
   AppendCounter(&out, "hdc_pool_busy", metrics.pool_busy);
+  AppendHeader(&out, "hdc_cache_hits_total", "counter",
+               "Queries answered from the shared answer cache.");
+  AppendCounter(&out, "hdc_cache_hits_total", metrics.cache_hits);
+  AppendHeader(&out, "hdc_cache_misses_total", "counter",
+               "Queries evaluated and stored into the answer cache.");
+  AppendCounter(&out, "hdc_cache_misses_total", metrics.cache_misses);
+  AppendHeader(&out, "hdc_cache_revalidations_total", "counter",
+               "Conditional re-asks of stale cache entries.");
+  AppendCounter(&out, "hdc_cache_revalidations_total",
+                metrics.cache_revalidations);
+  AppendHeader(&out, "hdc_cache_entries", "gauge",
+               "Entries live in the answer cache.");
+  AppendCounter(&out, "hdc_cache_entries", metrics.cache_entries);
 
   if (!metrics.sessions.empty()) {
     AppendHeader(&out, "hdc_session_queries_served_total", "counter",

@@ -118,6 +118,15 @@ class HiddenDbServer {
   /// The data space the server exposes. A real crawler learns this from the
   /// search form (Section 1.3, "Domain values").
   virtual const SchemaPtr& schema() const = 0;
+
+  /// Monotonic data-version counter: a server whose contents can mutate
+  /// bumps this on every mutation, so a cache (server/answer_cache.h) can
+  /// prove a stored answer still fresh with zero queries. The default 0
+  /// means "frozen": the paper's setting, and every immutable in-process
+  /// backend. Decorators forward the wrapped server's value; RemoteServer
+  /// reports the counter piggybacked on the handshake and on every
+  /// batch-end frame.
+  virtual uint64_t db_version() const { return 0; }
 };
 
 }  // namespace hdc

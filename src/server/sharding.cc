@@ -284,4 +284,15 @@ ServerLoadHint ShardedServer::load_hint() const {
   return hint;
 }
 
+uint64_t ShardedServer::db_version() const {
+  // Any shard mutating must invalidate cached merged answers, so the
+  // sharded view's version is the sum of the shard counters: each is
+  // monotonic, hence so is the sum, and it moves iff some shard moved.
+  uint64_t version = 0;
+  for (const ShardBackend& shard : shards_) {
+    version += shard.server->db_version();
+  }
+  return version;
+}
+
 }  // namespace hdc

@@ -199,6 +199,8 @@ class ShardedServer : public HiddenDbServer {
   /// summed queue waits, plus the per-shard queue-wait vector adaptive
   /// batch sizing uses to see the straggler shard (core/batch_sizer.h).
   ServerLoadHint load_hint() const override;
+  /// Sum of the shard counters — monotonic, and moves iff a shard mutated.
+  uint64_t db_version() const override;
 
   size_t num_shards() const { return shards_.size(); }
   HiddenDbServer* shard(size_t i) { return shards_[i].server.get(); }

@@ -1,0 +1,178 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "util/sha256.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hdc {
+namespace {
+
+constexpr uint32_t kInit[8] = {
+    0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+    0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u,
+};
+
+constexpr uint32_t kRound[64] = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+    0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+    0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+    0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+    0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+    0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+    0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+    0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+    0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u,
+};
+
+inline uint32_t Rotr(uint32_t x, unsigned n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+}  // namespace
+
+bool Sha256Digest::operator==(const Sha256Digest& o) const {
+  return std::memcmp(bytes, o.bytes, sizeof(bytes)) == 0;
+}
+
+std::string Sha256Digest::ToHex() const {
+  std::string out(64, '0');
+  for (size_t i = 0; i < 32; ++i) {
+    out[2 * i] = kHexDigits[bytes[i] >> 4];
+    out[2 * i + 1] = kHexDigits[bytes[i] & 0xf];
+  }
+  return out;
+}
+
+Sha256Stream::Sha256Stream() {
+  std::memcpy(state_, kInit, sizeof(state_));
+}
+
+void Sha256Stream::Compress(const uint8_t block[64]) {
+  uint32_t w[64];
+  for (size_t i = 0; i < 16; ++i) {
+    w[i] = (uint32_t{block[4 * i]} << 24) | (uint32_t{block[4 * i + 1]} << 16) |
+           (uint32_t{block[4 * i + 2]} << 8) | uint32_t{block[4 * i + 3]};
+  }
+  for (size_t i = 16; i < 64; ++i) {
+    const uint32_t s0 =
+        Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const uint32_t s1 =
+        Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (size_t i = 0; i < 64; ++i) {
+    const uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+    const uint32_t ch = (e & f) ^ (~e & g);
+    const uint32_t t1 = h + s1 + ch + kRound[i] + w[i];
+    const uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+    const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha256Stream::Update(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  total_len_ += len;
+  if (buffered_ > 0) {
+    const size_t take = std::min(len, sizeof(buffer_) - buffered_);
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    len -= take;
+    if (buffered_ == sizeof(buffer_)) {
+      Compress(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (len >= sizeof(buffer_)) {
+    Compress(p);
+    p += sizeof(buffer_);
+    len -= sizeof(buffer_);
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, p, len);
+    buffered_ = len;
+  }
+}
+
+void Sha256Stream::UpdateU64(uint64_t v) {
+  uint8_t le[8];
+  for (size_t i = 0; i < 8; ++i) le[i] = static_cast<uint8_t>(v >> (8 * i));
+  Update(le, sizeof(le));
+}
+
+Sha256Digest Sha256Stream::Finish() {
+  const uint64_t bit_len = total_len_ * 8;
+  const uint8_t pad = 0x80;
+  Update(&pad, 1);
+  const uint8_t zero = 0;
+  while (buffered_ != 56) Update(&zero, 1);
+  uint8_t be[8];
+  for (size_t i = 0; i < 8; ++i) {
+    be[i] = static_cast<uint8_t>(bit_len >> (8 * (7 - i)));
+  }
+  // Bypass total_len_ bookkeeping semantics: Update is safe here because
+  // exactly one block remains.
+  Update(be, sizeof(be));
+  Sha256Digest digest;
+  for (size_t i = 0; i < 8; ++i) {
+    digest.bytes[4 * i] = static_cast<uint8_t>(state_[i] >> 24);
+    digest.bytes[4 * i + 1] = static_cast<uint8_t>(state_[i] >> 16);
+    digest.bytes[4 * i + 2] = static_cast<uint8_t>(state_[i] >> 8);
+    digest.bytes[4 * i + 3] = static_cast<uint8_t>(state_[i]);
+  }
+  return digest;
+}
+
+uint64_t Sha256Stream::Finish64() {
+  const Sha256Digest d = Finish();
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) v = (v << 8) | d.bytes[i];
+  return v;
+}
+
+Sha256Digest Sha256(const void* data, size_t len) {
+  Sha256Stream s;
+  s.Update(data, len);
+  return s.Finish();
+}
+
+Sha256Digest Sha256(const std::string& data) {
+  return Sha256(data.data(), data.size());
+}
+
+uint64_t Sha256Hash64(const void* data, size_t len) {
+  Sha256Stream s;
+  s.Update(data, len);
+  return s.Finish64();
+}
+
+uint64_t Sha256Hash64(const std::string& data) {
+  return Sha256Hash64(data.data(), data.size());
+}
+
+}  // namespace hdc

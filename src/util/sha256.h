@@ -1,0 +1,63 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Minimal self-contained SHA-256 (FIPS 180-4). The answer cache uses it to
+// fingerprint query answers the way the related hidden-web crawlers
+// fingerprint fetched pages (ETag / content-dedup idiom): a conditional
+// re-ask whose answer hashes to the cached digest proves the subspace is
+// unchanged without diffing tuples. No OpenSSL dependency — the container
+// may not ship one, and 64 rounds of shifts is all we need.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hdc {
+
+struct Sha256Digest {
+  uint8_t bytes[32] = {};
+
+  bool operator==(const Sha256Digest& o) const;
+  bool operator!=(const Sha256Digest& o) const { return !(*this == o); }
+
+  /// Lowercase hex, 64 characters.
+  std::string ToHex() const;
+};
+
+/// One-shot digest of `len` bytes at `data`.
+Sha256Digest Sha256(const void* data, size_t len);
+Sha256Digest Sha256(const std::string& data);
+
+/// First eight digest bytes as a big-endian integer — the compact form the
+/// cache stores and the wire carries. Truncating SHA-256 to 64 bits keeps
+/// full avalanche behavior; collisions across a cache of millions of
+/// rectangles are ~2^-44 territory, and a collision only costs a missed
+/// change detection on one rectangle until the next full crawl.
+uint64_t Sha256Hash64(const void* data, size_t len);
+uint64_t Sha256Hash64(const std::string& data);
+
+/// Incremental hasher for callers that stream fields without materializing
+/// one contiguous buffer (the answer hash walks tuples in place).
+class Sha256Stream {
+ public:
+  Sha256Stream();
+  void Update(const void* data, size_t len);
+  void Update(const std::string& data) { Update(data.data(), data.size()); }
+  /// Appends a fixed-width little-endian integer — used for field framing
+  /// so (len, bytes) sequences cannot alias across field boundaries.
+  void UpdateU64(uint64_t v);
+  /// Finalizes and returns the digest. The stream must not be reused.
+  Sha256Digest Finish();
+  /// Finish() truncated as in Sha256Hash64.
+  uint64_t Finish64();
+
+ private:
+  void Compress(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffered_ = 0;
+};
+
+}  // namespace hdc

@@ -1,0 +1,251 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// CachingServer / AnswerCache behavior: canonical keys, the three
+// revalidation policies (deterministic TTL on a FakeClock, version-check
+// against a mutating server, always-fresh transparency), batch prefix
+// semantics through the cache, and cache reuse across a RemoteServer
+// reconnect. Byte-identity of the always-fresh mode is proven separately by
+// the conformance suite (server_conformance_test, backends `cached` and
+// `cached_remote`).
+#include "server/caching_server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/remote_server.h"
+#include "net/service_endpoint.h"
+#include "server/crawl_service.h"
+#include "server/local_server.h"
+#include "server/mutating_server.h"
+#include "util/clock.h"
+
+namespace hdc {
+namespace {
+
+std::shared_ptr<const Dataset> TinyData() {
+  SchemaPtr schema = Schema::NumericBounded({{0, 100}});
+  auto d = std::make_shared<Dataset>(schema);
+  for (Value v = 0; v < 20; ++v) d->Add(Tuple({v * 5}));
+  return d;
+}
+
+AnswerCacheOptions VersionCheck() {
+  AnswerCacheOptions options;
+  options.policy = RevalidationPolicy::kVersionCheck;
+  return options;
+}
+
+TEST(CanonicalQueryKeyTest, NormalizesEquivalentQueries) {
+  SchemaPtr schema = Schema::NumericBounded({{0, 100}, {0, 50}});
+  const Query wildcard = Query::FullSpace(schema);
+  // An explicit full-range predicate is the same rectangle as the wildcard.
+  const Query explicit_full =
+      wildcard.WithNumericRange(0, 0, 100).WithNumericRange(1, 0, 50);
+  EXPECT_EQ(CanonicalQueryKey(wildcard), CanonicalQueryKey(explicit_full));
+
+  // Predicate application order cannot matter: slots are schema-ordered.
+  const Query ab =
+      wildcard.WithNumericRange(0, 5, 10).WithNumericRange(1, 1, 2);
+  const Query ba =
+      wildcard.WithNumericRange(1, 1, 2).WithNumericRange(0, 5, 10);
+  EXPECT_EQ(CanonicalQueryKey(ab), CanonicalQueryKey(ba));
+
+  // Different rectangles get different keys.
+  EXPECT_NE(CanonicalQueryKey(ab), CanonicalQueryKey(wildcard));
+  EXPECT_NE(CanonicalQueryKey(ab),
+            CanonicalQueryKey(ab.WithNumericRange(0, 5, 11)));
+}
+
+TEST(CachingServerTest, HitsSkipTheBaseServer) {
+  LocalServer base(TinyData(), 4);
+  CachingServer caching(&base, VersionCheck());
+  const Query q = Query::FullSpace(base.schema()).WithNumericRange(0, 0, 10);
+  Response first, second;
+  ASSERT_TRUE(caching.Issue(q, &first).ok());
+  ASSERT_TRUE(caching.Issue(q, &second).ok());
+  // One forwarded miss, one hit that never reached the base.
+  EXPECT_EQ(base.queries_served(), 1u);
+  EXPECT_EQ(caching.forwarded_queries(), 1u);
+  EXPECT_EQ(caching.stats().hits, 1u);
+  EXPECT_EQ(caching.stats().misses, 1u);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first.tuples[i].hidden_id, second.tuples[i].hidden_id);
+    EXPECT_EQ(first.tuples[i].tuple, second.tuples[i].tuple);
+  }
+}
+
+TEST(CachingServerTest, TtlExpiryIsDeterministicOnFakeClock) {
+  FakeClock clock;
+  LocalServer base(TinyData(), 4);
+  AnswerCacheOptions options;
+  options.policy = RevalidationPolicy::kTtl;
+  options.ttl = std::chrono::seconds(100);
+  options.clock = &clock;
+  CachingServer caching(&base, options);
+  const Query q = Query::FullSpace(base.schema()).WithNumericRange(0, 0, 10);
+  Response r;
+
+  ASSERT_TRUE(caching.Issue(q, &r).ok());  // miss, fills at t=0
+  clock.Advance(std::chrono::seconds(50));
+  ASSERT_TRUE(caching.Issue(q, &r).ok());  // t=50 < 100: still fresh
+  EXPECT_EQ(caching.stats().hits, 1u);
+  EXPECT_EQ(base.queries_served(), 1u);
+
+  clock.Advance(std::chrono::seconds(60));  // t=110: entry expired
+  ASSERT_TRUE(caching.Issue(q, &r).ok());
+  // The re-ask moved no data — a cheap revalidation, and it refreshed the
+  // entry's timestamp, so the next probe inside the TTL hits again.
+  EXPECT_EQ(caching.stats().revalidations_matched, 1u);
+  EXPECT_EQ(base.queries_served(), 2u);
+  clock.Advance(std::chrono::seconds(99));
+  ASSERT_TRUE(caching.Issue(q, &r).ok());
+  EXPECT_EQ(caching.stats().hits, 2u);
+  EXPECT_EQ(base.queries_served(), 2u);
+}
+
+TEST(CachingServerTest, VersionCheckSplitsCheapAndChangedRevalidations) {
+  MutatingLocalServer server(TinyData(), 4);
+  CachingServer caching(&server, VersionCheck());
+  const Query low = Query::FullSpace(server.schema())
+                        .WithNumericRange(0, 0, 10);  // rows 0, 5, 10
+  Response r;
+  ASSERT_TRUE(caching.Issue(low, &r).ok());  // miss at version 1
+  ASSERT_TRUE(caching.Issue(low, &r).ok());  // version unchanged: hit
+  EXPECT_EQ(caching.stats().hits, 1u);
+
+  // A mutation far from the cached rectangle bumps the version; the
+  // conditional re-ask finds identical content — billed cheap.
+  ASSERT_TRUE(server.Apply({Mutation::Insert(Tuple({90}))}).ok());
+  ASSERT_TRUE(caching.Issue(low, &r).ok());
+  EXPECT_EQ(caching.stats().revalidations_matched, 1u);
+  EXPECT_EQ(caching.stats().revalidations_changed, 0u);
+  // The revalidation stamped the current version: next probe hits.
+  ASSERT_TRUE(caching.Issue(low, &r).ok());
+  EXPECT_EQ(caching.stats().hits, 2u);
+
+  // A mutation inside the rectangle: the re-ask returns new content.
+  ASSERT_TRUE(server.Apply({Mutation::Insert(Tuple({7}))}).ok());
+  ASSERT_TRUE(caching.Issue(low, &r).ok());
+  EXPECT_EQ(caching.stats().revalidations_changed, 1u);
+  bool found = false;
+  for (const ReturnedTuple& rt : r.tuples) found |= rt.tuple[0] == 7;
+  EXPECT_TRUE(found) << "refreshed entry must hold the new row";
+}
+
+TEST(CachingServerTest, AlwaysFreshForwardsEverything) {
+  LocalServer base(TinyData(), 4);
+  AnswerCacheOptions options;
+  options.policy = RevalidationPolicy::kAlwaysFresh;
+  CachingServer caching(&base, options);
+  const Query q = Query::FullSpace(base.schema());
+  Response r;
+  ASSERT_TRUE(caching.Issue(q, &r).ok());
+  ASSERT_TRUE(caching.Issue(q, &r).ok());
+  EXPECT_EQ(base.queries_served(), 2u);
+  EXPECT_EQ(caching.stats().hits, 0u);
+  EXPECT_EQ(caching.stats().misses, 2u);
+}
+
+TEST(CachingServerTest, BatchKeepsAnsweredPrefixAcrossCachedMembers) {
+  LocalServer base(TinyData(), 4);
+  BudgetServer budget(&base, /*max_queries=*/1);
+  CachingServer caching(&budget, VersionCheck());
+  const Query full = Query::FullSpace(base.schema());
+  const Query a = full.WithNumericRange(0, 0, 10);
+  const Query b = full.WithNumericRange(0, 20, 30);
+  const Query c = full.WithNumericRange(0, 40, 50);
+
+  Response r;
+  ASSERT_TRUE(caching.Issue(a, &r).ok());  // warm A (spends the budget)
+  budget.Refill(1);
+
+  // A comes from cache (no budget), B spends the last query, C is refused:
+  // the answered prefix is [A, B].
+  std::vector<Response> responses;
+  const Status status = caching.IssueBatch({a, b, c}, &responses);
+  EXPECT_TRUE(status.IsResourceExhausted()) << status.ToString();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(base.queries_served(), 2u);
+  EXPECT_EQ(caching.stats().hits, 1u);
+}
+
+TEST(CachingServerTest, FifoEvictionCapsEntries) {
+  LocalServer base(TinyData(), 4);
+  AnswerCacheOptions options = VersionCheck();
+  options.max_entries = 2;
+  CachingServer caching(&base, options);
+  const Query full = Query::FullSpace(base.schema());
+  Response r;
+  ASSERT_TRUE(caching.Issue(full.WithNumericRange(0, 0, 10), &r).ok());
+  ASSERT_TRUE(caching.Issue(full.WithNumericRange(0, 20, 30), &r).ok());
+  ASSERT_TRUE(caching.Issue(full.WithNumericRange(0, 40, 50), &r).ok());
+  EXPECT_EQ(caching.cache().size(), 2u);
+  // The oldest entry was evicted: re-asking it is a miss again.
+  ASSERT_TRUE(caching.Issue(full.WithNumericRange(0, 0, 10), &r).ok());
+  EXPECT_EQ(caching.stats().misses, 4u);
+  EXPECT_EQ(caching.stats().hits, 0u);
+}
+
+TEST(CachingServerTest, SharedCacheServesAcrossRemoteReconnect) {
+  CrawlService service(TinyData(), 4);
+  net::ServiceEndpoint endpoint(&service);
+  ASSERT_TRUE(endpoint.Start().ok());
+  auto cache = std::make_shared<AnswerCache>(VersionCheck());
+  const uint64_t port = endpoint.port();
+
+  Response first;
+  {
+    std::unique_ptr<net::RemoteServer> client;
+    ASSERT_TRUE(
+        net::RemoteServer::Connect("127.0.0.1", port, {}, &client).ok());
+    // The welcome piggybacks the service's db_version (frozen index: 0).
+    EXPECT_EQ(client->db_version(), 0u);
+    CachingServer caching(client.get(), cache);
+    const Query q =
+        Query::FullSpace(caching.schema()).WithNumericRange(0, 0, 10);
+    ASSERT_TRUE(caching.Issue(q, &first).ok());
+    EXPECT_EQ(caching.forwarded_queries(), 1u);
+  }  // connection dropped
+
+  {
+    std::unique_ptr<net::RemoteServer> client;
+    ASSERT_TRUE(
+        net::RemoteServer::Connect("127.0.0.1", port, {}, &client).ok());
+    CachingServer caching(client.get(), cache);
+    const Query q =
+        Query::FullSpace(caching.schema()).WithNumericRange(0, 0, 10);
+    Response second;
+    ASSERT_TRUE(caching.Issue(q, &second).ok());
+    // Version-check proves the entry fresh across the reconnect: nothing
+    // was forwarded over the new connection.
+    EXPECT_EQ(caching.forwarded_queries(), 0u);
+    EXPECT_EQ(cache->stats().hits, 1u);
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(first.tuples[i].hidden_id, second.tuples[i].hidden_id);
+    }
+  }
+  endpoint.Stop();
+}
+
+TEST(HashResponseTest, SensitiveToContentAndOrder) {
+  Response a;
+  a.tuples.push_back({Tuple({1, 2}), 7});
+  a.tuples.push_back({Tuple({3, 4}), 9});
+  Response b = a;
+  EXPECT_EQ(HashResponse(a), HashResponse(b));
+  std::swap(b.tuples[0], b.tuples[1]);
+  EXPECT_NE(HashResponse(a), HashResponse(b));
+  Response c = a;
+  c.overflow = true;
+  EXPECT_NE(HashResponse(a), HashResponse(c));
+  Response d = a;
+  d.tuples[1].hidden_id = 10;
+  EXPECT_NE(HashResponse(a), HashResponse(d));
+}
+
+}  // namespace
+}  // namespace hdc

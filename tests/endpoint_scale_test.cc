@@ -176,6 +176,47 @@ TEST(EndpointScaleTest, MetricsEndpointServesPrometheusText) {
   endpoint.Stop();
 }
 
+TEST(EndpointScaleTest, CacheCountersAppearInScrape) {
+  auto data = ScaleData();
+  const uint64_t k = std::max<uint64_t>(8, data->MaxPointMultiplicity());
+  CrawlServiceOptions options;
+  options.enable_answer_cache = true;
+  CrawlService service(data, k, nullptr, options);
+  net::ServiceEndpoint endpoint(&service);
+  ASSERT_TRUE(endpoint.Start().ok());
+
+  std::unique_ptr<net::RemoteServer> client;
+  net::RemoteServerOptions remote;
+  remote.label = "cache-scrape";
+  ASSERT_TRUE(net::RemoteServer::Connect("127.0.0.1", endpoint.port(),
+                                         remote, &client)
+                  .ok());
+  // The same query four times: one miss fills the shared cache, three hits
+  // are served from it.
+  Response response;
+  const Query full = Query::FullSpace(client->schema());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client->Issue(full, &response).ok());
+  }
+
+  const std::string reply = HttpGet(endpoint.port(), "/metrics");
+  ASSERT_FALSE(reply.empty());
+  EXPECT_NE(reply.find("# TYPE hdc_cache_hits_total counter"),
+            std::string::npos);
+  EXPECT_NE(reply.find("hdc_cache_hits_total 3"), std::string::npos);
+  EXPECT_NE(reply.find("hdc_cache_misses_total 1"), std::string::npos);
+  EXPECT_NE(reply.find("hdc_cache_revalidations_total 0"),
+            std::string::npos);
+  EXPECT_NE(reply.find("# TYPE hdc_cache_entries gauge"),
+            std::string::npos);
+  EXPECT_NE(reply.find("hdc_cache_entries 1"), std::string::npos);
+  // Billing is cache-invisible: all four queries are served and billed.
+  EXPECT_NE(reply.find("hdc_queries_served_total 4"), std::string::npos);
+
+  client.reset();
+  endpoint.Stop();
+}
+
 // --- satellite: the Shutdown()/Accept() race is a typed status --------------
 
 TEST(ListenerShutdownTest, AcceptRacingShutdownReturnsTypedStatus) {

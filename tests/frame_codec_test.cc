@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "server/answer_cache.h"
 
 namespace hdc {
 namespace net {
@@ -98,6 +99,7 @@ TEST(WelcomeCodecTest, RoundTripsSchema) {
   welcome.session_id = 9;
   welcome.k = 100;
   welcome.batch_parallelism = 4;
+  welcome.db_version = 77;
   for (size_t i = 0; i < schema->num_attributes(); ++i) {
     welcome.attributes.push_back(schema->attribute(i));
   }
@@ -106,6 +108,7 @@ TEST(WelcomeCodecTest, RoundTripsSchema) {
   EXPECT_EQ(decoded.session_id, 9u);
   EXPECT_EQ(decoded.k, 100u);
   EXPECT_EQ(decoded.batch_parallelism, 4u);
+  EXPECT_EQ(decoded.db_version, 77u);
   SchemaPtr rebuilt = Schema::Make(decoded.attributes);
   EXPECT_TRUE(*rebuilt == *schema)
       << "schema must survive the wire byte-for-byte: "
@@ -227,6 +230,42 @@ TEST(ResponseCodecTest, RoundTrip) {
   }
 }
 
+TEST(ResponseCodecTest, ContentHashRoundTripsAndIsVerified) {
+  Response response;
+  for (uint64_t id = 0; id < 2; ++id) {
+    ReturnedTuple rt;
+    rt.hidden_id = id;
+    rt.tuple = Tuple{static_cast<Value>(id * 3), 1, 2};
+    response.tuples.push_back(rt);
+  }
+  const uint64_t hash = HashResponse(response);
+  const std::string wire = EncodeResponse(response, &hash);
+
+  Response decoded;
+  uint64_t decoded_hash = 0;
+  ASSERT_TRUE(DecodeResponse(wire, 3, &decoded, &decoded_hash).ok());
+  EXPECT_EQ(decoded_hash, hash);
+  ASSERT_EQ(decoded.size(), 2u);
+
+  // The hash is also verified when the caller does not ask for it back.
+  ASSERT_TRUE(DecodeResponse(wire, 3, &decoded).ok());
+
+  // Any flipped content byte must be rejected — a corrupt frame may never
+  // seed a cache with a plausible-looking answer.
+  for (size_t i = 0; i < wire.size(); ++i) {
+    std::string tampered = wire;
+    tampered[i] ^= 0x01;
+    Status s = DecodeResponse(tampered, 3, &decoded);
+    EXPECT_FALSE(s.ok()) << "flipping byte " << i << " went unnoticed";
+  }
+
+  // A hash-less frame (old-style peer with hashes disabled) still decodes.
+  Response plain_decoded;
+  ASSERT_TRUE(
+      DecodeResponse(EncodeResponse(response), 3, &plain_decoded).ok());
+  EXPECT_EQ(plain_decoded.size(), 2u);
+}
+
 TEST(ResponseCodecTest, CountBeyondPayloadRejected) {
   WireWriter w;
   w.PutU8(0);
@@ -244,11 +283,13 @@ TEST(BatchEndCodecTest, RoundTripsEveryStatusCode) {
     end.code = code;
     end.message = code == Status::Code::kOk ? "" : "why it stopped";
     end.queue_wait_total_seconds = 0.125;
+    end.db_version = 42;
     BatchEndMessage decoded;
     ASSERT_TRUE(DecodeBatchEnd(EncodeBatchEnd(end), &decoded).ok());
     EXPECT_EQ(decoded.code, code);
     EXPECT_EQ(decoded.message, end.message);
     EXPECT_EQ(decoded.queue_wait_total_seconds, 0.125);
+    EXPECT_EQ(decoded.db_version, 42u);
   }
 }
 

@@ -11,10 +11,16 @@
 //   sharded  — a ShardedServer scatter-gathering over three in-process
 //              shard backends of a hash-partitioned plan;
 //   sharded_remote — the same scatter-gather where every shard backend is
-//              a RemoteServer dialing its own live endpoint.
+//              a RemoteServer dialing its own live endpoint;
+//   cached   — a CachingServer in always-fresh mode over a LocalServer:
+//              every probe is a miss, so the decorator must be
+//              byte-identical to the undecorated conversation;
+//   cached_remote — the same always-fresh CachingServer over a RemoteServer
+//              dialing a live endpoint, proving transparency holds across
+//              the wire too.
 //
-// A future backend (HTTP, cached) conforms by adding a factory here — the
-// suite itself never changes.
+// A future backend (HTTP) conforms by adding a factory here — the suite
+// itself never changes.
 #include "server_conformance.h"
 
 #include <memory>
@@ -23,6 +29,7 @@
 
 #include "net/remote_server.h"
 #include "net/service_endpoint.h"
+#include "server/caching_server.h"
 #include "server/crawl_service.h"
 #include "server/sharding.h"
 #include "util/macros.h"
@@ -247,6 +254,87 @@ class ShardedRemoteBackend : public BackendHandle {
   std::unique_ptr<BudgetServer> budget_;
 };
 
+// --- caching decorator, always-fresh ----------------------------------------
+
+AnswerCacheOptions AlwaysFresh() {
+  AnswerCacheOptions options;
+  options.policy = RevalidationPolicy::kAlwaysFresh;
+  return options;
+}
+
+class CachedBackend : public BackendHandle {
+ public:
+  explicit CachedBackend(uint64_t budget) {
+    server_ = std::make_unique<LocalServer>(ConformanceDataset(),
+                                            kConformanceK);
+    caching_ = std::make_unique<CachingServer>(server_.get(), AlwaysFresh());
+    if (budget != kNoBudget) {
+      budget_ = std::make_unique<BudgetServer>(caching_.get(), budget);
+    }
+  }
+
+  HiddenDbServer* server() override {
+    return budget_ != nullptr ? static_cast<HiddenDbServer*>(budget_.get())
+                              : caching_.get();
+  }
+  uint64_t queries_served() override { return server_->queries_served(); }
+  void RefillBudget(uint64_t max_queries) override {
+    HDC_CHECK(budget_ != nullptr);
+    budget_->Refill(max_queries);
+  }
+
+ private:
+  std::unique_ptr<LocalServer> server_;
+  std::unique_ptr<CachingServer> caching_;
+  std::unique_ptr<BudgetServer> budget_;
+};
+
+// --- caching decorator over a live remote endpoint --------------------------
+
+class CachedRemoteBackend : public BackendHandle {
+ public:
+  explicit CachedRemoteBackend(uint64_t budget) {
+    CrawlServiceOptions options;
+    options.max_parallelism = 2;
+    service_ = std::make_unique<CrawlService>(ConformanceDataset(),
+                                              kConformanceK, nullptr,
+                                              options);
+    endpoint_ = std::make_unique<net::ServiceEndpoint>(service_.get());
+    HDC_CHECK_OK(endpoint_->Start());
+    net::RemoteServerOptions remote;
+    remote.label = "conformance-cached-remote";
+    remote.max_queries = budget;
+    HDC_CHECK_OK(net::RemoteServer::Connect("127.0.0.1", endpoint_->port(),
+                                            remote, &client_));
+    caching_ =
+        std::make_unique<CachingServer>(client_.get(), AlwaysFresh());
+  }
+
+  ~CachedRemoteBackend() override {
+    caching_.reset();
+    client_.reset();
+    endpoint_->Stop();
+  }
+
+  HiddenDbServer* server() override { return caching_.get(); }
+
+  uint64_t queries_served() override {
+    net::StatsMessage stats;
+    HDC_CHECK_OK(client_->FetchStats(&stats));
+    return stats.queries_served;
+  }
+
+  void RefillBudget(uint64_t max_queries) override {
+    HDC_CHECK_OK(client_->RefillBudget(max_queries));
+  }
+
+ private:
+  std::unique_ptr<CrawlService> service_;
+  std::unique_ptr<net::ServiceEndpoint> endpoint_;
+  std::unique_ptr<net::RemoteServer> client_;
+  std::unique_ptr<CachingServer> caching_;
+};
+
 template <typename Backend>
 BackendFactory MakeFactory(const std::string& name) {
   BackendFactory factory;
@@ -264,7 +352,9 @@ INSTANTIATE_TEST_SUITE_P(
                       MakeFactory<SessionBackend>("session"),
                       MakeFactory<RemoteBackend>("remote"),
                       MakeFactory<ShardedBackend>("sharded"),
-                      MakeFactory<ShardedRemoteBackend>("sharded_remote")),
+                      MakeFactory<ShardedRemoteBackend>("sharded_remote"),
+                      MakeFactory<CachedBackend>("cached"),
+                      MakeFactory<CachedRemoteBackend>("cached_remote")),
     [](const ::testing::TestParamInfo<BackendFactory>& info) {
       return info.param.name;
     });

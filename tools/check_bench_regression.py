@@ -9,7 +9,7 @@ must match the baseline exactly: any drift is a hard failure — it means an
 algorithm's conversation changed. Wall-time-like columns (header containing
 "seconds", "wall" or "time") are machine noise: drift there only warns.
 
-CSVs with a `transport`, `engine` or `shards` column (e.g.
+CSVs with a `transport`, `engine`, `shards` or `cache` column (e.g.
 transport_roundtrip.csv, which times the same workload in-process and over
 the loopback wire; bench_index.csv, which times the same query script under
 each evaluation engine; or bench_sharded.csv, which drives the same script
@@ -25,6 +25,9 @@ bench_index.csv additionally carries a speedup gate: on the headline
 by at least 4x wall time. Falling under the floor is a hard failure even
 though the cells are wall times — the ratio is between two engines measured
 back-to-back on the same machine, so machine speed cancels out.
+bench_cache.csv carries the analogous gate on *billed query counts*: at the
+1% mutation rate the delta re-crawl must bill at least 10x fewer server
+queries than the from-scratch re-crawl.
 
 Every baseline CSV must have a matching current result: a baseline with no
 current file means a bench was deleted, renamed, or silently skipped — a
@@ -102,14 +105,23 @@ def compare_rows(name: str, header: list, base_rows: list, cur_rows: list,
 # Columns whose value partitions rows into separately-measured populations.
 # Rows are only ever compared within a group: a loopback wall-time against a
 # loopback baseline, a bitmap-engine row against a bitmap-engine baseline, a
-# 4-shard scatter-gather row against a 4-shard baseline.
-GROUP_COLUMNS = ("transport", "engine", "shards")
+# 4-shard scatter-gather row against a 4-shard baseline, a delta re-crawl
+# row against a delta baseline.
+GROUP_COLUMNS = ("transport", "engine", "shards", "cache")
 
 # bench_index speedup gate: on the headline shape the bitmap engine must
 # beat legacy by this factor. See bench/bench_index.cc.
 INDEX_SPEEDUP_FILE = "bench_index.csv"
 INDEX_SPEEDUP_SHAPE = "conjunction-selective"
 INDEX_SPEEDUP_FLOOR = 4.0
+
+# bench_cache query gate: at the headline mutation rate the delta re-crawl
+# must bill this many times fewer server queries than the from-scratch
+# re-crawl. See bench/bench_cache.cc. Unlike the index gate this compares
+# deterministic query counts, not wall times.
+CACHE_SPEEDUP_FILE = "bench_cache.csv"
+CACHE_SPEEDUP_RATE = "0.01"
+CACHE_SPEEDUP_FLOOR = 10.0
 
 
 def group_by_column(rows: list, key_idx: int) -> dict:
@@ -155,6 +167,42 @@ def check_index_speedup(header: list, rows: list, failures: list) -> None:
             f"{bitmap:.6f}s)")
 
 
+def check_cache_speedup(header: list, rows: list, failures: list) -> None:
+    """Hard-fails unless the delta re-crawl bills CACHE_SPEEDUP_FLOOR times
+    fewer queries than the full re-crawl at the headline mutation rate.
+    Operates on the *current* run; billed-query counts are deterministic,
+    so the ratio carries no machine noise at all."""
+    try:
+        cache_idx = header.index("cache")
+        rate_idx = header.index("rate")
+        billed_idx = header.index("billed queries")
+    except ValueError:
+        failures.append(f"{CACHE_SPEEDUP_FILE}: expected cache/rate/"
+                        "'billed queries' columns for the cache gate")
+        return
+    billed = {}
+    for row in rows:
+        if len(row) > max(cache_idx, rate_idx, billed_idx) and \
+                row[rate_idx] == CACHE_SPEEDUP_RATE:
+            billed[row[cache_idx]] = as_float(row[billed_idx])
+    full, delta = billed.get("full"), billed.get("delta")
+    if full is None or delta is None:
+        failures.append(
+            f"{CACHE_SPEEDUP_FILE}: rate '{CACHE_SPEEDUP_RATE}' lacks "
+            "full/delta billed-query counts — cannot evaluate the cache "
+            "gate")
+        return
+    if delta <= 0:
+        return  # nothing billed at all; the ratio is vacuously fine
+    ratio = full / delta
+    if ratio < CACHE_SPEEDUP_FLOOR:
+        failures.append(
+            f"{CACHE_SPEEDUP_FILE} [rate={CACHE_SPEEDUP_RATE}]: delta "
+            f"re-crawl bills only {ratio:.2f}x fewer queries than full "
+            f"(floor {CACHE_SPEEDUP_FLOOR:.1f}x; full {full:.0f}, delta "
+            f"{delta:.0f})")
+
+
 def compare_file(baseline: Path, current: Path, time_tolerance: float,
                  failures: list, warnings: list) -> None:
     name = baseline.name
@@ -197,6 +245,8 @@ def compare_file(baseline: Path, current: Path, time_tolerance: float,
                     "rows — commit them to put it under the gate")
         if name == INDEX_SPEEDUP_FILE:
             check_index_speedup(cur_header, cur_rows, failures)
+        if name == CACHE_SPEEDUP_FILE:
+            check_cache_speedup(cur_header, cur_rows, failures)
         return
 
     if len(base_rows) != len(cur_rows):

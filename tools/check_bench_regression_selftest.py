@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+# Copyright (c) hdc authors. Apache-2.0 license.
+"""Negative selftest of the bench regression gate.
+
+A gate is only as good as its failure paths: if check_bench_regression.py
+ever started passing vacuously — a group silently dropped from a CSV, a
+speedup floor no longer evaluated — every bench regression after that would
+sail through CI. This script drives the real gate binary over synthetic
+baseline/current directories and asserts each guard actually fires:
+
+  1. an untouched copy of the baseline passes;
+  2. a current bench_cache.csv missing the whole `delta` cache group is a
+     hard failure (not the new-group warning path);
+  3. a delta row billing only 2x fewer queries than full at the 1% rate
+     trips the 10x cache floor;
+  4. a current run without the gated 1% rate rows cannot evaluate the
+     floor and hard-fails instead of skipping it;
+  5. a drifted deterministic cell (billed queries) hard-fails within a
+     group even when every group is present.
+
+Exit status: 0 when every expectation holds, 1 otherwise.
+"""
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+GATE = Path(__file__).resolve().parent / "check_bench_regression.py"
+
+BASELINE_CACHE_CSV = """\
+cache,rate,changed,billed queries,cheap revalidations,regions,extracted,wall seconds
+full,0,0,1000,0,500,9000,0.020
+delta,0,0,0,0,500,9000,0.010
+full,0.01,90,1000,0,500,9000,0.020
+delta,0.01,90,80,400,500,9000,0.015
+"""
+
+
+def run_gate(baseline: Path, current: Path):
+    proc = subprocess.run(
+        [sys.executable, str(GATE), "--baseline", str(baseline),
+         "--current", str(current)],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def write(path: Path, content: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content)
+
+
+def expect(label: str, ok: bool, output: str, problems: list) -> None:
+    if ok:
+        print(f"ok: {label}")
+    else:
+        problems.append(label)
+        print(f"SELFTEST FAIL: {label}\n--- gate output ---\n{output}")
+
+
+def main() -> int:
+    problems = []
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        baseline = root / "baseline"
+        write(baseline / "bench_cache.csv", BASELINE_CACHE_CSV)
+
+        # 1. Clean copy passes.
+        current = root / "clean"
+        write(current / "bench_cache.csv", BASELINE_CACHE_CSV)
+        code, out = run_gate(baseline, current)
+        expect("identical run passes", code == 0, out, problems)
+
+        # 2. Dropping the delta group entirely is a hard failure.
+        current = root / "no_delta_group"
+        write(current / "bench_cache.csv", "\n".join(
+            line for line in BASELINE_CACHE_CSV.splitlines()
+            if not line.startswith("delta,")) + "\n")
+        code, out = run_gate(baseline, current)
+        expect("missing cache group hard-fails",
+               code == 1 and "missing from the current run" in out, out,
+               problems)
+
+        # 3. A delta crawl only 2x cheaper than full trips the 10x floor.
+        #    (The baseline is edited identically so the per-cell comparison
+        #    stays clean and the floor is what fails.)
+        slow = BASELINE_CACHE_CSV.replace(
+            "delta,0.01,90,80,", "delta,0.01,90,500,")
+        current = root / "below_floor"
+        write(current / "bench_cache.csv", slow)
+        slow_baseline = root / "below_floor_baseline"
+        write(slow_baseline / "bench_cache.csv", slow)
+        code, out = run_gate(slow_baseline, current)
+        expect("below-floor cache ratio hard-fails",
+               code == 1 and "fewer queries than full" in out, out, problems)
+
+        # 4. A run without the gated rate rows must fail, not skip the gate.
+        trimmed = "\n".join(
+            line for line in BASELINE_CACHE_CSV.splitlines()
+            if ",0.01," not in line) + "\n"
+        current = root / "no_rate_rows"
+        write(current / "bench_cache.csv", trimmed)
+        trimmed_baseline = root / "no_rate_rows_baseline"
+        write(trimmed_baseline / "bench_cache.csv", trimmed)
+        code, out = run_gate(trimmed_baseline, current)
+        expect("missing 1% rate rows hard-fail",
+               code == 1 and "cannot evaluate the cache gate" in out, out,
+               problems)
+
+        # 5. Deterministic-cell drift inside a present group hard-fails.
+        current = root / "drift"
+        write(current / "bench_cache.csv",
+              BASELINE_CACHE_CSV.replace("full,0.01,90,1000,",
+                                         "full,0.01,90,999,"))
+        code, out = run_gate(baseline, current)
+        expect("billed-query drift hard-fails",
+               code == 1 and "query-cost drift" in out, out, problems)
+
+    if problems:
+        print(f"{len(problems)} selftest expectation(s) failed")
+        return 1
+    print("bench gate selftest: all expectations held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
