@@ -3,11 +3,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
 #include "util/macros.h"
+#include "util/thread_annotations.h"
 
 namespace hdc {
 
@@ -56,21 +55,23 @@ std::vector<MultiCrawlOutcome> RunMultiCrawl(
   };
 
   // The monitor samples service metrics on its own thread while the jobs
-  // run; `done` + the cv bound how long it outlives the last job.
+  // run; `done` (guarded by monitor_mutex — locals cannot carry the
+  // annotation) + the cv bound how long it outlives the last job.
   std::thread monitor;
-  std::mutex monitor_mutex;
-  std::condition_variable monitor_cv;
+  Mutex monitor_mutex;
+  CondVar monitor_cv;
   bool done = false;
   if (options.on_metrics) {
     monitor = std::thread([&] {
-      std::unique_lock<std::mutex> lock(monitor_mutex);
-      for (;;) {
-        monitor_cv.wait_for(lock, options.metrics_period);
-        if (done) return;
-        lock.unlock();
+      monitor_mutex.Lock();
+      while (!done) {
+        monitor_cv.WaitFor(&monitor_mutex, options.metrics_period);
+        if (done) break;
+        monitor_mutex.Unlock();
         options.on_metrics(service->MetricsSnapshot());
-        lock.lock();
+        monitor_mutex.Lock();
       }
+      monitor_mutex.Unlock();
     });
   }
 
@@ -88,10 +89,10 @@ std::vector<MultiCrawlOutcome> RunMultiCrawl(
 
   if (monitor.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(monitor_mutex);
+      MutexLock lock(&monitor_mutex);
       done = true;
     }
-    monitor_cv.notify_all();
+    monitor_cv.NotifyAll();
     monitor.join();
     // One final snapshot after every job (and its session) has wound down.
     options.on_metrics(service->MetricsSnapshot());

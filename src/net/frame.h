@@ -108,17 +108,20 @@ class WireWriter {
 
 /// Bounds-checked reader over a payload. Every Get* returns false once the
 /// payload is exhausted or a length is implausible; decoding then fails
-/// without ever reading out of bounds.
+/// without ever reading out of bounds. The results are [[nodiscard]]: an
+/// unchecked Get* is exactly the bug class the reader exists to prevent
+/// (Status returns get the same treatment from the class-level attribute
+/// on Status itself).
 class WireReader {
  public:
   explicit WireReader(const std::string& data) : data_(data) {}
 
-  bool GetU8(uint8_t* v);
-  bool GetU32(uint32_t* v);
-  bool GetU64(uint64_t* v);
-  bool GetI64(int64_t* v);
-  bool GetDouble(double* v);
-  bool GetString(std::string* s);
+  [[nodiscard]] bool GetU8(uint8_t* v);
+  [[nodiscard]] bool GetU32(uint32_t* v);
+  [[nodiscard]] bool GetU64(uint64_t* v);
+  [[nodiscard]] bool GetI64(int64_t* v);
+  [[nodiscard]] bool GetDouble(double* v);
+  [[nodiscard]] bool GetString(std::string* s);
 
   /// True when every byte has been consumed — trailing garbage is malformed.
   bool AtEnd() const { return pos_ == data_.size(); }
@@ -218,10 +221,10 @@ Status DecodeAck(const std::string& payload, Status* out);
 
 /// Lossless Status <-> wire round-trip (code byte + message string).
 void PutStatus(const Status& status, WireWriter* writer);
-bool GetStatus(WireReader* reader, Status* out);
+[[nodiscard]] bool GetStatus(WireReader* reader, Status* out);
 
 /// Maps a wire code byte back to Status::Code; false when out of range.
-bool StatusCodeFromWire(uint8_t wire, Status::Code* out);
+[[nodiscard]] bool StatusCodeFromWire(uint8_t wire, Status::Code* out);
 
 /// Rebuilds a Status from a decoded (code, message) pair.
 Status MakeStatus(Status::Code code, std::string message);

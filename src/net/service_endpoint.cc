@@ -86,11 +86,11 @@ void ServiceEndpoint::Stop() {
   loop_.Wake();
   if (io_thread_.joinable()) io_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(&queue_mutex_);
     queue_stopped_ = true;
     queue_.clear();  // undispatched requests die with their connections
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& t : dispatchers_) {
     if (t.joinable()) t.join();
   }
@@ -106,9 +106,8 @@ void ServiceEndpoint::DispatchLoop() {
   while (true) {
     std::pair<Connection*, Frame> job;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock,
-                     [this] { return queue_stopped_ || !queue_.empty(); });
+      MutexLock lock(&queue_mutex_);
+      while (!queue_stopped_ && queue_.empty()) queue_cv_.Wait(&queue_mutex_);
       if (queue_stopped_) return;
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -126,7 +125,7 @@ void ServiceEndpoint::IoLoop() {
     // parse/dispatch of pipelined input) before handling new readiness.
     std::vector<uint64_t> done;
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
+      MutexLock lock(&queue_mutex_);
       done.swap(completed_);
     }
     for (uint64_t id : done) {
@@ -219,7 +218,7 @@ bool ServiceEndpoint::ConsumeInput(Connection* conn) {
   // close_after_flush flag, so busy must short-circuit first.
   if (conn->busy || conn->defunct) return false;
   {
-    std::lock_guard<std::mutex> lock(conn->out_mutex);
+    MutexLock lock(&conn->out_mutex);
     if (conn->close_after_flush) return false;
   }
 
@@ -245,7 +244,7 @@ bool ServiceEndpoint::ConsumeInput(Connection* conn) {
   }
   if (len > kMaxFramePayload) {
     // Malformed length prefix: sever, never allocate the claimed size.
-    std::lock_guard<std::mutex> lock(conn->out_mutex);
+    MutexLock lock(&conn->out_mutex);
     conn->close_after_flush = true;
     return false;
   }
@@ -259,7 +258,7 @@ bool ServiceEndpoint::ConsumeInput(Connection* conn) {
   if (!conn->saw_hello) {
     conn->saw_hello = true;
     if (!HandleHello(conn, frame)) {
-      std::lock_guard<std::mutex> lock(conn->out_mutex);
+      MutexLock lock(&conn->out_mutex);
       conn->close_after_flush = true;
       return false;
     }
@@ -268,10 +267,10 @@ bool ServiceEndpoint::ConsumeInput(Connection* conn) {
 
   conn->busy = true;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(&queue_mutex_);
     queue_.emplace_back(conn, std::move(frame));
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
   return true;  // the busy flag stops the caller's loop
 }
 
@@ -327,7 +326,7 @@ void ServiceEndpoint::HandleHttp(Connection* conn) {
     response = HttpResponse("404 Not Found", "not found\n");
   }
   QueueOutput(conn, response);
-  std::lock_guard<std::mutex> lock(conn->out_mutex);
+  MutexLock lock(&conn->out_mutex);
   conn->close_after_flush = true;
 }
 
@@ -409,12 +408,12 @@ void ServiceEndpoint::ExecuteRequest(Connection* conn, Frame frame) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(conn->out_mutex);
+    MutexLock lock(&conn->out_mutex);
     conn->outbuf.append(out);
     if (sever) conn->close_after_flush = true;
   }
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(&queue_mutex_);
     completed_.push_back(conn->id);
   }
   loop_.Wake();
@@ -422,14 +421,14 @@ void ServiceEndpoint::ExecuteRequest(Connection* conn, Frame frame) {
 
 void ServiceEndpoint::QueueOutput(Connection* conn,
                                   const std::string& bytes) {
-  std::lock_guard<std::mutex> lock(conn->out_mutex);
+  MutexLock lock(&conn->out_mutex);
   conn->outbuf.append(bytes);
 }
 
 void ServiceEndpoint::WriteReady(Connection* conn) {
   bool close_now = false;
   {
-    std::lock_guard<std::mutex> lock(conn->out_mutex);
+    MutexLock lock(&conn->out_mutex);
     while (conn->out_flushed < conn->outbuf.size()) {
       size_t sent = 0;
       Status s = conn->socket.SendSome(
@@ -465,7 +464,7 @@ void ServiceEndpoint::WriteReady(Connection* conn) {
 void ServiceEndpoint::UpdateInterest(Connection* conn) {
   bool pending_output;
   {
-    std::lock_guard<std::mutex> lock(conn->out_mutex);
+    MutexLock lock(&conn->out_mutex);
     pending_output = conn->out_flushed < conn->outbuf.size();
   }
   uint32_t wanted = 0;
@@ -480,7 +479,7 @@ void ServiceEndpoint::UpdateInterest(Connection* conn) {
 }
 
 void ServiceEndpoint::DestroyConnection(Connection* conn) {
-  loop_.Remove(conn->socket.fd());  // best effort; fd closes either way
+  (void)loop_.Remove(conn->socket.fd());  // best effort; fd closes either way
   connections_.erase(conn->id);
 }
 

@@ -47,11 +47,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -61,6 +59,7 @@
 #include "net/socket.h"
 #include "server/crawl_service.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace hdc {
 namespace net {
@@ -127,9 +126,9 @@ class ServiceEndpoint {
 
     /// Outbound bytes not yet accepted by the kernel. Workers append
     /// under the mutex; only the IO thread consumes.
-    std::mutex out_mutex;
-    std::string outbuf;
-    size_t out_flushed = 0;
+    Mutex out_mutex;
+    std::string outbuf HDC_GUARDED_BY(out_mutex);
+    size_t out_flushed HDC_GUARDED_BY(out_mutex) = 0;
 
     /// Current epoll interest set (EPOLLIN / EPOLLOUT), to skip
     /// redundant epoll_ctl calls.
@@ -149,9 +148,9 @@ class ServiceEndpoint {
     /// connection. IO thread only.
     bool defunct = false;
     /// Flush remaining output, then sever. Set on protocol violations,
-    /// HTTP responses, and the injected drop fault. Guarded by out_mutex
-    /// (a dispatch worker may set it while the IO thread flushes).
-    bool close_after_flush = false;
+    /// HTTP responses, and the injected drop fault (a dispatch worker may
+    /// set it while the IO thread flushes).
+    bool close_after_flush HDC_GUARDED_BY(out_mutex) = false;
   };
 
   void IoLoop();
@@ -197,14 +196,15 @@ class ServiceEndpoint {
   std::vector<std::thread> dispatchers_;
 
   /// Dispatch queue: requests decoded by the IO thread, executed by the
-  /// pool. Guarded by queue_mutex_.
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<std::pair<Connection*, Frame>> queue_;
-  bool queue_stopped_ = false;
+  /// pool.
+  Mutex queue_mutex_;
+  CondVar queue_cv_;
+  std::deque<std::pair<Connection*, Frame>> queue_
+      HDC_GUARDED_BY(queue_mutex_);
+  bool queue_stopped_ HDC_GUARDED_BY(queue_mutex_) = false;
   /// Connections whose in-flight request finished, awaiting the IO
-  /// thread's completion pass. Guarded by queue_mutex_.
-  std::vector<uint64_t> completed_;
+  /// thread's completion pass.
+  std::vector<uint64_t> completed_ HDC_GUARDED_BY(queue_mutex_);
 
   /// All live connections, keyed by id (the epoll event data). IO thread
   /// only, except sizing under Stop() after threads are joined.

@@ -71,7 +71,7 @@ AnswerCache::ProbeResult AnswerCache::Probe(const Query& query,
     // undecorated server.
     return ProbeResult::kMiss;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(CanonicalQueryKey(query));
   if (it == entries_.end()) return ProbeResult::kMiss;
   const Entry& entry = it->second;
@@ -97,7 +97,7 @@ void AnswerCache::StoreMiss(const Query& query, const Response& response,
   entry.hash = HashResponse(response);
   entry.version = server_version;
   entry.fill_time = clock_->Now();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.misses;
   InsertLocked(CanonicalQueryKey(query), std::move(entry));
 }
@@ -107,7 +107,7 @@ bool AnswerCache::StoreRevalidation(const Query& query,
                                     uint64_t server_version) {
   const uint64_t hash = HashResponse(response);
   const std::string key = CanonicalQueryKey(query);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(key);
   const bool matched = it != entries_.end() && it->second.hash == hash;
   if (matched) {
@@ -138,23 +138,23 @@ void AnswerCache::Seed(const Query& query, const Response& response,
   entry.hash = hash;
   entry.version = version;
   entry.fill_time = clock_->Now();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   InsertLocked(CanonicalQueryKey(query), std::move(entry));
 }
 
 void AnswerCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.clear();
   fill_order_.clear();
 }
 
 size_t AnswerCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.size();
 }
 
 AnswerCacheStats AnswerCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

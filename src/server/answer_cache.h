@@ -30,13 +30,13 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "query/query.h"
 #include "server/response.h"
 #include "util/clock.h"
+#include "util/thread_annotations.h"
 
 namespace hdc {
 
@@ -138,15 +138,15 @@ class AnswerCache {
     std::chrono::nanoseconds fill_time{0};
   };
 
-  void InsertLocked(const std::string& key, Entry entry);
+  void InsertLocked(const std::string& key, Entry entry) HDC_REQUIRES(mu_);
 
   AnswerCacheOptions options_;
   Clock* clock_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
-  std::deque<std::string> fill_order_;
-  AnswerCacheStats stats_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Entry> entries_ HDC_GUARDED_BY(mu_);
+  std::deque<std::string> fill_order_ HDC_GUARDED_BY(mu_);
+  AnswerCacheStats stats_ HDC_GUARDED_BY(mu_);
 };
 
 }  // namespace hdc

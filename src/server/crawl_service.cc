@@ -173,13 +173,14 @@ CrawlService::CrawlService(std::shared_ptr<const LocalIndex> index,
                            CrawlServiceOptions options)
     : index_(std::move(index)),
       options_(options),
-      start_(std::chrono::steady_clock::now()) {
+      clock_(options.clock != nullptr ? options.clock : RealClock::Get()),
+      start_(clock_->Now()) {
   HDC_CHECK(index_ != nullptr);
   HDC_CHECK_MSG(options_.max_parallelism >= 1,
                 "CrawlServiceOptions::max_parallelism must be >= 1 (it "
                 "bounds the threads of a batch, calling thread included)");
   if (options_.max_parallelism > 1) {
-    pool_ = std::make_unique<WorkerPool>(options_.max_parallelism - 1);
+    pool_ = std::make_unique<WorkerPool>(options_.max_parallelism - 1, clock_);
   }
   if (options_.enable_answer_cache) {
     // The index is immutable (version 0 forever), so version-check mode
@@ -214,14 +215,14 @@ std::unique_ptr<ServerSession> CrawlService::CreateSession(
   std::unique_ptr<ServerSession> session(
       new ServerSession(this, id, lane, std::move(options)));
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    MutexLock lock(&sessions_mutex_);
     live_sessions_.push_back(session.get());
   }
   return session;
 }
 
 void CrawlService::Retire(ServerSession* session) {
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  MutexLock lock(&sessions_mutex_);
   retired_queries_ += session->queries_served();
   retired_tuples_ += session->tuples_returned();
   live_sessions_.erase(
@@ -234,8 +235,7 @@ CrawlServiceMetrics CrawlService::MetricsSnapshot() const {
   CrawlServiceMetrics metrics;
   metrics.sessions_created = next_session_id_.load();
   metrics.uptime_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-          .count();
+      std::chrono::duration<double>(clock_->Now() - start_).count();
   metrics.pool_threads = pool_ != nullptr ? pool_->threads() : 0;
   metrics.pool_busy = pool_ != nullptr ? pool_->busy_workers() : 0;
   if (answer_cache_ != nullptr) {
@@ -246,7 +246,7 @@ CrawlServiceMetrics CrawlService::MetricsSnapshot() const {
     metrics.cache_entries = answer_cache_->size();
   }
 
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  MutexLock lock(&sessions_mutex_);
   metrics.sessions_active = live_sessions_.size();
   metrics.queries_served = retired_queries_;
   metrics.tuples_returned = retired_tuples_;

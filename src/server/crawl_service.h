@@ -43,7 +43,6 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,6 +50,8 @@
 #include "server/decorators.h"
 #include "server/local_index.h"
 #include "server/server.h"
+#include "util/clock.h"
+#include "util/thread_annotations.h"
 #include "util/worker_pool.h"
 
 namespace hdc {
@@ -80,6 +81,11 @@ struct CrawlServiceOptions {
   /// Entry cap for the shared answer cache (0 = unbounded, FIFO eviction
   /// beyond the cap).
   size_t answer_cache_max_entries = 0;
+
+  /// Time source for uptime/queue-wait accounting (nullptr -> the real
+  /// clock). Injected so service metrics are testable on a FakeClock; it
+  /// never affects answers or scheduling.
+  Clock* clock = nullptr;
 };
 
 /// Per-session metering and admission, fixed at session-creation time.
@@ -337,16 +343,17 @@ class CrawlService {
 
   std::shared_ptr<const LocalIndex> index_;
   CrawlServiceOptions options_;
+  Clock* clock_;  // never null; immutable after construction
   std::unique_ptr<WorkerPool> pool_;  // max_parallelism - 1 workers
   std::unique_ptr<AnswerCache> answer_cache_;  // null when disabled
   std::atomic<uint64_t> next_session_id_{0};
-  std::chrono::steady_clock::time_point start_;
+  std::chrono::nanoseconds start_{0};
 
   /// Live sessions plus the accumulated accounting of retired ones.
-  mutable std::mutex sessions_mutex_;
-  std::vector<ServerSession*> live_sessions_;
-  uint64_t retired_queries_ = 0;
-  uint64_t retired_tuples_ = 0;
+  mutable Mutex sessions_mutex_;
+  std::vector<ServerSession*> live_sessions_ HDC_GUARDED_BY(sessions_mutex_);
+  uint64_t retired_queries_ HDC_GUARDED_BY(sessions_mutex_) = 0;
+  uint64_t retired_tuples_ HDC_GUARDED_BY(sessions_mutex_) = 0;
 };
 
 }  // namespace hdc

@@ -9,8 +9,9 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace hdc {
 
@@ -54,12 +55,12 @@ class FakeClock : public Clock {
       : now_(start) {}
 
   std::chrono::nanoseconds Now() const override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return now_;
   }
 
   void SleepFor(std::chrono::nanoseconds duration) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (duration.count() > 0) now_ += duration;
     sleeps_.push_back(duration.count() > 0 ? duration
                                            : std::chrono::nanoseconds(0));
@@ -68,26 +69,26 @@ class FakeClock : public Clock {
   /// Moves time forward without recording a sleep (the "outside world"
   /// taking time: a request in flight, a server evaluating a batch).
   void Advance(std::chrono::nanoseconds duration) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     now_ += duration;
   }
 
   /// Every SleepFor() issued so far, in order (zero-length sleeps included,
   /// recorded as 0 — "the policy decided no wait was needed").
   std::vector<std::chrono::nanoseconds> sleeps() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return sleeps_;
   }
 
   size_t sleep_count() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return sleeps_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::chrono::nanoseconds now_;
-  std::vector<std::chrono::nanoseconds> sleeps_;
+  mutable Mutex mutex_;
+  std::chrono::nanoseconds now_ HDC_GUARDED_BY(mutex_);
+  std::vector<std::chrono::nanoseconds> sleeps_ HDC_GUARDED_BY(mutex_);
 };
 
 }  // namespace hdc

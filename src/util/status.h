@@ -24,7 +24,12 @@ namespace hdc {
 ///    (connection refused or dropped, truncated or malformed frame): like
 ///    `Internal` it is transient and retryable, but it tells the caller the
 ///    *wire* failed, not the server's own logic.
-class Status {
+///
+/// The class itself is [[nodiscard]]: every by-value Status return must be
+/// consumed (checked, propagated, or explicitly voided for the rare
+/// best-effort call). tools/hdc_lint.py backstops compilers that predate
+/// class-level nodiscard diagnostics.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,

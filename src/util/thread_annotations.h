@@ -1,0 +1,157 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Clang thread-safety annotations (ABSL style) plus the annotated mutex
+// the whole library locks through. Locking invariants that used to live
+// in comments — "guarded by mu_", "requires queue_mutex_" — are written
+// as attributes on the fields and functions themselves, and a clang build
+// with -DHDC_THREAD_SAFETY=ON (-Wthread-safety -Werror=thread-safety)
+// turns any violation into a compile error: touching a guarded field
+// without its mutex, releasing a lock that is not held, or calling a
+// HDC_REQUIRES function unlocked. Under gcc the attributes expand to
+// nothing and the wrappers cost exactly what std::mutex costs.
+//
+// Conventions:
+//  - every mutex-protected field is declared `HDC_GUARDED_BY(mu_)`;
+//  - private helpers that assume the lock are suffixed `Locked` and
+//    annotated `HDC_REQUIRES(mu_)`;
+//  - scopes use `MutexLock lock(&mu_)`; manual Lock()/Unlock() pairs are
+//    reserved for worker loops that drop the lock around work items;
+//  - condition waits go through CondVar with an explicit `while (!cond)`
+//    loop in the caller, so the guarded reads in the condition stay
+//    visible to the analysis (a lambda predicate would hide them).
+//
+// tools/hdc_lint.py enforces the migration: raw std::mutex /
+// std::condition_variable / std::lock_guard are forbidden everywhere in
+// src/ except this header.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define HDC_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define HDC_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define HDC_CAPABILITY(x) HDC_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII type that acquires in its constructor and releases in
+/// its destructor.
+#define HDC_SCOPED_CAPABILITY \
+  HDC_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define HDC_GUARDED_BY(x) HDC_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by `x`.
+#define HDC_PT_GUARDED_BY(x) \
+  HDC_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Caller must hold the named capabilities to call this function.
+#define HDC_REQUIRES(...) \
+  HDC_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function acquires the named capabilities and does not release them.
+#define HDC_ACQUIRE(...) \
+  HDC_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the named capabilities.
+#define HDC_RELEASE(...) \
+  HDC_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define HDC_TRY_ACQUIRE(b, ...) \
+  HDC_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(b, __VA_ARGS__))
+
+/// Caller must NOT hold the named capabilities (deadlock prevention).
+#define HDC_EXCLUDES(...) \
+  HDC_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Declares lock acquisition order between mutexes.
+#define HDC_ACQUIRED_BEFORE(...) \
+  HDC_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define HDC_ACQUIRED_AFTER(...) \
+  HDC_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define HDC_RETURN_CAPABILITY(x) \
+  HDC_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: the function is exempt from analysis (e.g. locking
+/// split across functions the analysis cannot follow). Every use needs a
+/// comment explaining why.
+#define HDC_NO_THREAD_SAFETY_ANALYSIS \
+  HDC_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace hdc {
+
+/// The library's mutex: std::mutex carrying the capability attribute so
+/// guarded fields and REQUIRES contracts are checkable. Same cost, same
+/// semantics; CondVar below reaches the underlying std::mutex for waits.
+class HDC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() HDC_ACQUIRE() { mu_.lock(); }
+  void Unlock() HDC_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scope: acquires in the constructor, releases in the destructor.
+class HDC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) HDC_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() HDC_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable over hdc::Mutex. Wait atomically releases and
+/// reacquires the caller's lock, so annotation-wise the capability is
+/// held across the call — which is exactly how callers reason about it.
+/// No predicate overloads on purpose: call sites spell the guarded
+/// condition in their own `while` loop, where the analysis can see it.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. `mu` must be held; it is released during the
+  /// wait and re-held on return (adopted into a std::unique_lock for the
+  /// duration, released back unlocked-side-effect-free).
+  void Wait(Mutex* mu) HDC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Blocks until notified or `timeout` elapsed. Returns false on timeout.
+  bool WaitFor(Mutex* mu, std::chrono::nanoseconds timeout)
+      HDC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hdc

@@ -7,8 +7,12 @@
 
 namespace hdc {
 
-WorkerPool::WorkerPool(unsigned threads) {
-  lanes_.emplace(kDefaultLane, Lane{});
+WorkerPool::WorkerPool(unsigned threads, Clock* clock)
+    : clock_(clock != nullptr ? clock : RealClock::Get()) {
+  {
+    MutexLock lock(&queue_mutex_);
+    lanes_.emplace(kDefaultLane, Lane{});
+  }
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { WorkerMain(); });
@@ -17,16 +21,16 @@ WorkerPool::WorkerPool(unsigned threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(&queue_mutex_);
     shutting_down_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 WorkerPool::LaneId WorkerPool::OpenLane(LaneOptions options) {
   HDC_CHECK_MSG(options.weight >= 1, "lane weight must be >= 1");
-  std::lock_guard<std::mutex> lock(queue_mutex_);
+  MutexLock lock(&queue_mutex_);
   const LaneId id = next_lane_id_++;
   Lane& lane = lanes_[id];
   lane.id = id;
@@ -36,7 +40,7 @@ WorkerPool::LaneId WorkerPool::OpenLane(LaneOptions options) {
 
 void WorkerPool::CloseLane(LaneId lane_id) {
   HDC_CHECK_MSG(lane_id != kDefaultLane, "the default lane cannot be closed");
-  std::lock_guard<std::mutex> lock(queue_mutex_);
+  MutexLock lock(&queue_mutex_);
   auto it = lanes_.find(lane_id);
   HDC_CHECK_MSG(it != lanes_.end() && it->second.open,
                 "CloseLane on unknown or already-closed lane");
@@ -49,14 +53,14 @@ void WorkerPool::CloseLane(LaneId lane_id) {
 }
 
 WorkerPool::LaneStats WorkerPool::lane_stats(LaneId lane_id) const {
-  std::lock_guard<std::mutex> lock(queue_mutex_);
+  MutexLock lock(&queue_mutex_);
   auto it = lanes_.find(lane_id);
   HDC_CHECK_MSG(it != lanes_.end(), "lane_stats on unknown lane");
   return it->second.stats;
 }
 
 size_t WorkerPool::open_lanes() const {
-  std::lock_guard<std::mutex> lock(queue_mutex_);
+  MutexLock lock(&queue_mutex_);
   size_t open = 0;
   for (const auto& entry : lanes_) {
     if (entry.second.open) ++open;
@@ -65,7 +69,7 @@ size_t WorkerPool::open_lanes() const {
 }
 
 unsigned WorkerPool::busy_workers() const {
-  std::lock_guard<std::mutex> lock(queue_mutex_);
+  MutexLock lock(&queue_mutex_);
   return busy_workers_;
 }
 
@@ -75,8 +79,8 @@ void WorkerPool::RunShard(Loop* loop) {
     if (i >= loop->n) return;
     loop->fn(i);
     {
-      std::lock_guard<std::mutex> lock(loop->mutex);
-      if (++loop->done == loop->n) loop->done_cv.notify_all();
+      MutexLock lock(&loop->mutex);
+      if (++loop->done == loop->n) loop->done_cv.NotifyAll();
     }
   }
 }
@@ -85,9 +89,7 @@ void WorkerPool::RecordWaitLocked(Lane* lane, Loop* loop) {
   if (loop->wait_recorded) return;
   loop->wait_recorded = true;
   const double wait =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    loop->enqueued)
-          .count();
+      std::chrono::duration<double>(clock_->Now() - loop->enqueued).count();
   lane->stats.queue_wait_total_seconds += wait;
   lane->stats.queue_wait_max_seconds =
       std::max(lane->stats.queue_wait_max_seconds, wait);
@@ -160,7 +162,7 @@ void WorkerPool::ParallelFor(LaneId lane_id, size_t n,
   // useful, and a capped lane never admits more than its cap anyway.
   size_t helpers = std::min<size_t>(workers_.size(), n - 1);
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(&queue_mutex_);
     auto it = lanes_.find(lane_id);
     HDC_CHECK_MSG(it != lanes_.end() && it->second.open,
                   "ParallelFor on unknown or closed lane");
@@ -168,47 +170,49 @@ void WorkerPool::ParallelFor(LaneId lane_id, size_t n,
     if (lane.options.max_parallelism > 0) {
       helpers = std::min<size_t>(helpers, lane.options.max_parallelism);
     }
-    loop->enqueued = std::chrono::steady_clock::now();
+    loop->enqueued = clock_->Now();
     ++lane.stats.loops_submitted;
     lane.stats.items_submitted += n;
     for (size_t i = 0; i < helpers; ++i) lane.queue.push_back(loop);
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 
   RunShard(loop.get());
   {
-    std::unique_lock<std::mutex> lock(loop->mutex);
-    loop->done_cv.wait(lock, [&] { return loop->done == loop->n; });
+    MutexLock lock(&loop->mutex);
+    while (loop->done != loop->n) loop->done_cv.Wait(&loop->mutex);
   }
   // If no worker ever reached the loop, its wait ran from enqueue to
   // completion; record it here so starved lanes show up in the stats.
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(&queue_mutex_);
     auto it = lanes_.find(lane_id);
     if (it != lanes_.end()) RecordWaitLocked(&it->second, loop.get());
   }
 }
 
 void WorkerPool::WorkerMain() {
-  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_mutex_.Lock();
   for (;;) {
     Lane* lane = nullptr;
     std::shared_ptr<Loop> loop;
-    queue_cv_.wait(lock, [&] {
-      loop = DequeueLocked(&lane);
-      return loop != nullptr || shutting_down_;
-    });
-    if (loop == nullptr) return;  // shutting down, nothing runnable
+    while ((loop = DequeueLocked(&lane)) == nullptr && !shutting_down_) {
+      queue_cv_.Wait(&queue_mutex_);
+    }
+    if (loop == nullptr) {  // shutting down, nothing runnable
+      queue_mutex_.Unlock();
+      return;
+    }
     ++busy_workers_;
-    lock.unlock();
+    queue_mutex_.Unlock();
     RunShard(loop.get());
-    lock.lock();
+    queue_mutex_.Lock();
     --busy_workers_;
     --lane->active_helpers;
     // The lane may have been closed while we were serving it, and freeing
     // a cap slot can make its next entry runnable for someone else.
     MaybeEraseLocked(lane->id);
-    queue_cv_.notify_all();
+    queue_cv_.NotifyAll();
   }
 }
 

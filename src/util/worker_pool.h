@@ -15,20 +15,26 @@
 // bounds how many workers serve a lane at once. The calling thread always
 // participates in its own loop, so no lane can be starved outright even
 // when every worker is busy elsewhere.
+//
+// Locking: one pool-wide queue_mutex_ guards the lane table and scheduler
+// state (annotated, checked under -Wthread-safety); each Loop carries its
+// own completion mutex. Queue waits are measured on an injectable Clock so
+// scheduler tests can run on FakeClock.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/clock.h"
+#include "util/thread_annotations.h"
 
 namespace hdc {
 
@@ -73,8 +79,9 @@ class WorkerPool {
   };
 
   /// Spawns `threads` workers. 0 is valid: every ParallelFor then runs
-  /// entirely inline on the calling thread.
-  explicit WorkerPool(unsigned threads);
+  /// entirely inline on the calling thread. `clock` (default: the real
+  /// clock) only times queue waits — it never gates scheduling.
+  explicit WorkerPool(unsigned threads, Clock* clock = nullptr);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -127,12 +134,18 @@ class WorkerPool {
   struct Loop {
     std::function<void(size_t)> fn;
     size_t n = 0;
-    std::chrono::steady_clock::time_point enqueued;
-    bool wait_recorded = false;  // guarded by the pool's queue_mutex_
+    /// Enqueue timestamp on the pool's clock. Written once before the
+    /// loop is published to the queue (under the pool's queue_mutex_),
+    /// read only by RecordWaitLocked under the same mutex.
+    std::chrono::nanoseconds enqueued{0};
+    /// First-service marker; guarded by the pool's queue_mutex_ (a
+    /// cross-object guard the annotation syntax cannot name — the only
+    /// writers, RecordWaitLocked callers, are HDC_REQUIRES(queue_mutex_)).
+    bool wait_recorded = false;
     std::atomic<size_t> next{0};
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    size_t done = 0;  // guarded by mutex
+    Mutex mutex;
+    CondVar done_cv;
+    size_t done HDC_GUARDED_BY(mutex) = 0;
   };
 
   struct Lane {
@@ -152,30 +165,34 @@ class WorkerPool {
   static void RunShard(Loop* loop);
 
   /// Records `loop`'s queue wait into `lane` once (first service or
-  /// completion, whichever comes first). Requires queue_mutex_.
-  void RecordWaitLocked(Lane* lane, Loop* loop);
+  /// completion, whichever comes first).
+  void RecordWaitLocked(Lane* lane, Loop* loop) HDC_REQUIRES(queue_mutex_);
 
   /// Weighted round-robin pick: prunes stale entries, then dequeues the
   /// next helper entry from the first eligible lane at or after the
-  /// cursor. Returns nullptr when nothing is runnable. Requires
-  /// queue_mutex_; updates cursor, credit, stats and active_helpers.
-  std::shared_ptr<Loop> DequeueLocked(Lane** out_lane);
+  /// cursor. Returns nullptr when nothing is runnable. Updates cursor,
+  /// credit, stats and active_helpers.
+  std::shared_ptr<Loop> DequeueLocked(Lane** out_lane)
+      HDC_REQUIRES(queue_mutex_);
 
-  /// Drops erased-pending lanes once idle. Requires queue_mutex_.
-  void MaybeEraseLocked(LaneId id);
+  /// Drops erased-pending lanes once idle.
+  void MaybeEraseLocked(LaneId id) HDC_REQUIRES(queue_mutex_);
 
   void WorkerMain();
 
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::map<LaneId, Lane> lanes_;  // ordered: deterministic round-robin
-  LaneId next_lane_id_ = 1;
+  Clock* clock_;  // never null; immutable after construction
+
+  mutable Mutex queue_mutex_;
+  CondVar queue_cv_;
+  /// Ordered map: deterministic round-robin.
+  std::map<LaneId, Lane> lanes_ HDC_GUARDED_BY(queue_mutex_);
+  LaneId next_lane_id_ HDC_GUARDED_BY(queue_mutex_) = 1;
   /// Round-robin cursor: the lane id scheduling resumes at, and how many
   /// more consecutive entries that lane may be dealt before moving on.
-  LaneId rr_lane_ = 0;
-  unsigned rr_credit_ = 0;
-  unsigned busy_workers_ = 0;
-  bool shutting_down_ = false;
+  LaneId rr_lane_ HDC_GUARDED_BY(queue_mutex_) = 0;
+  unsigned rr_credit_ HDC_GUARDED_BY(queue_mutex_) = 0;
+  unsigned busy_workers_ HDC_GUARDED_BY(queue_mutex_) = 0;
+  bool shutting_down_ HDC_GUARDED_BY(queue_mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+# Copyright (c) hdc authors. Apache-2.0 license.
+"""clang-tidy gate: run over src/, diff findings against a baseline.
+
+Drives clang-tidy (config in .clang-tidy) over every .cc under src/ using
+the compilation database of a configured build directory, normalizes the
+findings to stable `file:check-name` keys, and diffs them against the
+committed suppression baseline (tools/clang_tidy_baseline.txt):
+
+  - a finding NOT in the baseline hard-fails (exit 1) — new debt is
+    rejected at the PR gate;
+  - a baseline entry with no finding is reported as stale (informational),
+    so the baseline only ever shrinks;
+  - --update-baseline rewrites the baseline from the current findings (the
+    escape hatch for a deliberate, reviewed suppression).
+
+Keys are file-and-check rather than file-line-check so an unrelated edit
+shifting lines does not invalidate the baseline.
+
+When clang-tidy is not installed the gate SKIPS with exit 0 (and a loud
+message): local gcc-only environments cannot run it, and the CI clang leg
+is the authoritative run. Pass --require to turn a missing binary into a
+failure (what CI does).
+
+Usage:
+  tools/run_clang_tidy.py --build-dir build [--require] [--update-baseline]
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(ROOT, "tools", "clang_tidy_baseline.txt")
+
+FINDING_RE = re.compile(
+    r"^(?P<file>[^:\s][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): .* \[(?P<check>[\w.,-]+)\]$")
+
+
+def load_baseline():
+    if not os.path.exists(BASELINE):
+        return set()
+    entries = set()
+    with open(BASELINE, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                entries.add(line)
+    return entries
+
+
+def list_sources(compile_db_path):
+    with open(compile_db_path, "r", encoding="utf-8") as f:
+        db = json.load(f)
+    sources = []
+    for entry in db:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        rel = os.path.relpath(path, ROOT)
+        if rel.startswith("src" + os.sep) and rel.endswith(".cc"):
+            sources.append(path)
+    return sorted(set(sources))
+
+
+def run_one(tidy, build_dir, source):
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", source],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+    findings = set()
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if not m:
+            continue
+        rel = os.path.relpath(m.group("file"), ROOT).replace(os.sep, "/")
+        if not rel.startswith("src/"):
+            continue  # third-party / system headers are not our debt
+        for check in m.group("check").split(","):
+            findings.add("%s:%s" % (rel, check))
+    return findings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default=os.path.join(ROOT, "build"),
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: search PATH)")
+    parser.add_argument("--require", action="store_true",
+                        help="fail instead of skipping when clang-tidy or "
+                             "the compilation database is missing")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current findings")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
+    args = parser.parse_args()
+
+    tidy = args.clang_tidy or shutil.which("clang-tidy")
+    compile_db = os.path.join(args.build_dir, "compile_commands.json")
+    missing = []
+    if tidy is None:
+        missing.append("clang-tidy binary (install clang-tools)")
+    if not os.path.exists(compile_db):
+        missing.append("%s (configure with CMake first; "
+                       "CMAKE_EXPORT_COMPILE_COMMANDS is on by default)"
+                       % compile_db)
+    if missing:
+        for item in missing:
+            print("run_clang_tidy: missing %s" % item, file=sys.stderr)
+        if args.require:
+            return 1
+        print("run_clang_tidy: SKIPPED (gcc-only environment?); the CI "
+              "clang leg is authoritative", file=sys.stderr)
+        return 0
+
+    sources = list_sources(compile_db)
+    if not sources:
+        print("run_clang_tidy: compilation database lists no src/ files",
+              file=sys.stderr)
+        return 1
+    print("run_clang_tidy: %d files, %d jobs" % (len(sources), args.jobs))
+
+    findings = set()
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for result in pool.map(
+                lambda s: run_one(tidy, args.build_dir, s), sources):
+            findings |= result
+
+    if args.update_baseline:
+        with open(BASELINE, "w", encoding="utf-8") as f:
+            f.write("# clang-tidy suppression baseline: one `file:check` "
+                    "per line.\n")
+            f.write("# Regenerate with tools/run_clang_tidy.py "
+                    "--update-baseline; additions need review.\n")
+            for key in sorted(findings):
+                f.write(key + "\n")
+        print("run_clang_tidy: baseline rewritten with %d entries"
+              % len(findings))
+        return 0
+
+    baseline = load_baseline()
+    new = sorted(findings - baseline)
+    stale = sorted(baseline - findings)
+    for key in stale:
+        print("stale baseline entry (fixed? remove it): %s" % key)
+    for key in new:
+        print("NEW finding: %s" % key)
+    if new:
+        print("run_clang_tidy: %d new finding(s) not in baseline" % len(new),
+              file=sys.stderr)
+        return 1
+    print("run_clang_tidy: clean (%d baselined, %d stale)"
+          % (len(baseline), len(stale)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
