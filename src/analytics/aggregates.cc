@@ -25,51 +25,49 @@ const char* AggregateOpName(AggregateOp op) {
   return "?";
 }
 
+namespace detail {
+
+void AggregateAccumulator::Add(Value v) {
+  if (rows == 0) {
+    min_v = v;
+    max_v = v;
+  } else {
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+  }
+  sum += static_cast<double>(v);
+  ++rows;
+}
+
+AggregateResult AggregateAccumulator::Finish(AggregateOp op) const {
+  AggregateResult out;
+  out.rows = rows;
+  if (rows == 0) return out;
+  switch (op) {
+    case AggregateOp::kCount:
+      out.value = static_cast<double>(rows);
+      break;
+    case AggregateOp::kSum:
+      out.value = sum;
+      break;
+    case AggregateOp::kAvg:
+      out.value = sum / static_cast<double>(rows);
+      break;
+    case AggregateOp::kMin:
+      out.value = static_cast<double>(min_v);
+      break;
+    case AggregateOp::kMax:
+      out.value = static_cast<double>(max_v);
+      break;
+  }
+  return out;
+}
+
+}  // namespace detail
+
 namespace {
 
-/// Streaming accumulator shared by Aggregate and GroupBy.
-struct Accumulator {
-  uint64_t rows = 0;
-  double sum = 0.0;
-  Value min_v = 0;
-  Value max_v = 0;
-
-  void Add(Value v) {
-    if (rows == 0) {
-      min_v = v;
-      max_v = v;
-    } else {
-      min_v = std::min(min_v, v);
-      max_v = std::max(max_v, v);
-    }
-    sum += static_cast<double>(v);
-    ++rows;
-  }
-
-  AggregateResult Finish(AggregateOp op) const {
-    AggregateResult out;
-    out.rows = rows;
-    if (rows == 0) return out;
-    switch (op) {
-      case AggregateOp::kCount:
-        out.value = static_cast<double>(rows);
-        break;
-      case AggregateOp::kSum:
-        out.value = sum;
-        break;
-      case AggregateOp::kAvg:
-        out.value = sum / static_cast<double>(rows);
-        break;
-      case AggregateOp::kMin:
-        out.value = static_cast<double>(min_v);
-        break;
-      case AggregateOp::kMax:
-        out.value = static_cast<double>(max_v);
-        break;
-    }
-    return out;
-  }
-};
+using Accumulator = detail::AggregateAccumulator;
 
 void CheckAttr(const Dataset& data, size_t attr) {
   HDC_CHECK_MSG(attr < data.schema()->num_attributes(),

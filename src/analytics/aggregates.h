@@ -40,6 +40,23 @@ struct AggregateResult {
   uint64_t rows = 0;
 };
 
+namespace detail {
+
+/// Streaming accumulator shared by the batch evaluators (Aggregate,
+/// GroupBy) and the crawl pushdown path (analytics/crawl_pushdown.h), so
+/// both produce bit-identical results.
+struct AggregateAccumulator {
+  uint64_t rows = 0;
+  double sum = 0.0;
+  Value min_v = 0;
+  Value max_v = 0;
+
+  void Add(Value v);
+  AggregateResult Finish(AggregateOp op) const;
+};
+
+}  // namespace detail
+
 /// Evaluates `spec` over the tuples of `data` matching `filter`.
 /// Min/Max/Sum/Avg require a numeric-valued interpretation and are intended
 /// for numeric attributes (categorical codes are aggregated as integers if

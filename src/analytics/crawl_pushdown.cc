@@ -1,0 +1,48 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "analytics/crawl_pushdown.h"
+
+#include "core/crawl_plan.h"
+#include "core/crawl_sink.h"
+#include "util/macros.h"
+
+namespace hdc {
+
+Status CrawlAggregate(Crawler* crawler, HiddenDbServer* server,
+                      const Query& filter, const AggregateSpec& spec,
+                      AggregateResult* out, PushdownStats* stats,
+                      const CrawlOptions& base) {
+  if (crawler == nullptr || server == nullptr || out == nullptr) {
+    return Status::InvalidArgument("null argument");
+  }
+  if (spec.op != AggregateOp::kCount &&
+      spec.attr >= filter.schema()->num_attributes()) {
+    return Status::InvalidArgument("aggregate attribute out of range");
+  }
+
+  CrawlPlan plan;
+  HDC_RETURN_IF_ERROR(CompileQueryPlan(filter, &plan));
+
+  detail::AggregateAccumulator acc;
+  CallbackSink sink([&](const Tuple& tuple) {
+    // The plan already confines the crawl to the filter's rectangle; the
+    // re-check keeps the fold exact even under a custom base.oracle.
+    if (!filter.Matches(tuple)) return;
+    acc.Add(spec.op == AggregateOp::kCount ? Value{0} : tuple[spec.attr]);
+  });
+
+  CrawlOptions options = base;
+  options.plan = &plan;
+  options.sink = &sink;
+  options.materialize = false;
+
+  CrawlResult result = crawler->Crawl(server, options);
+  if (stats != nullptr) {
+    stats->queries_issued = result.queries_issued;
+    stats->tuples_folded = acc.rows;
+  }
+  if (!result.complete()) return result.status;
+  *out = acc.Finish(spec.op);
+  return Status::OK();
+}
+
+}  // namespace hdc

@@ -5,6 +5,7 @@
 
 #include "core/checkpoint.h"
 #include "core/crawl_context.h"
+#include "core/crawl_plan.h"
 #include "util/macros.h"
 
 namespace hdc {
@@ -26,9 +27,11 @@ Status BinaryShrink::ValidateSchema(const Schema& schema) const {
 }
 
 std::shared_ptr<CrawlState> BinaryShrink::MakeInitialState(
-    HiddenDbServer* server) const {
+    HiddenDbServer* server, const CrawlOptions& options) const {
   auto state = std::make_shared<BinaryShrinkState>(server->schema());
-  state->frontier.push_back(Query::FullSpace(server->schema()));
+  state->frontier.push_back(options.plan != nullptr
+                                ? options.plan->root()
+                                : Query::FullSpace(server->schema()));
   return state;
 }
 
@@ -93,7 +96,7 @@ void BinaryShrinkState::EncodeFrontier(std::ostream* out) const {
   }
 }
 
-Status BinaryShrinkState::DecodeFrontier(std::istream* in) {
+Status BinaryShrinkState::DecodeFrontier(CheckpointReader* in) {
   return DecodeQueryStackFrontier(in, extracted.schema(), &frontier);
 }
 

@@ -20,7 +20,7 @@ class BinaryShrinkState : public CrawlState {
   bool Finished() const override { return frontier.empty(); }
   std::string algorithm() const override { return "binary-shrink"; }
   void EncodeFrontier(std::ostream* out) const override;
-  Status DecodeFrontier(std::istream* in) override;
+  Status DecodeFrontier(CheckpointReader* in) override;
 
   /// LIFO stack of pending rectangles.
   std::vector<Query> frontier;
@@ -36,7 +36,7 @@ class BinaryShrink : public Crawler {
 
  protected:
   std::shared_ptr<CrawlState> MakeInitialState(
-      HiddenDbServer* server) const override;
+      HiddenDbServer* server, const CrawlOptions& options) const override;
   void Run(CrawlContext* ctx, CrawlState* state) const override;
 };
 

@@ -3,6 +3,9 @@
 
 #include <algorithm>
 
+#include "core/crawl_plan.h"
+#include "core/crawl_sink.h"
+#include "core/frontier_log.h"
 #include "util/clock.h"
 #include "util/macros.h"
 
@@ -21,7 +24,19 @@ CrawlContext::CrawlContext(HiddenDbServer* server, CrawlState* state,
   }
 }
 
-size_t CrawlContext::RoundSize(size_t frontier_width) const {
+size_t CrawlContext::RoundSize(size_t frontier_width) {
+  // Round boundary: the state is self-consistent here (the previous round
+  // is fully applied, interrupted work re-pushed), so this is where the
+  // write-ahead frontier log commits. The commit precedes the round it
+  // enables — a crash between commit and the next one replays to this
+  // boundary and re-bills nothing.
+  if (options_.frontier_log != nullptr && !stopped_) {
+    Status committed = options_.frontier_log->Commit(*state_);
+    if (!committed.ok()) {
+      interrupt_ = std::move(committed);
+      stopped_ = true;
+    }
+  }
   if (options_.batch_size > 0) return options_.batch_size;
   const size_t cap = sizer_ != nullptr
                          ? sizer_->limit()
@@ -37,8 +52,10 @@ CrawlContext::Outcome CrawlContext::Issue(const Query& query,
     stopped_ = true;
     return Outcome::kStop;
   }
-  if (options_.oracle != nullptr &&
-      !options_.oracle->MayContainTuples(query)) {
+  if ((options_.oracle != nullptr &&
+       !options_.oracle->MayContainTuples(query)) ||
+      (options_.plan != nullptr &&
+       !options_.plan->MayContainTuples(query))) {
     response->tuples.clear();
     response->overflow = false;
     return Outcome::kPrunedEmpty;
@@ -63,13 +80,16 @@ void CrawlContext::RecordAnswered(const Response& response) {
   ++run_queries_;
   ++state_->queries_issued;
   for (const ReturnedTuple& rt : response.tuples) {
-    state_->seen_rows.insert(rt.hidden_id);
+    if (state_->seen_rows.insert(rt.hidden_id).second &&
+        options_.frontier_log != nullptr) {
+      options_.frontier_log->NoteSeen(rt.hidden_id);
+    }
   }
   if (options_.record_trace) {
     state_->trace.push_back(TraceEntry{
         state_->queries_issued, response.resolved(),
         static_cast<uint32_t>(response.size()), state_->seen_rows.size(),
-        state_->extracted.size()});
+        state_->tuples_collected});
   }
 }
 
@@ -91,8 +111,10 @@ std::vector<CrawlContext::Outcome> CrawlContext::IssueBatch(
       stopped_ = true;
       continue;
     }
-    if (options_.oracle != nullptr &&
-        !options_.oracle->MayContainTuples(queries[i])) {
+    if ((options_.oracle != nullptr &&
+         !options_.oracle->MayContainTuples(queries[i])) ||
+        (options_.plan != nullptr &&
+         !options_.plan->MayContainTuples(queries[i]))) {
       outcomes[i] = Outcome::kPrunedEmpty;
       continue;
     }
@@ -149,28 +171,40 @@ std::vector<CrawlContext::Outcome> CrawlContext::IssueBatch(
   return outcomes;
 }
 
+void CrawlContext::Deliver(const Tuple& tuple) {
+  // The residual predicate filter (constraints the plan's rectangle could
+  // not express) gates confirmation itself, so sink, counter and log all
+  // agree on what "collected" means.
+  if (options_.plan != nullptr && options_.plan->has_residual() &&
+      !options_.plan->Matches(tuple)) {
+    return;
+  }
+  if (options_.materialize) state_->extracted.AddUnchecked(tuple);
+  ++state_->tuples_collected;
+  if (options_.sink != nullptr) options_.sink->Append(tuple);
+  if (options_.frontier_log != nullptr) {
+    options_.frontier_log->NoteTuple(tuple);
+  }
+}
+
 void CrawlContext::CollectResponse(const Response& response) {
   HDC_CHECK_MSG(response.resolved(),
                 "only resolved responses may be collected");
   for (const ReturnedTuple& rt : response.tuples) {
-    state_->extracted.AddUnchecked(rt.tuple);
-    if (options_.tuple_sink) options_.tuple_sink(rt.tuple);
+    Deliver(rt.tuple);
   }
   if (options_.record_trace && !state_->trace.empty()) {
-    state_->trace.back().tuples_collected = state_->extracted.size();
+    state_->trace.back().tuples_collected = state_->tuples_collected;
   }
 }
 
 void CrawlContext::CollectFiltered(const std::vector<ReturnedTuple>& bag,
                                    const Query& filter) {
   for (const ReturnedTuple& rt : bag) {
-    if (filter.Matches(rt.tuple)) {
-      state_->extracted.AddUnchecked(rt.tuple);
-      if (options_.tuple_sink) options_.tuple_sink(rt.tuple);
-    }
+    if (filter.Matches(rt.tuple)) Deliver(rt.tuple);
   }
   if (options_.record_trace && !state_->trace.empty()) {
-    state_->trace.back().tuples_collected = state_->extracted.size();
+    state_->trace.back().tuples_collected = state_->tuples_collected;
   }
 }
 

@@ -59,7 +59,15 @@ class CrawlContext {
   /// sequential conversation exactly. Against a remote transport
   /// (ServerLoadHint::latency_feedback) the cap is the adaptive limit fed
   /// back from observed round-trip latency and server queue wait.
-  size_t RoundSize(size_t frontier_width) const;
+  ///
+  /// Every crawler calls this at the top of its drain loop, when the
+  /// previous round is fully applied and the state is self-consistent —
+  /// which makes it the round *boundary*. When a frontier log is attached
+  /// (CrawlOptions::frontier_log) this is where the durable delta commits:
+  /// a commit always precedes the round it enables, so a crash never loses
+  /// billed work (see core/frontier_log.h). A commit failure stops the run
+  /// like a server failure would.
+  size_t RoundSize(size_t frontier_width);
 
   /// The adaptive sizer driving auto rounds, or null when sizing is the
   /// deterministic parallelism rule (fixed batch_size, or an in-process
@@ -93,6 +101,10 @@ class CrawlContext {
  private:
   /// Budget/seen-rows/trace bookkeeping for one answered query.
   void RecordAnswered(const Response& response);
+
+  /// Confirms one tuple into the extraction: residual plan filter,
+  /// materialization, sink delivery, frontier-log note.
+  void Deliver(const Tuple& tuple);
 
   HiddenDbServer* server_;
   CrawlState* state_;

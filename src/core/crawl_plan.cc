@@ -1,0 +1,172 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/crawl_plan.h"
+
+#include <algorithm>
+
+namespace hdc {
+
+CrawlPredicate CrawlPredicate::FromQuery(const Query& filter) {
+  CrawlPredicate pred;
+  const SchemaPtr& schema = filter.schema();
+  for (size_t i = 0; i < schema->num_attributes(); ++i) {
+    if (schema->IsCategorical(i)) {
+      if (filter.IsPinned(i)) pred.AddIn(i, {filter.lo(i)});
+    } else {
+      const AttributeSpec& spec = schema->attribute(i);
+      if (filter.lo(i) > spec.lo || filter.hi(i) < spec.hi) {
+        pred.AddRange(i, filter.lo(i), filter.hi(i));
+      }
+    }
+  }
+  return pred;
+}
+
+bool CrawlPlan::MayContainTuples(const Query& query) const {
+  if (empty_) return false;
+  for (size_t i = 0; i < box_.size(); ++i) {
+    if (query.hi(i) < box_[i].lo || query.lo(i) > box_[i].hi) return false;
+    if (!allowed_[i].empty() && query.IsPinned(i)) {
+      const Value v = query.lo(i);
+      if (v < 1 || static_cast<size_t>(v) >= allowed_[i].size() ||
+          !allowed_[i][static_cast<size_t>(v)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool CrawlPlan::Matches(const Tuple& tuple) const {
+  if (empty_) return false;
+  for (size_t i = 0; i < box_.size(); ++i) {
+    const Value v = tuple[i];
+    if (!box_[i].Contains(v)) return false;
+    if (!allowed_[i].empty() &&
+        (v < 1 || static_cast<size_t>(v) >= allowed_[i].size() ||
+         !allowed_[i][static_cast<size_t>(v)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status CompileCrawlPlan(const SchemaPtr& schema,
+                        const CrawlPredicate& predicate, CrawlPlan* out) {
+  if (schema == nullptr || out == nullptr) {
+    return Status::InvalidArgument("null argument");
+  }
+  CrawlPlan plan;
+  plan.schema_ = schema;
+  const size_t d = schema->num_attributes();
+
+  // Start from the schema's own hull, then intersect constraints in.
+  plan.box_.resize(d);
+  plan.allowed_.resize(d);
+  for (size_t i = 0; i < d; ++i) {
+    const AttributeSpec& spec = schema->attribute(i);
+    if (spec.is_categorical()) {
+      plan.box_[i] = AttrInterval{1, static_cast<Value>(spec.domain_size)};
+    } else {
+      plan.box_[i] = AttrInterval{spec.lo, spec.hi};
+    }
+  }
+
+  for (const CrawlPredicate::NumericRange& r : predicate.ranges) {
+    if (r.attr >= d) {
+      return Status::InvalidArgument("range on attribute " +
+                                     std::to_string(r.attr) +
+                                     " outside the schema");
+    }
+    if (schema->IsCategorical(r.attr)) {
+      return Status::InvalidArgument(
+          "range constraint on categorical attribute " +
+          schema->attribute(r.attr).name +
+          " (use an IN-set; categorical queries are pinned-or-wildcard)");
+    }
+    AttrInterval& box = plan.box_[r.attr];
+    box.lo = std::max(box.lo, r.lo);
+    box.hi = std::min(box.hi, r.hi);
+    if (box.lo > box.hi) plan.empty_ = true;
+  }
+
+  for (const CrawlPredicate::CategoricalIn& s : predicate.in_sets) {
+    if (s.attr >= d) {
+      return Status::InvalidArgument("IN-set on attribute " +
+                                     std::to_string(s.attr) +
+                                     " outside the schema");
+    }
+    if (!schema->IsCategorical(s.attr)) {
+      return Status::InvalidArgument(
+          "IN-set constraint on numeric attribute " +
+          schema->attribute(s.attr).name + " (use a range)");
+    }
+    if (s.values.empty()) {
+      return Status::InvalidArgument("empty IN-set on attribute " +
+                                     schema->attribute(s.attr).name);
+    }
+    const size_t domain = schema->domain_size(s.attr);
+    std::vector<bool> set(domain + 1, false);
+    for (Value v : s.values) {
+      // Out-of-domain values cannot match anything; dropping them keeps the
+      // conjunction exact.
+      if (v >= 1 && static_cast<size_t>(v) <= domain) {
+        set[static_cast<size_t>(v)] = true;
+      }
+    }
+    std::vector<bool>& allowed = plan.allowed_[s.attr];
+    if (allowed.empty()) {
+      allowed = std::move(set);
+    } else {
+      for (size_t v = 1; v <= domain; ++v) {
+        allowed[v] = allowed[v] && set[v];
+      }
+    }
+  }
+
+  // Normalize the IN-sets: a full-domain set is no constraint, a singleton
+  // pins the rectangle, an empty intersection kills the plan.
+  plan.root_ = Query::FullSpace(schema);
+  for (size_t i = 0; i < d; ++i) {
+    std::vector<bool>& allowed = plan.allowed_[i];
+    if (!allowed.empty()) {
+      size_t count = 0;
+      Value only = 0;
+      for (size_t v = 1; v < allowed.size(); ++v) {
+        if (allowed[v]) {
+          ++count;
+          only = static_cast<Value>(v);
+        }
+      }
+      if (count == 0) {
+        plan.empty_ = true;
+      } else if (count == 1) {
+        plan.box_[i] = AttrInterval{only, only};
+        allowed.clear();
+        if (!plan.empty_) {
+          plan.root_ = plan.root_->WithCategoricalEquals(i, only);
+        }
+        continue;
+      } else if (count == allowed.size() - 1) {
+        allowed.clear();
+      } else {
+        plan.residual_ = true;
+      }
+    }
+    if (plan.empty_ || schema->IsCategorical(i)) continue;
+    const AttributeSpec& spec = schema->attribute(i);
+    if (plan.box_[i].lo > spec.lo || plan.box_[i].hi < spec.hi) {
+      plan.root_ =
+          plan.root_->WithNumericRange(i, plan.box_[i].lo, plan.box_[i].hi);
+    }
+  }
+
+  *out = std::move(plan);
+  return Status::OK();
+}
+
+Status CompileQueryPlan(const Query& filter, CrawlPlan* out) {
+  return CompileCrawlPlan(filter.schema(), CrawlPredicate::FromQuery(filter),
+                          out);
+}
+
+}  // namespace hdc

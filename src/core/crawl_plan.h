@@ -1,0 +1,128 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Predicate pushdown for crawls ("crawl what you need"). A conjunctive
+// filter over the data space — numeric ranges plus categorical IN-sets — is
+// compiled into a CrawlPlan:
+//
+//   * an initial crawl *rectangle* (`root()`): the tightest axis-parallel
+//     query covering every satisfying tuple. Crawlers seed their frontier
+//     with it instead of the full space, so the descent starts inside the
+//     satisfying subspace;
+//   * a sound pruning test (`MayContainTuples`): regions provably disjoint
+//     from the predicate are treated as resolved-and-empty without spending
+//     a query — exactly the DependencyOracle contract, which is why a plan
+//     *is* one;
+//   * a residual tuple filter (`Matches`): constraints the rectangle cannot
+//     express (an IN-set with 2+ values on an unpinned attribute) are
+//     applied as each response is collected, so the extraction equals
+//     D ∩ predicate exactly.
+//
+// Soundness argument: the rectangle contains every satisfying tuple by
+// construction (it is the product of per-attribute hulls), and the pruning
+// test only rejects a query when some attribute's extent is disjoint from
+// the predicate's allowed values on that attribute — such a region cannot
+// contain a satisfying tuple. Pruning therefore never loses results, and
+// Theorem 1's upper bounds still hold (pruning only removes queries).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/dependency.h"
+#include "data/schema.h"
+#include "data/tuple.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace hdc {
+
+/// A conjunction of per-attribute constraints. Multiple constraints on one
+/// attribute intersect. Attributes without constraints are unrestricted.
+struct CrawlPredicate {
+  struct NumericRange {
+    size_t attr = 0;
+    Value lo = kNumericMin;
+    Value hi = kNumericMax;
+  };
+  struct CategoricalIn {
+    size_t attr = 0;
+    std::vector<Value> values;  // allowed values; must be non-empty
+  };
+
+  std::vector<NumericRange> ranges;
+  std::vector<CategoricalIn> in_sets;
+
+  CrawlPredicate& AddRange(size_t attr, Value lo, Value hi) {
+    ranges.push_back(NumericRange{attr, lo, hi});
+    return *this;
+  }
+  CrawlPredicate& AddIn(size_t attr, std::vector<Value> values) {
+    in_sets.push_back(CategoricalIn{attr, std::move(values)});
+    return *this;
+  }
+
+  /// The rectangle predicate implied by a filter query: every non-wildcard
+  /// numeric extent becomes a range, every pinned categorical a singleton
+  /// IN-set. (A query cannot express multi-value IN-sets, so the result
+  /// never has a residual.)
+  static CrawlPredicate FromQuery(const Query& filter);
+};
+
+/// Compiled form of a CrawlPredicate against one schema. Immutable after
+/// compilation; usable concurrently from any number of crawls.
+class CrawlPlan : public DependencyOracle {
+ public:
+  CrawlPlan() = default;
+
+  /// Seed rectangle covering every satisfying tuple. When the predicate is
+  /// unsatisfiable (`empty()`), this is the full space and MayContainTuples
+  /// rejects everything — the crawl terminates with zero queries. Only
+  /// valid on a compiled plan.
+  const Query& root() const { return *root_; }
+
+  const SchemaPtr& schema() const { return schema_; }
+
+  /// True when no tuple can satisfy the predicate (e.g. an IN-set whose
+  /// values all fall outside the attribute's domain).
+  bool empty() const { return empty_; }
+
+  /// True when the predicate is not fully captured by the rectangle (some
+  /// multi-value IN-set) so collected tuples still need Matches().
+  bool has_residual() const { return residual_; }
+
+  /// Sound pruning test (DependencyOracle): false only when no satisfying
+  /// tuple can fall inside `query`.
+  bool MayContainTuples(const Query& query) const override;
+
+  /// Exact predicate evaluation on one tuple.
+  bool Matches(const Tuple& tuple) const;
+
+ private:
+  friend Status CompileCrawlPlan(const SchemaPtr& schema,
+                                 const CrawlPredicate& predicate,
+                                 CrawlPlan* out);
+
+  SchemaPtr schema_;
+  std::optional<Query> root_;
+  bool empty_ = false;
+  bool residual_ = false;
+  /// Per-attribute allowed interval (the rectangle hull).
+  std::vector<AttrInterval> box_;
+  /// Per-attribute allowed-value bitmap, index 1..domain; empty vector =
+  /// attribute unconstrained beyond box_.
+  std::vector<std::vector<bool>> allowed_;
+};
+
+/// Compiles `predicate` against `schema`. Typed errors for out-of-schema
+/// attribute indices, kind mismatches (range on a categorical, IN-set on a
+/// numeric) and empty IN-set lists; an unsatisfiable-but-well-formed
+/// predicate compiles into an empty() plan, not an error.
+Status CompileCrawlPlan(const SchemaPtr& schema,
+                        const CrawlPredicate& predicate, CrawlPlan* out);
+
+/// Convenience: compile the rectangle predicate implied by a filter query
+/// (the analytics pushdown path — see analytics/crawl_pushdown.h).
+Status CompileQueryPlan(const Query& filter, CrawlPlan* out);
+
+}  // namespace hdc

@@ -1,0 +1,41 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/crawl_sink.h"
+
+#include "util/macros.h"
+
+namespace hdc {
+
+BoundedQueueSink::BoundedQueueSink(size_t capacity) : capacity_(capacity) {
+  HDC_CHECK(capacity > 0);
+}
+
+void BoundedQueueSink::Append(const Tuple& tuple) {
+  MutexLock lock(&mu_);
+  while (queue_.size() >= capacity_ && !closed_) {
+    not_full_.Wait(&mu_);
+  }
+  HDC_CHECK_MSG(!closed_, "Append after Close");
+  queue_.push_back(tuple);
+  not_empty_.NotifyOne();
+}
+
+void BoundedQueueSink::Close() {
+  MutexLock lock(&mu_);
+  closed_ = true;
+  not_empty_.NotifyAll();
+  not_full_.NotifyAll();
+}
+
+bool BoundedQueueSink::Pop(Tuple* out) {
+  MutexLock lock(&mu_);
+  while (queue_.empty() && !closed_) {
+    not_empty_.Wait(&mu_);
+  }
+  if (queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  not_full_.NotifyOne();
+  return true;
+}
+
+}  // namespace hdc

@@ -1,0 +1,78 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Streaming extraction. Instead of accumulating every tuple in the
+// CrawlState's in-memory bag, a crawl can hand each confirmed tuple to a
+// CrawlSink the moment its region resolves (the progressiveness property
+// Figure 13 measures). Combined with CrawlOptions::materialize == false,
+// a million-row extraction runs in constant memory: tuples flow straight
+// through the sink and only counters remain in the state.
+//
+// Contract: Append is called once per confirmed tuple, in confirmation
+// order, from the crawling thread. Duplicates are never delivered (each
+// resolved region is collected exactly once, and regions are pairwise
+// disjoint). A resumed crawl re-delivers nothing that a *committed*
+// frontier-log round already delivered — consumers that persist output
+// should truncate to the log's collected watermark before resuming (see
+// core/frontier_log.h).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "data/tuple.h"
+#include "util/thread_annotations.h"
+
+namespace hdc {
+
+/// Consumer of confirmed tuples.
+class CrawlSink {
+ public:
+  virtual ~CrawlSink() = default;
+
+  /// Receives one confirmed tuple. Called from the crawling thread; may
+  /// block (backpressure propagates into the crawl).
+  virtual void Append(const Tuple& tuple) = 0;
+};
+
+/// Adapts a plain function.
+class CallbackSink : public CrawlSink {
+ public:
+  explicit CallbackSink(std::function<void(const Tuple&)> fn)
+      : fn_(std::move(fn)) {}
+  void Append(const Tuple& tuple) override { fn_(tuple); }
+
+ private:
+  std::function<void(const Tuple&)> fn_;
+};
+
+/// Bounded hand-off queue between the crawling thread (producer) and one or
+/// more consumer threads. Append blocks while the queue is full — the crawl
+/// is paced by its consumer instead of buffering unboundedly.
+class BoundedQueueSink : public CrawlSink {
+ public:
+  explicit BoundedQueueSink(size_t capacity);
+
+  /// Producer side; blocks while full. Must not be called after Close.
+  void Append(const Tuple& tuple) override;
+
+  /// Producer is done; consumers drain the remainder and then see false.
+  void Close();
+
+  /// Consumer side: blocks until a tuple or closure. Returns false only
+  /// when the sink is closed *and* drained.
+  bool Pop(Tuple* out);
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<Tuple> queue_ HDC_GUARDED_BY(mu_);
+  bool closed_ HDC_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace hdc

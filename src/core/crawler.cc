@@ -2,6 +2,8 @@
 #include "core/crawler.h"
 
 #include "core/crawl_context.h"
+#include "core/crawl_plan.h"
+#include "core/frontier_log.h"
 #include "util/macros.h"
 
 namespace hdc {
@@ -12,7 +14,13 @@ CrawlResult Crawler::Crawl(HiddenDbServer* server,
   CrawlResult bad(server->schema());
   bad.status = ValidateSchema(*server->schema());
   if (!bad.status.ok()) return bad;
-  return RunAndPackage(server, MakeInitialState(server), options);
+  if (options.plan != nullptr &&
+      !(*options.plan->schema() == *server->schema())) {
+    bad.status = Status::InvalidArgument(
+        "crawl plan was compiled against a different schema");
+    return bad;
+  }
+  return RunAndPackage(server, MakeInitialState(server, options), options);
 }
 
 CrawlResult Crawler::Resume(HiddenDbServer* server,
@@ -42,8 +50,20 @@ CrawlResult Crawler::RunAndPackage(HiddenDbServer* server,
   CrawlResult result(server->schema());
   result.queries_issued = state->queries_issued;
   result.rows_seen = state->seen_rows.size();
+  result.tuples_collected = state->tuples_collected;
   result.trace = state->trace;
   result.extracted = state->extracted;
+  if (options.frontier_log != nullptr && state->fatal.ok()) {
+    // Final commit: the run ended at a consistent point (crawlers re-push
+    // in-flight work before stopping), so the log captures it durably —
+    // completion included.
+    Status committed = options.frontier_log->Commit(*state);
+    if (!committed.ok() && !ctx.stopped()) {
+      result.status = std::move(committed);
+      result.resume_state = std::move(state);
+      return result;
+    }
+  }
   if (!state->fatal.ok()) {
     result.status = state->fatal;
   } else if (state->Finished()) {

@@ -23,7 +23,11 @@
 
 namespace hdc {
 
+class CheckpointReader;
 class Clock;
+class CrawlPlan;
+class CrawlSink;
+class FrontierLogWriter;
 
 /// Per-query progress sample (recorded when CrawlOptions::record_trace).
 struct TraceEntry {
@@ -78,11 +82,31 @@ struct CrawlOptions {
   /// Optional sound pruning oracle (Section 1.3); not owned.
   const DependencyOracle* oracle = nullptr;
 
-  /// Streaming consumer: invoked once per tuple the moment it is confirmed
-  /// into the extraction. Lets a pipeline process results progressively
-  /// (the property Figure 13 measures) instead of waiting for the crawl to
-  /// finish.
-  std::function<void(const Tuple&)> tuple_sink;
+  /// Optional compiled predicate pushdown (core/crawl_plan.h); not owned.
+  /// The plan's root rectangle seeds the frontier, its pruning test is
+  /// applied beside `oracle`, and its residual filter gates collection, so
+  /// the crawl only descends into — and only extracts — the satisfying
+  /// subspace. Must be compiled against the server's schema.
+  const CrawlPlan* plan = nullptr;
+
+  /// Streaming consumer (core/crawl_sink.h): receives each tuple the moment
+  /// it is confirmed into the extraction, in confirmation order. Lets a
+  /// pipeline process results progressively (the property Figure 13
+  /// measures) instead of waiting for the crawl to finish. Not owned.
+  CrawlSink* sink = nullptr;
+
+  /// When false, confirmed tuples are *not* accumulated in
+  /// CrawlState::extracted — they flow through `sink` only and the state
+  /// keeps counters (tuples_collected). This is the constant-memory mode
+  /// for very large extractions; checkpoints of such a state record the
+  /// collected count but no tuple bag.
+  bool materialize = true;
+
+  /// Write-ahead frontier log (core/frontier_log.h). When set, the context
+  /// commits a durable delta at every round boundary, so a SIGKILLed
+  /// process can replay the log and resume mid-crawl without re-billing any
+  /// completed round. Not owned.
+  FrontierLogWriter* frontier_log = nullptr;
 };
 
 /// Mutable working memory of a crawl: the partial extraction plus the
@@ -106,12 +130,17 @@ class CrawlState {
   virtual void EncodeFrontier(std::ostream* out) const = 0;
 
   /// Restores the frontier, consuming input lines up to and including the
-  /// "frontier-end" marker.
-  virtual Status DecodeFrontier(std::istream* in) = 0;
+  /// "frontier-end" marker. Errors are typed and name the offending line
+  /// (the reader tracks line numbers — core/checkpoint.h).
+  virtual Status DecodeFrontier(CheckpointReader* in) = 0;
 
   Dataset extracted;
   std::unordered_set<uint64_t> seen_rows;
   uint64_t queries_issued = 0;  // cumulative across runs
+  /// Cumulative tuples confirmed into the extraction (== extracted.size()
+  /// when materializing; still advances when CrawlOptions::materialize is
+  /// off and tuples flow through the sink only).
+  uint64_t tuples_collected = 0;
   std::vector<TraceEntry> trace;
   Status fatal;  // e.g. Unsolvable; sticky
 };
@@ -132,6 +161,10 @@ struct CrawlResult {
   /// Distinct physical rows retrieved (>= extracted.size() is not implied;
   /// duplicates at a point are distinct rows).
   uint64_t rows_seen = 0;
+
+  /// Cumulative tuples confirmed (equals extracted.size() unless the crawl
+  /// ran with materialize off).
+  uint64_t tuples_collected = 0;
 
   std::vector<TraceEntry> trace;
 
@@ -166,9 +199,10 @@ class Crawler {
                      const CrawlOptions& options = {});
 
  protected:
-  /// Builds the initial state (frontier seeded with the full-space work).
+  /// Builds the initial state: the frontier is seeded with the plan's root
+  /// rectangle when `options.plan` is set, the full space otherwise.
   virtual std::shared_ptr<CrawlState> MakeInitialState(
-      HiddenDbServer* server) const = 0;
+      HiddenDbServer* server, const CrawlOptions& options) const = 0;
 
   /// Drains the frontier until done or the context says stop. Must be
   /// re-entrant: popping work, issuing queries through the context, pushing

@@ -33,15 +33,7 @@ Status NextLine(std::istream* in, std::string* line) {
   return Status::OK();
 }
 
-Status ExpectTagged(const std::string& line, const std::string& tag,
-                    std::string* rest) {
-  if (line.rfind(tag + " ", 0) != 0) {
-    return Status::InvalidArgument("expected '" + tag + " ...', got '" +
-                                   line + "'");
-  }
-  *rest = line.substr(tag.size() + 1);
-  return Status::OK();
-}
+// Tagged-line parsing uses ExpectTagged from core/checkpoint.h.
 
 /// Splits an overflowing rectangle into disjoint children covering it
 /// exactly, pushed so the DFS pops them in ascending order: a categorical

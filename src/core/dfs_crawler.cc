@@ -7,6 +7,7 @@
 #include "core/checkpoint.h"
 
 #include "core/crawl_context.h"
+#include "core/crawl_plan.h"
 #include "util/macros.h"
 
 namespace hdc {
@@ -20,10 +21,13 @@ Status DfsCrawler::ValidateSchema(const Schema& schema) const {
 }
 
 std::shared_ptr<CrawlState> DfsCrawler::MakeInitialState(
-    HiddenDbServer* server) const {
+    HiddenDbServer* server, const CrawlOptions& options) const {
   auto state = std::make_shared<DfsState>(server->schema());
   state->frontier.push_back(
-      DfsState::Node{Query::FullSpace(server->schema()), 0});
+      DfsState::Node{options.plan != nullptr
+                         ? options.plan->root()
+                         : Query::FullSpace(server->schema()),
+                     0});
   return state;
 }
 
@@ -74,6 +78,12 @@ void DfsCrawler::Run(CrawlContext* ctx, CrawlState* state) const {
         return;
       }
       const size_t attr = node.level;
+      if (node.q.IsPinned(attr)) {
+        // A plan root may pre-pin expansion attributes; the node already
+        // covers exactly one value there, so descend without fanning out.
+        st->frontier.push_back(DfsState::Node{node.q, node.level + 1});
+        continue;
+      }
       const Value domain = static_cast<Value>(schema.domain_size(attr));
       // Push in descending value order so children pop in 1..U order.
       for (Value c = domain; c >= 1; --c) {
@@ -94,28 +104,27 @@ void DfsState::EncodeFrontier(std::ostream* out) const {
   }
 }
 
-Status DfsState::DecodeFrontier(std::istream* in) {
+Status DfsState::DecodeFrontier(CheckpointReader* in) {
   frontier.clear();
   const SchemaPtr& schema = extracted.schema();
   std::string line;
-  while (std::getline(*in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
+  while (true) {
+    HDC_RETURN_IF_ERROR(in->Next(&line));
     if (line == "frontier-end") return Status::OK();
     std::istringstream tokens(line);
     std::string tag;
     uint32_t level = 0;
     if (!(tokens >> tag >> level) || tag != "node") {
-      return Status::InvalidArgument("malformed dfs frontier line: " + line);
+      return in->Error("malformed dfs frontier line: " + line);
     }
     if (level > schema->num_attributes()) {
-      return Status::InvalidArgument("dfs level out of range");
+      return in->Error("dfs level out of range");
     }
     Query q = Query::FullSpace(schema);
     Status s = DecodeQueryTokens(&tokens, schema, &q);
-    if (!s.ok()) return s;
+    if (!s.ok()) return in->Error(s.message());
     frontier.push_back(Node{std::move(q), level});
   }
-  return Status::InvalidArgument("checkpoint truncated in dfs frontier");
 }
 
 }  // namespace hdc

@@ -21,7 +21,7 @@ class DfsState : public CrawlState {
   bool Finished() const override { return frontier.empty(); }
   std::string algorithm() const override { return "dfs"; }
   void EncodeFrontier(std::ostream* out) const override;
-  Status DecodeFrontier(std::istream* in) override;
+  Status DecodeFrontier(CheckpointReader* in) override;
 
   struct Node {
     Query q;
@@ -39,7 +39,7 @@ class DfsCrawler : public Crawler {
 
  protected:
   std::shared_ptr<CrawlState> MakeInitialState(
-      HiddenDbServer* server) const override;
+      HiddenDbServer* server, const CrawlOptions& options) const override;
   void Run(CrawlContext* ctx, CrawlState* state) const override;
 };
 

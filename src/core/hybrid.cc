@@ -1,6 +1,8 @@
 // Copyright (c) hdc authors. Apache-2.0 license.
 #include "core/hybrid.h"
 
+#include "core/crawl_plan.h"
+
 namespace hdc {
 
 HybridCrawler::HybridCrawler(HybridOptions options)
@@ -12,10 +14,11 @@ Status HybridCrawler::ValidateSchema(const Schema& schema) const {
 }
 
 std::shared_ptr<CrawlState> HybridCrawler::MakeInitialState(
-    HiddenDbServer* server) const {
-  return MakeSliceEngineState(server->schema(), name(),
-                              /*eager=*/!options_.lazy,
-                              options_.categorical_order);
+    HiddenDbServer* server, const CrawlOptions& options) const {
+  return MakeSliceEngineState(
+      server->schema(), name(), /*eager=*/!options_.lazy,
+      options_.categorical_order,
+      options.plan != nullptr ? &options.plan->root() : nullptr);
 }
 
 void HybridCrawler::Run(CrawlContext* ctx, CrawlState* state) const {

@@ -39,7 +39,7 @@ class HybridCrawler : public Crawler {
 
  protected:
   std::shared_ptr<CrawlState> MakeInitialState(
-      HiddenDbServer* server) const override;
+      HiddenDbServer* server, const CrawlOptions& options) const override;
   void Run(CrawlContext* ctx, CrawlState* state) const override;
 
  private:

@@ -7,6 +7,7 @@
 
 #include "core/checkpoint.h"
 #include "core/crawl_context.h"
+#include "core/crawl_plan.h"
 #include "util/macros.h"
 
 namespace hdc {
@@ -106,9 +107,11 @@ void RankShrinkExpand(const Query& q, size_t attr,
 }
 
 std::shared_ptr<CrawlState> RankShrink::MakeInitialState(
-    HiddenDbServer* server) const {
+    HiddenDbServer* server, const CrawlOptions& options) const {
   auto state = std::make_shared<RankShrinkState>(server->schema());
-  state->frontier.push_back(Query::FullSpace(server->schema()));
+  state->frontier.push_back(options.plan != nullptr
+                                ? options.plan->root()
+                                : Query::FullSpace(server->schema()));
   return state;
 }
 
@@ -166,7 +169,7 @@ void RankShrinkState::EncodeFrontier(std::ostream* out) const {
   }
 }
 
-Status RankShrinkState::DecodeFrontier(std::istream* in) {
+Status RankShrinkState::DecodeFrontier(CheckpointReader* in) {
   return DecodeQueryStackFrontier(in, extracted.schema(), &frontier);
 }
 

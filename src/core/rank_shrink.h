@@ -70,7 +70,7 @@ class RankShrinkState : public CrawlState {
   bool Finished() const override { return frontier.empty(); }
   std::string algorithm() const override { return "rank-shrink"; }
   void EncodeFrontier(std::ostream* out) const override;
-  Status DecodeFrontier(std::istream* in) override;
+  Status DecodeFrontier(CheckpointReader* in) override;
 
   std::vector<Query> frontier;
 };
@@ -89,7 +89,7 @@ class RankShrink : public Crawler {
 
  protected:
   std::shared_ptr<CrawlState> MakeInitialState(
-      HiddenDbServer* server) const override;
+      HiddenDbServer* server, const CrawlOptions& options) const override;
   void Run(CrawlContext* ctx, CrawlState* state) const override;
 
  private:

@@ -1,0 +1,44 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "core/session_checkpoint.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/macros.h"
+
+namespace hdc {
+
+Status SaveSessionCheckpoint(const ServerSession& session,
+                             const CrawlState& state, std::ostream* out) {
+  HDC_RETURN_IF_ERROR(session.SaveCheckpoint(out));
+  return SaveCheckpoint(state, *session.schema(), out);
+}
+
+Status SaveSessionCheckpointFile(const ServerSession& session,
+                                 const CrawlState& state,
+                                 const std::string& path) {
+  std::ostringstream out;
+  HDC_RETURN_IF_ERROR(SaveSessionCheckpoint(session, state, &out));
+  return WriteFileDurably(path, out.str());
+}
+
+Status LoadSessionCheckpoint(std::istream* in, ServerSession* session,
+                             std::shared_ptr<CrawlState>* out,
+                             const SessionResumeOptions& options) {
+  if (in == nullptr || session == nullptr || out == nullptr) {
+    return Status::InvalidArgument("null argument");
+  }
+  HDC_RETURN_IF_ERROR(session->ResumeFrom(in, options.restore_budget));
+  return LoadCheckpoint(in, session->schema(), out);
+}
+
+Status LoadSessionCheckpointFile(const std::string& path,
+                                 ServerSession* session,
+                                 std::shared_ptr<CrawlState>* out,
+                                 const SessionResumeOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open " + path);
+  return LoadSessionCheckpoint(&in, session, out, options);
+}
+
+}  // namespace hdc

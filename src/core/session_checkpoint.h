@@ -1,0 +1,65 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Session-scoped checkpointing: one file that snapshots *budget state with
+// crawl state*. The service layer writes/reads only its own small header
+// (ServerSession::SaveCheckpoint / ResumeFrom — server/crawl_service.h);
+// this layer composes that header with the crawl checkpoint format
+// (core/checkpoint.h) and the durable-write protocol, so a metered crawl
+// against a CrawlService can be stopped — or killed — and picked up later
+// with both halves consistent:
+//
+//   hdc-session-checkpoint 1
+//   label <escaped>
+//   budget <remaining | unlimited>
+//   hdc-checkpoint 2
+//   ... (crawl payload)
+//
+// The daily-quota pattern (examples/daily_quota.cpp): resume with
+// SessionResumeOptions::restore_budget = false, so each process run keeps
+// the fresh quota its session was minted with instead of inheriting
+// yesterday's remainder.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/checkpoint.h"
+#include "core/crawler.h"
+#include "server/crawl_service.h"
+#include "util/status.h"
+
+namespace hdc {
+
+struct SessionResumeOptions {
+  /// Restore the session's query budget to the checkpointed remainder.
+  /// Turn off to keep the resuming session's own allotment (a fresh daily
+  /// quota per process run).
+  bool restore_budget = true;
+};
+
+/// Writes the session header followed by the crawl checkpoint. The state
+/// must belong to the session's (possibly overridden) schema.
+Status SaveSessionCheckpoint(const ServerSession& session,
+                             const CrawlState& state, std::ostream* out);
+
+/// SaveSessionCheckpoint into `path`, crash-atomically (temp file + fsync +
+/// rename — WriteFileDurably).
+Status SaveSessionCheckpointFile(const ServerSession& session,
+                                 const CrawlState& state,
+                                 const std::string& path);
+
+/// Restores the session half (budget, per `options`) and then the crawl
+/// half. On any error `*out` is untouched; budget restoration errors are
+/// typed (see ServerSession::ResumeFrom).
+Status LoadSessionCheckpoint(std::istream* in, ServerSession* session,
+                             std::shared_ptr<CrawlState>* out,
+                             const SessionResumeOptions& options = {});
+
+/// LoadSessionCheckpoint from `path`; NotFound when the file is missing.
+Status LoadSessionCheckpointFile(const std::string& path,
+                                 ServerSession* session,
+                                 std::shared_ptr<CrawlState>* out,
+                                 const SessionResumeOptions& options = {});
+
+}  // namespace hdc

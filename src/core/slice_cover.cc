@@ -1,6 +1,8 @@
 // Copyright (c) hdc authors. Apache-2.0 license.
 #include "core/slice_cover.h"
 
+#include "core/crawl_plan.h"
+
 namespace hdc {
 
 Status SliceCoverCrawler::ValidateSchema(const Schema& schema) const {
@@ -13,9 +15,10 @@ Status SliceCoverCrawler::ValidateSchema(const Schema& schema) const {
 }
 
 std::shared_ptr<CrawlState> SliceCoverCrawler::MakeInitialState(
-    HiddenDbServer* server) const {
-  return MakeSliceEngineState(server->schema(), name(), /*eager=*/!lazy_,
-                              order_);
+    HiddenDbServer* server, const CrawlOptions& options) const {
+  return MakeSliceEngineState(
+      server->schema(), name(), /*eager=*/!lazy_, order_,
+      options.plan != nullptr ? &options.plan->root() : nullptr);
 }
 
 void SliceCoverCrawler::Run(CrawlContext* ctx, CrawlState* state) const {

@@ -14,11 +14,11 @@
 namespace hdc {
 namespace {
 
-/// The slice query pinning attribute cat_order[cat_pos] to value v.
+/// The slice query pinning attribute cat_order[cat_pos] to value v, scoped
+/// to the crawl's root rectangle (the full space unless a plan pushed a
+/// sub-rectangle down).
 Query MakeSliceQuery(const SliceEngineState& st, size_t cat_pos, Value v) {
-  const SchemaPtr& schema = st.extracted.schema();
-  return Query::FullSpace(schema).WithCategoricalEquals(st.cat_order[cat_pos],
-                                                        v);
+  return st.root.WithCategoricalEquals(st.cat_order[cat_pos], v);
 }
 
 /// Records an answered slice query into the lookup table.
@@ -106,6 +106,7 @@ SliceEngineState::SliceEngineState(SchemaPtr schema, std::string algorithm,
                                    bool eager_mode,
                                    std::vector<size_t> order)
     : CrawlState(std::move(schema)),
+      root(Query::FullSpace(extracted.schema())),
       cat_order(std::move(order)),
       eager(eager_mode),
       algorithm_(std::move(algorithm)) {
@@ -134,17 +135,18 @@ std::vector<size_t> ResolveCategoricalOrder(const Schema& schema,
 
 std::shared_ptr<SliceEngineState> MakeSliceEngineState(
     const SchemaPtr& schema, const std::string& algorithm, bool eager,
-    CategoricalOrder order) {
+    CategoricalOrder order, const Query* root) {
   auto st = std::make_shared<SliceEngineState>(
       schema, algorithm, eager, ResolveCategoricalOrder(*schema, order));
-  Query full = Query::FullSpace(schema);
+  if (root != nullptr) st->root = *root;
+  Query seed = st->root;
   if (schema->num_categorical() == 0) {
     // Pure numeric space: the whole crawl is one rank-shrink instance.
     st->frontier.push_back(SliceEngineState::Item{
-        SliceEngineState::Item::Kind::kRank, std::move(full), 0});
+        SliceEngineState::Item::Kind::kRank, std::move(seed), 0});
   } else {
     st->frontier.push_back(SliceEngineState::Item{
-        SliceEngineState::Item::Kind::kNode, std::move(full), 0});
+        SliceEngineState::Item::Kind::kNode, std::move(seed), 0});
   }
   return st;
 }
@@ -174,6 +176,14 @@ void SliceEngineRun(CrawlContext* ctx, SliceEngineState* st,
   // Expands `item` (a node whose region overflowed) one categorical level.
   auto expand_node = [&](const SliceEngineState::Item& item) {
     const size_t next_attr = cat[item.level];
+    if (item.q.IsPinned(next_attr)) {
+      // The crawl root (a plan's pushdown rectangle) pre-pins this
+      // attribute: the node already covers exactly one value, descend
+      // without fanning out.
+      st->frontier.push_back(SliceEngineState::Item{
+          SliceEngineState::Item::Kind::kNode, item.q, item.level + 1});
+      return;
+    }
     const Value domain = static_cast<Value>(schema->domain_size(next_attr));
     for (Value c = domain; c >= 1; --c) {
       st->frontier.push_back(SliceEngineState::Item{
@@ -350,6 +360,9 @@ void SliceEngineRun(CrawlContext* ctx, SliceEngineState* st,
 
 
 void SliceEngineState::EncodeFrontier(std::ostream* out) const {
+  *out << "root ";
+  EncodeQueryTokens(root, out);
+  *out << '\n';
   *out << "catorder";
   for (size_t attr : cat_order) *out << ' ' << attr;
   *out << '\n';
@@ -384,35 +397,41 @@ void SliceEngineState::EncodeFrontier(std::ostream* out) const {
   }
 }
 
-Status SliceEngineState::DecodeFrontier(std::istream* in) {
+Status SliceEngineState::DecodeFrontier(CheckpointReader* in) {
   const SchemaPtr& schema = extracted.schema();
   const size_t arity = schema->num_attributes();
   frontier.clear();
-
-  auto read_line = [in](std::string* line) {
-    if (!std::getline(*in, *line)) {
-      return Status::InvalidArgument("checkpoint truncated in slice state");
-    }
-    if (!line->empty() && line->back() == '\r') line->pop_back();
-    return Status::OK();
-  };
+  root = Query::FullSpace(schema);
 
   std::string line, tag;
-  HDC_RETURN_IF_ERROR(read_line(&line));
+  HDC_RETURN_IF_ERROR(in->Next(&line));
+  {
+    // Version-1 checkpoints have no root line (the crawl always covered the
+    // full space); their first line is catorder.
+    std::string rest;
+    if (ExpectTagged(line, "root", &rest).ok()) {
+      std::istringstream tokens(rest);
+      Query q = Query::FullSpace(schema);
+      Status s = DecodeQueryTokens(&tokens, schema, &q);
+      if (!s.ok()) return in->Error(s.message());
+      root = std::move(q);
+      HDC_RETURN_IF_ERROR(in->Next(&line));
+    }
+  }
   {
     std::istringstream tokens(line);
     if (!(tokens >> tag) || tag != "catorder") {
-      return Status::InvalidArgument("expected catorder line, got: " + line);
+      return in->Error("expected catorder line, got: " + line);
     }
     std::vector<size_t> order;
     size_t attr;
     while (tokens >> attr) order.push_back(attr);
     if (order.size() != schema->num_categorical()) {
-      return Status::InvalidArgument("catorder has wrong arity");
+      return in->Error("catorder has wrong arity");
     }
     for (size_t a : order) {
       if (a >= schema->num_attributes() || !schema->IsCategorical(a)) {
-        return Status::InvalidArgument("catorder lists a bad attribute");
+        return in->Error("catorder lists a bad attribute");
       }
     }
     cat_order = std::move(order);
@@ -421,48 +440,48 @@ Status SliceEngineState::DecodeFrontier(std::istream* in) {
       slices[p].resize(schema->domain_size(cat_order[p]) + 1);
     }
   }
-  HDC_RETURN_IF_ERROR(read_line(&line));
+  HDC_RETURN_IF_ERROR(in->Next(&line));
   {
     std::istringstream tokens(line);
     int flag = 0;
     if (!(tokens >> tag >> flag) || tag != "eager") {
-      return Status::InvalidArgument("expected eager line, got: " + line);
+      return in->Error("expected eager line, got: " + line);
     }
     eager = flag != 0;
   }
-  HDC_RETURN_IF_ERROR(read_line(&line));
+  HDC_RETURN_IF_ERROR(in->Next(&line));
   {
     std::istringstream tokens(line);
     int flag = 0;
     if (!(tokens >> tag >> flag) || tag != "predone") {
-      return Status::InvalidArgument("expected predone line, got: " + line);
+      return in->Error("expected predone line, got: " + line);
     }
     preprocessing_done = flag != 0;
   }
-  HDC_RETURN_IF_ERROR(read_line(&line));
+  HDC_RETURN_IF_ERROR(in->Next(&line));
   {
     std::istringstream tokens(line);
     if (!(tokens >> tag >> pre_cat_pos >> pre_value) || tag != "precursor") {
-      return Status::InvalidArgument("expected precursor line, got: " + line);
+      return in->Error("expected precursor line, got: " + line);
     }
     if (pre_cat_pos > slices.size()) {
-      return Status::InvalidArgument("preprocessing cursor out of range");
+      return in->Error("preprocessing cursor out of range");
     }
   }
 
   while (true) {
-    HDC_RETURN_IF_ERROR(read_line(&line));
+    HDC_RETURN_IF_ERROR(in->Next(&line));
     if (line == "frontier-end") return Status::OK();
     std::istringstream tokens(line);
     if (!(tokens >> tag)) {
-      return Status::InvalidArgument("malformed slice-state line: " + line);
+      return in->Error("malformed slice-state line: " + line);
     }
     if (tag == "slice") {
       size_t pos = 0, value = 0;
       std::string state_code;
       if (!(tokens >> pos >> value >> state_code) || pos >= slices.size() ||
           value == 0 || value >= slices[pos].size()) {
-        return Status::InvalidArgument("malformed slice line: " + line);
+        return in->Error("malformed slice line: " + line);
       }
       SliceEntry& entry = slices[pos][value];
       if (state_code == "O") {
@@ -470,46 +489,48 @@ Status SliceEngineState::DecodeFrontier(std::istream* in) {
       } else if (state_code == "R") {
         size_t count = 0;
         if (!(tokens >> count)) {
-          return Status::InvalidArgument("malformed slice line: " + line);
+          return in->Error("malformed slice line: " + line);
         }
         entry.state = SliceEntry::State::kResolved;
         entry.bag.clear();
         entry.bag.reserve(count);
         for (size_t i = 0; i < count; ++i) {
-          HDC_RETURN_IF_ERROR(read_line(&line));
+          HDC_RETURN_IF_ERROR(in->Next(&line));
           std::istringstream bag_tokens(line);
           std::string bag_tag;
           uint64_t hidden_id = 0;
           if (!(bag_tokens >> bag_tag >> hidden_id) || bag_tag != "bag") {
-            return Status::InvalidArgument("malformed bag line: " + line);
+            return in->Error("malformed bag line: " + line);
           }
           Tuple t;
-          HDC_RETURN_IF_ERROR(DecodeTupleTokens(&bag_tokens, arity, &t));
+          Status s = DecodeTupleTokens(&bag_tokens, arity, &t);
+          if (!s.ok()) return in->Error(s.message());
           entry.bag.push_back(ReturnedTuple{std::move(t), hidden_id});
         }
       } else {
-        return Status::InvalidArgument("unknown slice state: " + line);
+        return in->Error("unknown slice state: " + line);
       }
     } else if (tag == "item") {
       std::string kind;
       uint32_t level = 0;
       if (!(tokens >> kind >> level)) {
-        return Status::InvalidArgument("malformed item line: " + line);
+        return in->Error("malformed item line: " + line);
       }
       Query q = Query::FullSpace(schema);
-      HDC_RETURN_IF_ERROR(DecodeQueryTokens(&tokens, schema, &q));
+      Status s = DecodeQueryTokens(&tokens, schema, &q);
+      if (!s.ok()) return in->Error(s.message());
+      if (kind != "node" && kind != "rank") {
+        return in->Error("unknown item kind: " + line);
+      }
       Item item{kind == "node" ? Item::Kind::kNode : Item::Kind::kRank,
                 std::move(q), level};
-      if (kind != "node" && kind != "rank") {
-        return Status::InvalidArgument("unknown item kind: " + line);
-      }
       if (item.kind == Item::Kind::kNode &&
           level > schema->num_categorical()) {
-        return Status::InvalidArgument("item level out of range");
+        return in->Error("item level out of range");
       }
       frontier.push_back(std::move(item));
     } else {
-      return Status::InvalidArgument("unknown slice-state line: " + line);
+      return in->Error("unknown slice-state line: " + line);
     }
   }
 }

@@ -66,7 +66,12 @@ class SliceEngineState : public CrawlState {
   }
   std::string algorithm() const override { return algorithm_; }
   void EncodeFrontier(std::ostream* out) const override;
-  Status DecodeFrontier(std::istream* in) override;
+  Status DecodeFrontier(CheckpointReader* in) override;
+
+  /// The rectangle the crawl covers: the full space, or a plan's pushdown
+  /// root (core/crawl_plan.h). Slice queries and the tree root are scoped
+  /// to it, so the engine never descends outside the satisfying subspace.
+  Query root;
 
   /// Categorical attribute indices in traversal order; tree level L pins
   /// cat_order[0..L-1].
@@ -111,9 +116,12 @@ std::vector<size_t> ResolveCategoricalOrder(const Schema& schema,
 
 /// Creates the initial state: the frontier holds the tree root (or, with no
 /// categorical attributes, a single rank-shrink rectangle covering D).
+/// `root` scopes the crawl to a sub-rectangle (predicate pushdown); null
+/// means the full space.
 std::shared_ptr<SliceEngineState> MakeSliceEngineState(
     const SchemaPtr& schema, const std::string& algorithm, bool eager,
-    CategoricalOrder order = CategoricalOrder::kSchemaOrder);
+    CategoricalOrder order = CategoricalOrder::kSchemaOrder,
+    const Query* root = nullptr);
 
 /// Drains the state against the context until finished or stopped.
 void SliceEngineRun(CrawlContext* ctx, SliceEngineState* st,

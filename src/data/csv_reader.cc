@@ -5,6 +5,8 @@
 #include <fstream>
 #include <vector>
 
+#include "util/string_escape.h"
+
 namespace hdc {
 namespace {
 
@@ -85,7 +87,11 @@ Status ParseSchemaSpec(const std::string& spec, SchemaPtr* out) {
       return Status::InvalidArgument("schema entry needs name:kind — '" +
                                      entry + "'");
     }
-    const std::string name = Trim(fields[0]);
+    // Names are written escaped (see FormatSchemaSpec); plain legacy names
+    // pass through unescaping unchanged, and a malformed escape is a typed
+    // ambiguity error rather than silent mangling.
+    std::string name;
+    HDC_RETURN_IF_ERROR(UnescapeToken(Trim(fields[0]), &name));
     const std::string kind = Trim(fields[1]);
     if (name.empty()) {
       return Status::InvalidArgument("empty attribute name in '" + entry +
@@ -137,7 +143,7 @@ std::string FormatSchemaSpec(const Schema& schema) {
   for (size_t i = 0; i < schema.num_attributes(); ++i) {
     if (i > 0) out += ", ";
     const AttributeSpec& spec = schema.attribute(i);
-    out += spec.name;
+    out += EscapeToken(spec.name);
     if (spec.is_categorical()) {
       out += ":cat:" + std::to_string(spec.domain_size);
     } else if (spec.lo > kNumericMin || spec.hi < kNumericMax) {

@@ -1,0 +1,90 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+#include "util/string_escape.h"
+
+namespace hdc {
+namespace {
+
+/// Escape table: each forbidden character maps to a backslash code. The
+/// codes are letters so the encoded form survives any whitespace-splitting
+/// tokenizer.
+constexpr char kEscapeChar = '\\';
+
+bool EncodeOne(char c, char* code) {
+  switch (c) {
+    case kEscapeChar: *code = kEscapeChar; return true;
+    case ' ': *code = 's'; return true;
+    case '\t': *code = 't'; return true;
+    case '\n': *code = 'n'; return true;
+    case '\r': *code = 'r'; return true;
+    case ':': *code = 'c'; return true;
+    case ',': *code = 'm'; return true;
+    default: return false;
+  }
+}
+
+bool DecodeOne(char code, char* c) {
+  switch (code) {
+    case kEscapeChar: *c = kEscapeChar; return true;
+    case 's': *c = ' '; return true;
+    case 't': *c = '\t'; return true;
+    case 'n': *c = '\n'; return true;
+    case 'r': *c = '\r'; return true;
+    case 'c': *c = ':'; return true;
+    case 'm': *c = ','; return true;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+std::string EscapeToken(const std::string& token) {
+  if (token.empty()) return "\\e";
+  std::string out;
+  out.reserve(token.size());
+  for (char c : token) {
+    char code;
+    if (EncodeOne(c, &code)) {
+      out += kEscapeChar;
+      out += code;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+Status UnescapeToken(const std::string& encoded, std::string* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output");
+  if (encoded == "\\e") {
+    out->clear();
+    return Status::OK();
+  }
+  std::string decoded;
+  decoded.reserve(encoded.size());
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    const char c = encoded[i];
+    if (c != kEscapeChar) {
+      decoded += c;
+      continue;
+    }
+    if (i + 1 >= encoded.size()) {
+      return Status::InvalidArgument(
+          "ambiguous token '" + encoded +
+          "': trailing backslash is not a valid escape (legacy unescaped "
+          "token?)");
+    }
+    char plain;
+    if (!DecodeOne(encoded[i + 1], &plain)) {
+      return Status::InvalidArgument(
+          "ambiguous token '" + encoded + "': unknown escape '\\" +
+          std::string(1, encoded[i + 1]) + "' at position " +
+          std::to_string(i) + " (legacy unescaped token?)");
+    }
+    decoded += plain;
+    ++i;
+  }
+  *out = std::move(decoded);
+  return Status::OK();
+}
+
+}  // namespace hdc

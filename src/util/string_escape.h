@@ -1,0 +1,34 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Reversible escaping for string tokens embedded in the line- and
+// space-separated text formats (schema specs, checkpoint headers, session
+// labels). The encoded form contains no whitespace, no newline, and none of
+// the structural separators of the schema-spec syntax (':' and ','), so a
+// token can be spliced into any of those formats and recovered exactly —
+// including tokens that are empty or contain the separators themselves.
+//
+// Decoding is strict: a backslash followed by anything but a known escape
+// code is a typed error, never a guess. That is what distinguishes a
+// legacy *unescaped* token that happens to contain a backslash (ambiguous —
+// it predates the escaping convention) from a correctly encoded one.
+#pragma once
+
+#include <string>
+
+#include "util/status.h"
+
+namespace hdc {
+
+/// Escapes `token` so the result contains no space, tab, CR, LF, ':', ','
+/// or unescaped backslash. The empty token encodes to "\e" so an encoded
+/// token is never the empty string.
+std::string EscapeToken(const std::string& token);
+
+/// Inverts EscapeToken. Characters outside escape sequences pass through
+/// unchanged, so any token that EscapeToken would leave untouched decodes
+/// to itself (legacy compatibility). A backslash starting an unknown
+/// sequence — or ending the input — yields InvalidArgument naming the
+/// offending position: the input is ambiguous, not silently corruptible.
+Status UnescapeToken(const std::string& encoded, std::string* out);
+
+}  // namespace hdc

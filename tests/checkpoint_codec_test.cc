@@ -107,15 +107,17 @@ TEST(CheckpointCodecTest, DecodeTupleRejectsShortInput) {
 TEST(CheckpointCodecTest, QueryStackFrontierRejectsMissingTerminator) {
   SchemaPtr schema = Schema::Numeric(1);
   std::istringstream in("q 0 5\nq 6 9\n");  // no frontier-end
+  CheckpointReader reader(&in);
   std::vector<Query> frontier;
-  EXPECT_FALSE(DecodeQueryStackFrontier(&in, schema, &frontier).ok());
+  EXPECT_FALSE(DecodeQueryStackFrontier(&reader, schema, &frontier).ok());
 }
 
 TEST(CheckpointCodecTest, QueryStackFrontierParsesInOrder) {
   SchemaPtr schema = Schema::Numeric(1);
   std::istringstream in("q 0 5\nq 6 9\nfrontier-end\n");
+  CheckpointReader reader(&in);
   std::vector<Query> frontier;
-  ASSERT_TRUE(DecodeQueryStackFrontier(&in, schema, &frontier).ok());
+  ASSERT_TRUE(DecodeQueryStackFrontier(&reader, schema, &frontier).ok());
   ASSERT_EQ(frontier.size(), 2u);
   EXPECT_EQ(frontier[0].lo(0), 0);
   EXPECT_EQ(frontier[0].hi(0), 5);

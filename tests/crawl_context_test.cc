@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/crawl_sink.h"
 #include "core/rank_shrink.h"
 #include "server/decorators.h"
 #include "server/local_server.h"
@@ -243,8 +244,9 @@ TEST_F(ContextFixture, SingleElementBatchMatchesIssue) {
 
 TEST_F(ContextFixture, TupleSinkFiresOnBothCollectPaths) {
   size_t delivered = 0;
+  CallbackSink sink([&delivered](const Tuple&) { ++delivered; });
   CrawlOptions options;
-  options.tuple_sink = [&delivered](const Tuple&) { ++delivered; };
+  options.sink = &sink;
   CrawlContext ctx(server_.get(), state_.get(), options);
   Response r;
   ASSERT_EQ(ctx.Issue(Full().WithNumericRange(0, 0, 10), &r),

@@ -1,0 +1,347 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// The crawl planner: compiling a conjunctive predicate into a pushdown
+// rectangle + pruning oracle must (i) never lose a satisfying tuple, in any
+// crawler family, (ii) never cost more queries than the unplanned crawl,
+// and (iii) reject malformed predicates with typed errors.
+#include "core/crawl_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+#include "analytics/crawl_pushdown.h"
+#include "core/crawlers.h"
+#include "gen/synthetic.h"
+#include "server/local_server.h"
+#include "util/random.h"
+
+namespace hdc {
+namespace {
+
+SchemaPtr MixedSchema() {
+  return Schema::Make({
+      AttributeSpec::Categorical("C1", 6),
+      AttributeSpec::NumericBounded("N1", 0, 100),
+      AttributeSpec::Categorical("C2", 4),
+  });
+}
+
+TEST(CrawlPlanTest, CompileErrorsAreTyped) {
+  SchemaPtr schema = MixedSchema();
+  CrawlPlan plan;
+  {
+    CrawlPredicate p;
+    p.AddRange(0, 1, 3);  // range on a categorical attribute
+    Status s = CompileCrawlPlan(schema, p, &plan);
+    EXPECT_TRUE(s.IsInvalidArgument());
+    EXPECT_NE(s.message().find("categorical"), std::string::npos);
+  }
+  {
+    CrawlPredicate p;
+    p.AddIn(1, {5});  // IN-set on a numeric attribute
+    Status s = CompileCrawlPlan(schema, p, &plan);
+    EXPECT_TRUE(s.IsInvalidArgument());
+    EXPECT_NE(s.message().find("numeric"), std::string::npos);
+  }
+  {
+    CrawlPredicate p;
+    p.AddRange(9, 0, 1);  // attribute outside the schema
+    EXPECT_TRUE(CompileCrawlPlan(schema, p, &plan).IsInvalidArgument());
+  }
+  {
+    CrawlPredicate p;
+    p.AddIn(0, {});  // empty IN-set list
+    EXPECT_TRUE(CompileCrawlPlan(schema, p, &plan).IsInvalidArgument());
+  }
+}
+
+TEST(CrawlPlanTest, UnsatisfiableCompilesToEmptyPlan) {
+  SchemaPtr schema = MixedSchema();
+  CrawlPlan plan;
+  CrawlPredicate p;
+  p.AddIn(0, {99});  // out of the domain — nothing can match
+  ASSERT_TRUE(CompileCrawlPlan(schema, p, &plan).ok());
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.MayContainTuples(Query::FullSpace(schema)));
+
+  CrawlPredicate disjoint;
+  disjoint.AddRange(1, 0, 10);
+  disjoint.AddRange(1, 20, 30);  // intersection is empty
+  ASSERT_TRUE(CompileCrawlPlan(schema, disjoint, &plan).ok());
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(CrawlPlanTest, SingletonInSetPinsTheRoot) {
+  SchemaPtr schema = MixedSchema();
+  CrawlPlan plan;
+  CrawlPredicate p;
+  p.AddIn(0, {3});
+  p.AddRange(1, 10, 40);
+  ASSERT_TRUE(CompileCrawlPlan(schema, p, &plan).ok());
+  EXPECT_FALSE(plan.empty());
+  EXPECT_FALSE(plan.has_residual());
+  EXPECT_TRUE(plan.root().IsPinned(0));
+  EXPECT_EQ(plan.root().lo(0), 3);
+  EXPECT_EQ(plan.root().lo(1), 10);
+  EXPECT_EQ(plan.root().hi(1), 40);
+  EXPECT_FALSE(plan.root().IsPinned(2));
+}
+
+// Soundness property: whenever the plan prunes a query, no tuple inside
+// that query satisfies the predicate.
+TEST(CrawlPlanTest, PruningNeverLosesASatisfyingTuple) {
+  SchemaPtr schema = MixedSchema();
+  Rng rng(77);
+  for (int trial = 0; trial < 300; ++trial) {
+    CrawlPredicate pred;
+    if (rng.Bernoulli(0.7)) {
+      std::vector<Value> in;
+      const size_t count = 1 + rng.UniformU64(3);
+      for (size_t i = 0; i < count; ++i) in.push_back(rng.UniformInt(1, 6));
+      pred.AddIn(0, in);
+    }
+    if (rng.Bernoulli(0.7)) {
+      Value lo = rng.UniformInt(0, 100);
+      pred.AddRange(1, lo, rng.UniformInt(lo, 100));
+    }
+    CrawlPlan plan;
+    ASSERT_TRUE(CompileCrawlPlan(schema, pred, &plan).ok());
+
+    for (int probe = 0; probe < 50; ++probe) {
+      // A random sub-rectangle and a random tuple inside it.
+      Query q = Query::FullSpace(schema);
+      if (rng.Bernoulli(0.5)) {
+        q = q.WithCategoricalEquals(0, rng.UniformInt(1, 6));
+      }
+      Value lo = rng.UniformInt(0, 100);
+      q = q.WithNumericRange(1, lo, rng.UniformInt(lo, 100));
+      if (rng.Bernoulli(0.5)) {
+        q = q.WithCategoricalEquals(2, rng.UniformInt(1, 4));
+      }
+      Tuple t({q.IsPinned(0) ? q.lo(0) : rng.UniformInt(1, 6),
+               rng.UniformInt(q.lo(1), q.hi(1)),
+               q.IsPinned(2) ? q.lo(2) : rng.UniformInt(1, 4)});
+      ASSERT_TRUE(q.Matches(t));
+      if (!plan.MayContainTuples(q)) {
+        ASSERT_FALSE(plan.Matches(t))
+            << "pruned a rectangle holding a satisfying tuple";
+      }
+    }
+  }
+}
+
+struct PlanCase {
+  std::string label;
+  std::function<std::unique_ptr<Crawler>()> make_crawler;
+  std::function<Dataset()> make_data;
+  std::function<CrawlPredicate(const SchemaPtr&)> make_predicate;
+};
+
+std::vector<PlanCase> MakePlanCases() {
+  std::vector<PlanCase> cases;
+  auto numeric_data = [] {
+    SyntheticNumericOptions gen;
+    gen.d = 2;
+    gen.n = 700;
+    gen.value_range = 300;
+    gen.seed = 81;
+    return GenerateSyntheticNumeric(gen);
+  };
+  auto numeric_pred = [](const SchemaPtr& schema) {
+    CrawlPredicate p;
+    p.AddRange(0, schema->attribute(0).lo,
+               (schema->attribute(0).lo + schema->attribute(0).hi) / 4);
+    return p;
+  };
+  cases.push_back({"rank_shrink", [] { return std::make_unique<RankShrink>(); },
+                   numeric_data, numeric_pred});
+  cases.push_back({"binary_shrink",
+                   [] { return std::make_unique<BinaryShrink>(); },
+                   numeric_data, numeric_pred});
+
+  auto cat_data = [] {
+    SyntheticCategoricalOptions gen;
+    gen.domain_sizes = {5, 7, 6};
+    gen.n = 600;
+    gen.seed = 82;
+    return GenerateSyntheticCategorical(gen);
+  };
+  auto cat_pred = [](const SchemaPtr&) {
+    CrawlPredicate p;
+    p.AddIn(0, {2});
+    p.AddIn(1, {1, 4, 6});  // multi-value: exercises the residual filter
+    return p;
+  };
+  cases.push_back({"dfs", [] { return std::make_unique<DfsCrawler>(); },
+                   cat_data, cat_pred});
+  cases.push_back({"slice_cover",
+                   [] { return std::make_unique<SliceCoverCrawler>(false); },
+                   cat_data, cat_pred});
+  cases.push_back({"lazy_slice_cover",
+                   [] { return std::make_unique<SliceCoverCrawler>(true); },
+                   cat_data, cat_pred});
+
+  cases.push_back({"hybrid", [] { return std::make_unique<HybridCrawler>(); },
+                   [] {
+                     SyntheticMixedOptions gen;
+                     gen.domain_sizes = {4, 5};
+                     gen.num_numeric = 1;
+                     gen.n = 600;
+                     gen.value_range = 120;
+                     gen.seed = 83;
+                     return GenerateSyntheticMixed(gen);
+                   },
+                   [](const SchemaPtr& schema) {
+                     CrawlPredicate p;
+                     p.AddIn(0, {3});
+                     const size_t num = 2;  // the numeric attribute
+                     p.AddRange(num, schema->attribute(num).lo,
+                                (schema->attribute(num).lo +
+                                 schema->attribute(num).hi) /
+                                    3);
+                     return p;
+                   }});
+  return cases;
+}
+
+class PlanPushdownTest : public ::testing::TestWithParam<size_t> {};
+
+// Every family: the planned crawl extracts exactly D ∩ predicate and never
+// bills more queries than crawl-then-filter.
+TEST_P(PlanPushdownTest, MatchesCrawlThenFilterForLess) {
+  PlanCase c = MakePlanCases()[GetParam()];
+  Dataset data = c.make_data();
+  const uint64_t k = std::max<uint64_t>(8, data.MaxPointMultiplicity());
+  auto shared = std::make_shared<Dataset>(data);
+
+  CrawlPlan plan;
+  ASSERT_TRUE(
+      CompileCrawlPlan(data.schema(), c.make_predicate(data.schema()), &plan)
+          .ok());
+
+  // Ground truth: full crawl, filter in memory.
+  LocalServer full_server(shared, k);
+  auto full_crawler = c.make_crawler();
+  CrawlResult full = full_crawler->Crawl(&full_server);
+  ASSERT_TRUE(full.status.ok()) << c.label;
+  Dataset expected(data.schema());
+  for (const Tuple& t : full.extracted.tuples()) {
+    if (plan.Matches(t)) expected.Add(t);
+  }
+  ASSERT_GT(expected.size(), 0u) << c.label << ": vacuous predicate";
+  ASSERT_LT(expected.size(), data.size()) << c.label << ": selects all";
+
+  // Pushdown crawl.
+  LocalServer planned_server(shared, k);
+  auto planned_crawler = c.make_crawler();
+  CrawlOptions options;
+  options.plan = &plan;
+  CrawlResult planned = planned_crawler->Crawl(&planned_server, options);
+  ASSERT_TRUE(planned.status.ok()) << c.label << ": "
+                                   << planned.status.ToString();
+  EXPECT_TRUE(Dataset::MultisetEquals(planned.extracted, expected))
+      << c.label;
+  EXPECT_LE(planned.queries_issued, full.queries_issued) << c.label;
+  EXPECT_LT(planned.queries_issued, full.queries_issued)
+      << c.label << ": pushdown should prune something on this predicate";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, PlanPushdownTest,
+                         ::testing::Range<size_t>(0, 6),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return MakePlanCases()[info.param].label;
+                         });
+
+TEST(CrawlPlanTest, EmptyPlanCrawlsForFree) {
+  SyntheticCategoricalOptions gen;
+  gen.domain_sizes = {5, 4};
+  gen.n = 300;
+  gen.seed = 84;
+  auto data = std::make_shared<Dataset>(GenerateSyntheticCategorical(gen));
+  const uint64_t k = std::max<uint64_t>(8, data->MaxPointMultiplicity());
+  LocalServer server(data, k);
+
+  CrawlPlan plan;
+  CrawlPredicate p;
+  p.AddIn(0, {999});
+  ASSERT_TRUE(CompileCrawlPlan(data->schema(), p, &plan).ok());
+  ASSERT_TRUE(plan.empty());
+
+  DfsCrawler crawler;
+  CrawlOptions options;
+  options.plan = &plan;
+  CrawlResult result = crawler.Crawl(&server, options);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.extracted.size(), 0u);
+  EXPECT_EQ(result.queries_issued, 0u);
+  EXPECT_EQ(server.queries_served(), 0u);
+}
+
+TEST(CrawlPlanTest, RejectsPlanFromDifferentSchema) {
+  SyntheticNumericOptions gen;
+  gen.d = 2;
+  gen.n = 100;
+  gen.value_range = 50;
+  gen.seed = 85;
+  auto data = std::make_shared<Dataset>(GenerateSyntheticNumeric(gen));
+  LocalServer server(data, 8);
+
+  CrawlPlan plan;
+  ASSERT_TRUE(CompileCrawlPlan(MixedSchema(), CrawlPredicate{}, &plan).ok());
+  RankShrink crawler;
+  CrawlOptions options;
+  options.plan = &plan;
+  CrawlResult result = crawler.Crawl(&server, options);
+  EXPECT_TRUE(result.status.IsInvalidArgument());
+  EXPECT_NE(result.status.message().find("different schema"),
+            std::string::npos);
+}
+
+// The analytics pushdown: CrawlAggregate answers exactly what the batch
+// Aggregate over a full extraction answers, for fewer queries and without
+// materializing.
+TEST(CrawlPushdownTest, AggregateMatchesFullCrawl) {
+  SyntheticMixedOptions gen;
+  gen.domain_sizes = {4, 5};
+  gen.num_numeric = 1;
+  gen.n = 700;
+  gen.value_range = 150;
+  gen.seed = 86;
+  Dataset data = GenerateSyntheticMixed(gen);
+  const uint64_t k = std::max<uint64_t>(8, data.MaxPointMultiplicity());
+  auto shared = std::make_shared<Dataset>(data);
+
+  Query filter = Query::FullSpace(data.schema()).WithCategoricalEquals(0, 2);
+  const size_t num_attr = 2;
+
+  LocalServer full_server(shared, k);
+  HybridCrawler full_crawler;
+  CrawlResult full = full_crawler.Crawl(&full_server);
+  ASSERT_TRUE(full.status.ok());
+
+  for (const AggregateSpec& spec :
+       {AggregateSpec::Count(), AggregateSpec::Sum(num_attr),
+        AggregateSpec::Avg(num_attr), AggregateSpec::Min(num_attr),
+        AggregateSpec::Max(num_attr)}) {
+    const AggregateResult expected =
+        Aggregate(full.extracted, filter, spec);
+
+    LocalServer server(shared, k);
+    HybridCrawler crawler;
+    AggregateResult got;
+    PushdownStats stats;
+    ASSERT_TRUE(
+        CrawlAggregate(&crawler, &server, filter, spec, &got, &stats).ok());
+    EXPECT_EQ(got.rows, expected.rows) << AggregateOpName(spec.op);
+    EXPECT_DOUBLE_EQ(got.value, expected.value) << AggregateOpName(spec.op);
+    EXPECT_LT(stats.queries_issued, full.queries_issued)
+        << AggregateOpName(spec.op);
+    EXPECT_EQ(stats.tuples_folded, expected.rows);
+  }
+}
+
+}  // namespace
+}  // namespace hdc

@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "core/crawl_sink.h"
 #include "core/hybrid.h"
 #include "core/rank_shrink.h"
 #include "core/slice_cover.h"
@@ -24,8 +25,9 @@ TEST(TupleSinkTest, ReceivesExactlyTheExtraction) {
   LocalServer server(data, 8);
 
   Dataset streamed(data->schema());
+  CallbackSink sink([&streamed](const Tuple& t) { streamed.Add(t); });
   CrawlOptions options;
-  options.tuple_sink = [&streamed](const Tuple& t) { streamed.Add(t); };
+  options.sink = &sink;
 
   RankShrink crawler;
   CrawlResult result = crawler.Crawl(&server, options);
@@ -48,8 +50,9 @@ TEST(TupleSinkTest, DeliveryIsProgressive) {
   // Sample the stream size at every server response.
   size_t delivered = 0;
   std::vector<size_t> samples;
+  CallbackSink sink([&delivered](const Tuple&) { ++delivered; });
   CrawlOptions options;
-  options.tuple_sink = [&delivered](const Tuple&) { ++delivered; };
+  options.sink = &sink;
 
   HybridCrawler crawler;
   // Use the trace to know how many queries ran; sample via a second crawl
@@ -78,8 +81,9 @@ TEST(TupleSinkTest, SliceCoverLocalAnswersAlsoStream) {
   LocalServer server(data, k);
 
   size_t delivered = 0;
+  CallbackSink sink([&delivered](const Tuple&) { ++delivered; });
   CrawlOptions options;
-  options.tuple_sink = [&delivered](const Tuple&) { ++delivered; };
+  options.sink = &sink;
   SliceCoverCrawler crawler(/*lazy=*/true);
   CrawlResult result = crawler.Crawl(&server, options);
   ASSERT_TRUE(result.status.ok());

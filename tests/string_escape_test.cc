@@ -1,0 +1,111 @@
+// Copyright (c) hdc authors. Apache-2.0 license.
+//
+// Token escaping: the whitespace round-trip bug. Attribute names carrying
+// spaces, tabs, newlines, or the spec's own delimiters used to shatter the
+// schema line of checkpoints and crawl records. The codec must round-trip
+// *any* string through a single whitespace-free token, and ambiguous legacy
+// (unescaped) input must fail with a typed error, never a silent guess.
+#include "util/string_escape.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "data/csv_reader.h"
+#include "util/random.h"
+
+namespace hdc {
+namespace {
+
+TEST(StringEscapeTest, PlainNamesPassThroughUnchanged) {
+  // Backward compatibility: every token the old code produced is its own
+  // escaped form, so existing files keep parsing byte-identically.
+  for (const std::string s : {"Price", "Make", "a_b-c.d", "x9"}) {
+    EXPECT_EQ(EscapeToken(s), s);
+    std::string back;
+    ASSERT_TRUE(UnescapeToken(s, &back).ok());
+    EXPECT_EQ(back, s);
+  }
+}
+
+TEST(StringEscapeTest, RoundTripsAdversarialStrings) {
+  const std::string cases[] = {
+      "", " ", "  ", "\t", "\n", "\r\n", "a b", " leading", "trailing ",
+      "tab\there", "colon:inside", "comma,inside", "back\\slash",
+      "\\s literal", "mix \t:,\\ \n all", ":num:1:2", "\\", "\\\\",
+      "name with several words", "\r", "a:b,c d\te\nf\\g",
+  };
+  for (const std::string& original : cases) {
+    const std::string escaped = EscapeToken(original);
+    EXPECT_EQ(escaped.find(' '), std::string::npos) << escaped;
+    EXPECT_EQ(escaped.find('\t'), std::string::npos) << escaped;
+    EXPECT_EQ(escaped.find('\n'), std::string::npos) << escaped;
+    EXPECT_EQ(escaped.find('\r'), std::string::npos) << escaped;
+    EXPECT_EQ(escaped.find(':'), std::string::npos) << escaped;
+    EXPECT_EQ(escaped.find(','), std::string::npos) << escaped;
+    EXPECT_FALSE(escaped.empty());
+    std::string back;
+    ASSERT_TRUE(UnescapeToken(escaped, &back).ok()) << escaped;
+    EXPECT_EQ(back, original);
+  }
+}
+
+TEST(StringEscapeTest, RoundTripProperty) {
+  const std::string alphabet = "ab:,\\ \t\n\rZ09._-";
+  Rng rng(101);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string original;
+    const size_t len = rng.UniformU64(12);
+    for (size_t i = 0; i < len; ++i) {
+      original += alphabet[rng.UniformU64(alphabet.size())];
+    }
+    const std::string escaped = EscapeToken(original);
+    std::string back;
+    ASSERT_TRUE(UnescapeToken(escaped, &back).ok())
+        << "escaped='" << escaped << "'";
+    ASSERT_EQ(back, original) << "escaped='" << escaped << "'";
+    // The token survives whitespace-delimited parsing: no separators.
+    ASSERT_EQ(escaped.find_first_of(" \t\n\r:,"), std::string::npos);
+  }
+}
+
+TEST(StringEscapeTest, AmbiguousLegacyTokensAreTypedErrors) {
+  // A raw backslash not followed by a known escape is exactly what a
+  // legacy (pre-escaping) file would contain; refusing beats guessing.
+  std::string out;
+  for (const std::string bad : {"\\", "a\\", "\\x", "C\\Users", "\\ "}) {
+    Status s = UnescapeToken(bad, &out);
+    EXPECT_TRUE(s.IsInvalidArgument()) << bad;
+    EXPECT_NE(s.message().find("ambiguous"), std::string::npos)
+        << s.ToString();
+  }
+}
+
+TEST(StringEscapeTest, SchemaSpecRoundTripsHostileNames) {
+  SchemaPtr schema = Schema::Make({
+      AttributeSpec::Categorical("body style", 7),
+      AttributeSpec::NumericBounded("price, total", 0, 100),
+      AttributeSpec::Categorical("tab\tname", 3),
+      AttributeSpec::Numeric("colon:name"),
+  });
+  const std::string spec = FormatSchemaSpec(*schema);
+  // The spec stays one line however hostile the names are.
+  EXPECT_EQ(spec.find('\n'), std::string::npos);
+  SchemaPtr parsed;
+  ASSERT_TRUE(ParseSchemaSpec(spec, &parsed).ok()) << spec;
+  ASSERT_TRUE(*parsed == *schema) << spec;
+  EXPECT_EQ(parsed->attribute(0).name, "body style");
+  EXPECT_EQ(parsed->attribute(1).name, "price, total");
+  EXPECT_EQ(parsed->attribute(2).name, "tab\tname");
+  EXPECT_EQ(parsed->attribute(3).name, "colon:name");
+}
+
+TEST(StringEscapeTest, LegacyPlainSchemaSpecStillParses) {
+  SchemaPtr parsed;
+  ASSERT_TRUE(ParseSchemaSpec("Make:cat:85, Price:num:0:90000", &parsed).ok());
+  EXPECT_EQ(parsed->attribute(0).name, "Make");
+  EXPECT_EQ(parsed->attribute(1).name, "Price");
+}
+
+}  // namespace
+}  // namespace hdc

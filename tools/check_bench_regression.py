@@ -9,7 +9,7 @@ must match the baseline exactly: any drift is a hard failure — it means an
 algorithm's conversation changed. Wall-time-like columns (header containing
 "seconds", "wall" or "time") are machine noise: drift there only warns.
 
-CSVs with a `transport`, `engine`, `shards` or `cache` column (e.g.
+CSVs with a `transport`, `engine`, `shards`, `cache` or `plan` column (e.g.
 transport_roundtrip.csv, which times the same workload in-process and over
 the loopback wire; bench_index.csv, which times the same query script under
 each evaluation engine; or bench_sharded.csv, which drives the same script
@@ -27,7 +27,10 @@ though the cells are wall times — the ratio is between two engines measured
 back-to-back on the same machine, so machine speed cancels out.
 bench_cache.csv carries the analogous gate on *billed query counts*: at the
 1% mutation rate the delta re-crawl must bill at least 10x fewer server
-queries than the from-scratch re-crawl.
+queries than the from-scratch re-crawl. bench_planner.csv carries the
+predicate-pushdown gate, also on billed queries: the pushdown crawl must
+bill no more than crawling only the satisfying subspace, and at least 3x
+fewer queries than crawl-then-filter.
 
 Every baseline CSV must have a matching current result: a baseline with no
 current file means a bench was deleted, renamed, or silently skipped — a
@@ -107,7 +110,7 @@ def compare_rows(name: str, header: list, base_rows: list, cur_rows: list,
 # loopback baseline, a bitmap-engine row against a bitmap-engine baseline, a
 # 4-shard scatter-gather row against a 4-shard baseline, a delta re-crawl
 # row against a delta baseline.
-GROUP_COLUMNS = ("transport", "engine", "shards", "cache")
+GROUP_COLUMNS = ("transport", "engine", "shards", "cache", "plan")
 
 # bench_index speedup gate: on the headline shape the bitmap engine must
 # beat legacy by this factor. See bench/bench_index.cc.
@@ -122,6 +125,13 @@ INDEX_SPEEDUP_FLOOR = 4.0
 CACHE_SPEEDUP_FILE = "bench_cache.csv"
 CACHE_SPEEDUP_RATE = "0.01"
 CACHE_SPEEDUP_FLOOR = 10.0
+
+# bench_planner gate, on deterministic billed-query counts: predicate
+# pushdown must bill no more than crawling only the satisfying subspace,
+# and at least PLANNER_SPEEDUP_FLOOR times fewer queries than
+# crawl-then-filter. See bench/bench_planner.cc.
+PLANNER_FILE = "bench_planner.csv"
+PLANNER_SPEEDUP_FLOOR = 3.0
 
 
 def group_by_column(rows: list, key_idx: int) -> dict:
@@ -203,6 +213,45 @@ def check_cache_speedup(header: list, rows: list, failures: list) -> None:
             f"{delta:.0f})")
 
 
+def check_planner_speedup(header: list, rows: list, failures: list) -> None:
+    """Hard-fails unless, on the current run, the pushdown crawl bills (a)
+    no more queries than the subspace-only crawl and (b) at least
+    PLANNER_SPEEDUP_FLOOR times fewer than crawl-then-filter. Billed-query
+    counts are deterministic, so the ratios carry no machine noise."""
+    try:
+        plan_idx = header.index("plan")
+        billed_idx = header.index("billed queries")
+    except ValueError:
+        failures.append(f"{PLANNER_FILE}: expected plan/'billed queries' "
+                        "columns for the planner gate")
+        return
+    billed = {}
+    for row in rows:
+        if len(row) > max(plan_idx, billed_idx):
+            billed[row[plan_idx]] = as_float(row[billed_idx])
+    filter_q = billed.get("filter")
+    pushdown_q = billed.get("pushdown")
+    subspace_q = billed.get("subspace")
+    if filter_q is None or pushdown_q is None or subspace_q is None:
+        failures.append(
+            f"{PLANNER_FILE}: needs filter/pushdown/subspace billed-query "
+            "rows — cannot evaluate the planner gate")
+        return
+    if pushdown_q > subspace_q:
+        failures.append(
+            f"{PLANNER_FILE}: pushdown bills {pushdown_q:.0f} queries, more "
+            f"than the subspace-only crawl's {subspace_q:.0f} — the planner "
+            "descends outside the satisfying subspace")
+    if pushdown_q <= 0:
+        return  # degenerate; the exact-match comparison already covers it
+    ratio = filter_q / pushdown_q
+    if ratio < PLANNER_SPEEDUP_FLOOR:
+        failures.append(
+            f"{PLANNER_FILE}: pushdown is only {ratio:.2f}x cheaper than "
+            f"crawl-then-filter (floor {PLANNER_SPEEDUP_FLOOR:.1f}x; filter "
+            f"{filter_q:.0f}, pushdown {pushdown_q:.0f})")
+
+
 def compare_file(baseline: Path, current: Path, time_tolerance: float,
                  failures: list, warnings: list) -> None:
     name = baseline.name
@@ -247,6 +296,8 @@ def compare_file(baseline: Path, current: Path, time_tolerance: float,
             check_index_speedup(cur_header, cur_rows, failures)
         if name == CACHE_SPEEDUP_FILE:
             check_cache_speedup(cur_header, cur_rows, failures)
+        if name == PLANNER_FILE:
+            check_planner_speedup(cur_header, cur_rows, failures)
         return
 
     if len(base_rows) != len(cur_rows):

@@ -16,7 +16,13 @@ baseline/current directories and asserts each guard actually fires:
   4. a current run without the gated 1% rate rows cannot evaluate the
      floor and hard-fails instead of skipping it;
   5. a drifted deterministic cell (billed queries) hard-fails within a
-     group even when every group is present.
+     group even when every group is present;
+  6. a planner run whose pushdown bills more than the subspace-only crawl
+     trips the planner gate;
+  7. a pushdown only 2x cheaper than crawl-then-filter trips the 3x
+     planner floor;
+  8. a planner run missing the pushdown row cannot evaluate the gate and
+     hard-fails instead of skipping it.
 
 Exit status: 0 when every expectation holds, 1 otherwise.
 """
@@ -34,6 +40,14 @@ full,0,0,1000,0,500,9000,0.020
 delta,0,0,0,0,500,9000,0.010
 full,0.01,90,1000,0,500,9000,0.020
 delta,0.01,90,80,400,500,9000,0.015
+"""
+
+
+BASELINE_PLANNER_CSV = """\
+plan,algorithm,selectivity,billed queries,extracted,wall_seconds
+filter,hybrid,0.033654,1086,69768,0.059794
+pushdown,hybrid,0.033654,95,2348,0.002506
+subspace,hybrid,0.033654,104,2348,0.001137
 """
 
 
@@ -115,6 +129,50 @@ def main() -> int:
         code, out = run_gate(baseline, current)
         expect("billed-query drift hard-fails",
                code == 1 and "query-cost drift" in out, out, problems)
+
+        # 6. Pushdown billing more than the subspace-only crawl trips the
+        #    planner gate. (Baseline edited identically: the floor, not the
+        #    cell comparison, must be what fails.)
+        outside = BASELINE_PLANNER_CSV.replace(
+            "pushdown,hybrid,0.033654,95,", "pushdown,hybrid,0.033654,120,")
+        current = root / "planner_outside_subspace"
+        write(current / "bench_planner.csv", outside)
+        outside_baseline = root / "planner_outside_subspace_baseline"
+        write(outside_baseline / "bench_planner.csv", outside)
+        code, out = run_gate(outside_baseline, current)
+        expect("pushdown above subspace cost hard-fails",
+               code == 1 and "descends outside the satisfying subspace"
+               in out, out, problems)
+
+        # 7. A pushdown only ~2x cheaper than filter trips the 3x floor.
+        shallow = BASELINE_PLANNER_CSV.replace(
+            "pushdown,hybrid,0.033654,95,", "pushdown,hybrid,0.033654,500,"
+        ).replace("subspace,hybrid,0.033654,104,",
+                  "subspace,hybrid,0.033654,600,")
+        current = root / "planner_below_floor"
+        write(current / "bench_planner.csv", shallow)
+        shallow_baseline = root / "planner_below_floor_baseline"
+        write(shallow_baseline / "bench_planner.csv", shallow)
+        code, out = run_gate(shallow_baseline, current)
+        expect("below-floor planner ratio hard-fails",
+               code == 1 and "cheaper than" in out and "crawl-then-filter"
+               in out, out, problems)
+
+        # 8. Dropping the pushdown row entirely must fail the gate, not
+        #    skip it. (The missing-group check also fires when the
+        #    baseline has the group; trim both to isolate the gate check.)
+        trimmed_planner = "\n".join(
+            line for line in BASELINE_PLANNER_CSV.splitlines()
+            if not line.startswith("pushdown,")) + "\n"
+        current = root / "planner_no_pushdown"
+        write(current / "bench_planner.csv", trimmed_planner)
+        trimmed_planner_baseline = root / "planner_no_pushdown_baseline"
+        write(trimmed_planner_baseline / "bench_planner.csv",
+              trimmed_planner)
+        code, out = run_gate(trimmed_planner_baseline, current)
+        expect("missing pushdown row hard-fails",
+               code == 1 and "cannot evaluate the planner gate" in out, out,
+               problems)
 
     if problems:
         print(f"{len(problems)} selftest expectation(s) failed")
